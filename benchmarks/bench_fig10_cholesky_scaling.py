@@ -1,0 +1,38 @@
+"""Figure 10: achieved % of machine peak for Cholesky — the same three
+scalings as Figure 9.
+
+Expected shape (paper): COnfCHOX leads; CAPITAL (2.5D but 5.6x volume)
+trails; the latency-bound collapse mirrors LU's.
+"""
+
+import pytest
+
+from repro.analysis import fig10_cholesky_scaling, format_table
+
+P_SWEEP = (4, 16, 64, 256, 1024)
+
+
+@pytest.mark.benchmark(group="fig9-10")
+def test_fig10_cholesky_scaling(benchmark, save_result):
+    rows = benchmark.pedantic(fig10_cholesky_scaling,
+                              kwargs=dict(p_sweep=P_SWEEP),
+                              iterations=1, rounds=1)
+    table = format_table(
+        ["workload", "implementation", "N", "ranks", "% of peak"],
+        [[r["workload"], r["name"], r["n"], r["nranks"], r["peak_pct"]]
+         for r in rows],
+        title="Figure 10: Cholesky achieved % of peak", floatfmt="{:.1f}")
+    save_result("fig10_cholesky_scaling", table)
+
+    def peak(workload, name, p):
+        for r in rows:
+            if (r["workload"], r["name"], r["nranks"]) == (workload, name, p):
+                return r["peak_pct"]
+        return None
+
+    for p in (64, 256, 1024):
+        ours = peak("strong-131072", "confchox", p)
+        for other in ("mkl-chol", "slate-chol", "capital"):
+            assert ours >= peak("strong-131072", other, p)
+    assert peak("strong-16384", "confchox", 1024) < \
+        peak("strong-16384", "confchox", 16)

@@ -1,0 +1,37 @@
+"""Figure 11: COnfCHOX speedup and % of peak heatmaps (the Cholesky
+counterpart of Figure 1).
+
+Expected shape (paper): COnfCHOX wins almost everywhere, up to ~1.8x,
+with SLATE second-best at small scale.
+"""
+
+import pytest
+
+from repro.analysis import fig11_cholesky_heatmap, format_table
+
+N_SWEEP = (4096, 16384, 65536)
+P_SWEEP = (4, 16, 64, 256, 1024)
+
+
+@pytest.mark.benchmark(group="fig1-11")
+def test_fig11_cholesky_heatmap(benchmark, save_result):
+    cells = benchmark.pedantic(
+        fig11_cholesky_heatmap,
+        kwargs=dict(n_sweep=N_SWEEP, p_sweep=P_SWEEP),
+        iterations=1, rounds=1)
+    rows = []
+    for c in cells:
+        if c["status"] == "ok":
+            rows.append([c["n"], c["nranks"], f"{c['speedup']:.2f}x",
+                         c["second_best"], f"{c['our_peak_pct']:.1f}%"])
+        else:
+            rows.append([c["n"], c["nranks"], c["status"], "-", "-"])
+    table = format_table(
+        ["N", "ranks", "speedup", "second-best", "COnfCHOX % peak"], rows,
+        title="Figure 11: COnfCHOX speedup vs fastest state-of-the-art")
+    save_result("fig11_cholesky_heatmap", table)
+
+    ok = [c for c in cells if c["status"] == "ok"]
+    assert ok
+    wins = sum(1 for c in ok if c["speedup"] >= 0.99)
+    assert wins >= 0.85 * len(ok)

@@ -1,0 +1,41 @@
+"""Figure 1: COnfLUX speedup over the fastest competing library, and its
+achieved % of peak, over the (nodes x matrix size) grid.
+
+Expected shape (paper): speedup >= 1 in almost all cells, largest (up to
+~3x) in the small-N / small-P corner where SLATE is second-best; cells
+where the input does not fit are greyed; cells where everything is below
+3% of peak are discarded.
+"""
+
+import pytest
+
+from repro.analysis import fig1_lu_heatmap, format_table
+
+N_SWEEP = (4096, 16384, 65536)
+P_SWEEP = (4, 16, 64, 256, 1024)
+
+
+@pytest.mark.benchmark(group="fig1-11")
+def test_fig1_lu_heatmap(benchmark, save_result):
+    cells = benchmark.pedantic(
+        fig1_lu_heatmap, kwargs=dict(n_sweep=N_SWEEP, p_sweep=P_SWEEP),
+        iterations=1, rounds=1)
+    rows = []
+    for c in cells:
+        if c["status"] == "ok":
+            rows.append([c["n"], c["nranks"], f"{c['speedup']:.2f}x",
+                         c["second_best"], f"{c['our_peak_pct']:.1f}%"])
+        else:
+            rows.append([c["n"], c["nranks"], c["status"], "-", "-"])
+    table = format_table(
+        ["N", "ranks", "speedup", "second-best", "COnfLUX % peak"], rows,
+        title="Figure 1: COnfLUX speedup vs fastest state-of-the-art")
+    save_result("fig1_lu_heatmap", table)
+
+    ok = [c for c in cells if c["status"] == "ok"]
+    assert ok, "at least some feasible cells"
+    # COnfLUX wins in almost all scenarios (allow a couple of ties).
+    wins = sum(1 for c in ok if c["speedup"] >= 0.99)
+    assert wins >= 0.85 * len(ok)
+    # Somewhere the speedup is substantial (paper: up to 3x).
+    assert max(c["speedup"] for c in ok) > 1.3

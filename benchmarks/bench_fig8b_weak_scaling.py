@@ -1,0 +1,37 @@
+"""Figure 8b: weak-scaling communication volume per node, N = 3200 * cbrt(P).
+
+Expected shape (paper): the 2.5D codes (COnfLUX, CANDMC) retain constant
+per-node volume under constant work per node, while the 2D codes (MKL,
+SLATE) grow ~P^(1/6).
+"""
+
+import pytest
+
+from repro.analysis import fig8b_weak_scaling, format_table
+
+P_SWEEP = (8, 27, 64, 216, 512)
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8b_weak_scaling(benchmark, save_result):
+    series = benchmark.pedantic(
+        fig8b_weak_scaling, kwargs=dict(p_sweep=P_SWEEP),
+        iterations=1, rounds=1)
+    rows = []
+    for name, pts in series.items():
+        for pt in pts:
+            rows.append([name, pt.nranks, pt.n,
+                         pt.measured_bytes_per_node / 1e9])
+    table = format_table(
+        ["implementation", "ranks", "N", "measured GB/node"], rows,
+        title="Figure 8b: weak scaling (N = 3200 * cbrt(P))")
+    save_result("fig8b_weak_scaling", table)
+
+    ours = [pt.measured_words for pt in series["conflux"]]
+    candmc = [pt.measured_words for pt in series["candmc"]]
+    mkl = [pt.measured_words for pt in series["mkl"]]
+    # 2.5D: flat within a modest band over a 64x rank increase.
+    assert max(ours) / min(ours) < 1.7
+    assert max(candmc) / min(candmc) < 1.7
+    # 2D: grows monotonically, by more than 1.5x overall.
+    assert mkl[-1] > 1.5 * mkl[0]

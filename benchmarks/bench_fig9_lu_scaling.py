@@ -1,0 +1,43 @@
+"""Figure 9: achieved % of machine peak for LU — strong scaling at
+N = 2^17 and N = 2^14, and weak scaling at N = 8192 * sqrt(P/4).
+
+Expected shape (paper): COnfLUX leads in nearly all cells; efficiency is
+highest for large local domains (N^2/P > 2^27 gives ~40% of peak) and
+collapses in the latency-bound regime (small N, large P).
+"""
+
+import pytest
+
+from repro.analysis import fig9_lu_scaling, format_table
+
+P_SWEEP = (4, 16, 64, 256, 1024)
+
+
+@pytest.mark.benchmark(group="fig9-10")
+def test_fig9_lu_scaling(benchmark, save_result):
+    rows = benchmark.pedantic(fig9_lu_scaling,
+                              kwargs=dict(p_sweep=P_SWEEP),
+                              iterations=1, rounds=1)
+    table = format_table(
+        ["workload", "implementation", "N", "ranks", "% of peak"],
+        [[r["workload"], r["name"], r["n"], r["nranks"], r["peak_pct"]]
+         for r in rows],
+        title="Figure 9: LU achieved % of peak", floatfmt="{:.1f}")
+    save_result("fig9_lu_scaling", table)
+
+    def peak(workload, name, p):
+        for r in rows:
+            if (r["workload"], r["name"], r["nranks"]) == (workload, name, p):
+                return r["peak_pct"]
+        return None
+
+    # COnfLUX beats every baseline on the big strong-scaling runs.
+    for p in (64, 256, 1024):
+        ours = peak("strong-131072", "conflux", p)
+        for other in ("mkl", "slate", "candmc"):
+            assert ours >= peak("strong-131072", other, p)
+    # Large local domains reach healthy efficiency (paper: ~40%).
+    assert peak("strong-131072", "conflux", 64) > 25
+    # Latency-bound corner: N=2^14 on 1024 ranks collapses.
+    assert peak("strong-16384", "conflux", 1024) < \
+        peak("strong-16384", "conflux", 16)

@@ -1,0 +1,65 @@
+"""Micro-benchmarks of the node-local kernels and of the factorization
+execution mode (timing of the simulator itself, not the paper's machine).
+"""
+
+import numpy as np
+import pytest
+
+from repro.factorizations import confchox_cholesky, conflux_lu
+from repro.kernels import blas
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_gemm(benchmark):
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((256, 256))
+    b = rng.standard_normal((256, 256))
+    out, fl = benchmark(blas.gemm, a, b)
+    assert out.shape == (256, 256)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_getrf(benchmark):
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((256, 64))
+    lu, piv, _ = benchmark(blas.getrf, a)
+    assert lu.shape == (256, 64)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_potrf(benchmark):
+    rng = np.random.default_rng(0)
+    g = rng.standard_normal((256, 256))
+    a = g @ g.T + 256 * np.eye(256)
+    l, _ = benchmark(blas.potrf, a)
+    assert np.allclose(l @ l.T, a)
+
+
+@pytest.mark.benchmark(group="execution")
+def test_bench_conflux_execute(benchmark):
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((256, 256)) + 256 * np.eye(256)
+    res = benchmark.pedantic(
+        lambda: conflux_lu(256, 16, v=16, c=2, a=a),
+        iterations=1, rounds=3)
+    assert res.lower is not None
+
+
+@pytest.mark.benchmark(group="execution")
+def test_bench_confchox_execute(benchmark):
+    rng = np.random.default_rng(0)
+    g = rng.standard_normal((256, 256))
+    a = g @ g.T + 256 * np.eye(256)
+    res = benchmark.pedantic(
+        lambda: confchox_cholesky(256, 16, v=16, c=2, a=a),
+        iterations=1, rounds=3)
+    assert res.lower is not None
+
+
+@pytest.mark.benchmark(group="execution")
+def test_bench_conflux_trace(benchmark):
+    """Trace-mode throughput: one paper-scale sweep point."""
+    res = benchmark.pedantic(
+        lambda: conflux_lu(16384, 1024, v=32, c=8, execute=False),
+        iterations=1, rounds=3)
+    assert res.mean_recv_words > 0

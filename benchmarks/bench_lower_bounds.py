@@ -1,0 +1,105 @@
+"""Section 6 headline results: the derived I/O lower bounds, the
+derivation pipeline's agreement with the closed forms, and the
+near-optimality factors of the implemented schedules.
+
+Expected shape (paper): pipeline == closed forms; COnfLUX's leading term
+is 1.5x its bound; pebbled toy cDAGs respect the sequential bounds.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import format_table, lower_bound_ratios
+from repro.lowerbounds import (
+    cholesky_io_lower_bound,
+    derive_cholesky_bound,
+    derive_lu_bound,
+    derive_matmul_bound,
+    lu_io_lower_bound,
+    matmul_io_lower_bound,
+)
+from repro.pebbles import cholesky_cdag, lu_cdag, matmul_cdag, run_greedy
+
+
+@pytest.mark.benchmark(group="bounds")
+def test_bound_derivation_pipeline(benchmark, save_result):
+    n, p, m = 16384, 1024, 2.0 ** 21
+
+    def derive_all():
+        return (derive_lu_bound(n, m, p), derive_cholesky_bound(n, m, p),
+                derive_matmul_bound(n, m, p))
+
+    lu, chol, mm = benchmark.pedantic(derive_all, iterations=1, rounds=3)
+    rows = [
+        ["LU", lu.parallel_bound, lu_io_lower_bound(n, p, m),
+         "2N^3/(3P sqrt(M)) + N^2/(2P)"],
+        ["Cholesky", chol.parallel_bound, cholesky_io_lower_bound(n, p, m),
+         "N^3/(3P sqrt(M)) + N^2/(2P)"],
+        ["Matmul", mm.parallel_bound, matmul_io_lower_bound(n, p, m),
+         "2N^3/(P sqrt(M))"],
+    ]
+    table = format_table(
+        ["kernel", "pipeline", "closed form", "paper formula"], rows,
+        title=f"Section 6 bounds at N={n}, P={p}, M=2^21")
+    save_result("lower_bounds_pipeline", table)
+
+    assert lu.parallel_bound == pytest.approx(
+        lu_io_lower_bound(n, p, m), rel=1e-2)
+    assert chol.parallel_bound == pytest.approx(
+        cholesky_io_lower_bound(n, p, m), rel=1e-2)
+    # Intensities match the paper's closed forms.
+    assert lu.intensity("S2").rho == pytest.approx(math.sqrt(m) / 2,
+                                                   rel=1e-3)
+    assert lu.intensity("S2").x0 == pytest.approx(3 * m, rel=1e-2)
+
+
+@pytest.mark.benchmark(group="bounds")
+def test_near_optimality_ratios(benchmark, save_result):
+    rows = benchmark.pedantic(
+        lower_bound_ratios,
+        kwargs=dict(cases=((8192, 256), (16384, 1024), (65536, 1024))),
+        iterations=1, rounds=1)
+    table = format_table(
+        ["kernel", "N", "ranks", "measured max", "lower bound", "ratio"],
+        [[r["kernel"], r["n"], r["nranks"], r["measured_max"],
+          r["lower_bound"], r["ratio"]] for r in rows],
+        title="Near-optimality: schedule volume vs lower bound")
+    save_result("lower_bound_ratios", table)
+    # Leading-order factors are exactly 1.5x (LU) and 3x (Cholesky);
+    # measured ratios add the O(M) layered-reduction term, which at the
+    # maximal replication c = P^(1/3) is comparable to the leading term
+    # (Lemma 10's "+O(M)"), landing LU in [1.5, 3.2) and Cholesky (whose
+    # bound is 3x smaller to begin with) in [3, 4.5).
+    for r in rows:
+        assert r["ratio"] >= 1.0
+        if r["kernel"] == "lu":
+            assert 1.4 < r["ratio"] < 3.2, r
+        else:
+            assert 2.5 < r["ratio"] < 4.5, r
+
+
+@pytest.mark.benchmark(group="bounds")
+def test_pebbling_respects_bounds(benchmark, save_result):
+    def pebble_all():
+        return {
+            "lu": run_greedy(lu_cdag(8), 16).io_cost,
+            "cholesky": run_greedy(cholesky_cdag(8), 16).io_cost,
+            "matmul": run_greedy(matmul_cdag(6), 16).io_cost,
+        }
+
+    costs = benchmark.pedantic(pebble_all, iterations=1, rounds=3)
+    bounds = {
+        "lu": derive_lu_bound(8, 16).sequential_bound,
+        "cholesky": derive_cholesky_bound(
+            8, 16).per_statement["S3"].io_lower_bound,
+        "matmul": derive_matmul_bound(6, 16).sequential_bound,
+    }
+    rows = [[k, costs[k], bounds[k], costs[k] / bounds[k]]
+            for k in costs]
+    table = format_table(
+        ["kernel", "greedy Q", "lower bound", "ratio"], rows,
+        title="Red-blue pebbling (toy cDAGs) vs sequential bounds")
+    save_result("pebbling_vs_bounds", table)
+    for k in costs:
+        assert costs[k] >= bounds[k]

@@ -1,0 +1,49 @@
+"""Table 1: per-routine communication and computation costs of COnfLUX vs
+COnfCHOX, evaluated numerically and cross-checked against traces.
+
+Expected shape (paper): the two algorithms communicate the same for the
+panels and the trailing update, but Cholesky computes half as much in A11
+(gemmt vs gemm) and skips the pivoting entirely.
+"""
+
+import pytest
+
+from repro.analysis import format_table, table1_routine_costs
+from repro.factorizations import confchox_cholesky, conflux_lu
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table1_routine_costs(benchmark, save_result):
+    rows = benchmark.pedantic(
+        table1_routine_costs, kwargs=dict(n=16384, p=1024, t=0),
+        iterations=1, rounds=1)
+    table = format_table(
+        ["routine", "LU comm", "LU comp", "Chol comm", "Chol comp"],
+        [[r["routine"], r["lu_comm"], r["lu_comp"], r["chol_comm"],
+          r["chol_comp"]] for r in rows],
+        title="Table 1: per-routine costs at step t=0, N=16384, P=1024",
+        floatfmt="{:.4g}")
+
+    # Whole-run cross-check from the traces.
+    n, p, c, v = 16384, 1024, 8, 32
+    lu = conflux_lu(n, p, v=v, c=c, execute=False)
+    ch = confchox_cholesky(n, p, v=v, c=c, execute=False)
+    extra = format_table(
+        ["metric", "COnfLUX", "COnfCHOX", "ratio"],
+        [["mean recv words", lu.mean_recv_words, ch.mean_recv_words,
+          lu.mean_recv_words / ch.mean_recv_words],
+         ["total flops", lu.total_flops, ch.total_flops,
+          lu.total_flops / ch.total_flops]],
+        title="Whole-run trace cross-check")
+    save_result("table1_routine_costs", table + "\n\n" + extra)
+
+    by_routine = {r["routine"]: r for r in rows}
+    assert by_routine["A10/A01"]["lu_comm"] == \
+        by_routine["A10/A01"]["chol_comm"]
+    assert by_routine["A11"]["chol_comp"] == pytest.approx(
+        by_routine["A11"]["lu_comp"] / 2)
+    assert by_routine["pivoting"]["chol_comm"] == 0.0
+    # Trace level: ~equal volume, ~2x flops.
+    assert lu.total_flops / ch.total_flops == pytest.approx(2.0, rel=0.05)
+    assert lu.mean_recv_words / ch.mean_recv_words == pytest.approx(
+        1.0, rel=0.3)

@@ -1,0 +1,27 @@
+"""Shared helpers for the figure/table regeneration benchmarks.
+
+Every benchmark regenerates one table or figure of the paper at a sweep
+size that completes in seconds, prints the rows/series, and writes them
+to ``benchmarks/results/<name>.txt`` so the artifacts survive the run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def save_result():
+    """Write (and echo) a named benchmark artifact."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save

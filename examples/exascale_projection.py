@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Exascale projection (the paper's "Implications for Exascale").
+
+Figure 8c extrapolates the validated communication models to a
+full-machine run of the Summit supercomputer (P = 262,144 ranks) and
+predicts a 2.1x communication reduction over the second-best library.
+This example reproduces that extrapolation: traced volumes at machine
+scale, model-predicted volumes beyond it, and the reduction factor of
+COnfLUX over the best competitor at each scale.
+
+Run:  python examples/exascale_projection.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import fig8c_comm_reduction, format_table
+
+
+def main() -> None:
+    rows_raw = fig8c_comm_reduction(
+        p_sweep=(64, 256, 1024), n_sweep=(16384,),
+        predicted_cells=((16384, 4096), (32768, 32768),
+                         (131072, 262144)))
+    rows = [[r["n"], r["nranks"], r["kind"], r["second_best"],
+             r["reduction"]] for r in rows_raw]
+    print(format_table(
+        ["N", "ranks", "kind", "second-best", "COnfLUX reduction"],
+        rows, title="Communication reduction of COnfLUX (Figure 8c)",
+        floatfmt="{:.2f}"))
+    print("\nThe reduction grows with P: measured up to ~1.5x at 1,024"
+          "\nranks (paper: 1.42x), predicted ~2x at the full-Summit"
+          "\nscale P = 262,144 (paper: 2.1x).  The 2.5D replication"
+          "\ndepth c keeps widening the gap over the N^2/sqrt(P) 2D"
+          "\ncodes, and CANDMC's 5x constant keeps it behind.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+#!/usr/bin/env python
+"""Generate the complete reproduction report in one shot: bounds, volume
+sweeps, model validation, reduction factors, time ranking, and ablations.
+
+Run:  python examples/full_reproduction_report.py
+"""
+
+from repro.analysis.reporting import full_report
+
+
+def main() -> None:
+    print(full_report(quick=True))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy shim: this offline environment lacks the `wheel` package, so
+PEP 660 editable installs fail; `setup.py develop` works with the
+installed setuptools. `pip install -e . --no-build-isolation` uses it."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,389 @@
+"""Generators for every figure and table of the paper's evaluation.
+
+Each function returns plain data structures (lists/dicts) that the
+benchmark scripts print as the rows/series the paper plots; nothing here
+depends on plotting libraries.  See DESIGN.md's per-experiment index for
+the figure-to-function map.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from ..lowerbounds import cholesky_io_lower_bound, lu_io_lower_bound
+from ..models import costmodels as cm
+from .harness import (
+    CHOLESKY_IMPLEMENTATIONS,
+    LU_IMPLEMENTATIONS,
+    NODE_MEM_WORDS,
+    RANKS_PER_NODE,
+    estimate_time,
+    feasible,
+    max_replication,
+    trace_cholesky,
+    trace_lu,
+)
+
+__all__ = [
+    "VolumePoint", "fig8a_comm_volume", "fig8b_weak_scaling",
+    "fig8c_comm_reduction", "fig9_lu_scaling", "fig10_cholesky_scaling",
+    "fig1_lu_heatmap", "fig11_cholesky_heatmap",
+    "table1_routine_costs", "table2_model_validation",
+    "lower_bound_ratios", "weak_scaling_n", "DEFAULT_P_SWEEP",
+]
+
+#: Rank counts of the paper's sweeps: 2 nodes (4 ranks) .. 512 nodes.
+DEFAULT_P_SWEEP = (4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+@dataclasses.dataclass(frozen=True)
+class VolumePoint:
+    """One point of a communication-volume series."""
+
+    name: str
+    n: int
+    nranks: int
+    measured_words: float
+    model_words: float
+
+    @property
+    def measured_bytes_per_node(self) -> float:
+        return self.measured_words * 8 * RANKS_PER_NODE
+
+    @property
+    def model_bytes_per_node(self) -> float:
+        return self.model_words * 8 * RANKS_PER_NODE
+
+
+def _paper_model(name: str, n: int, p: int, mem_words: float) -> float:
+    lu = cm.lu_models(n, p, mem_words)
+    chol = cm.cholesky_models(n, p, mem_words)
+    return {**lu, **chol}[name]
+
+
+def _mem_for(n: int, p: int) -> float:
+    return max_replication(p, n) * float(n) * n / p
+
+
+# ---------------------------------------------------------------------------
+# Figure 8
+# ---------------------------------------------------------------------------
+
+def fig8a_comm_volume(n: int = 16384, p_sweep=DEFAULT_P_SWEEP,
+                      kernel: str = "lu") -> dict[str, list[VolumePoint]]:
+    """Figure 8a: communication volume per node vs P at fixed N.
+
+    Returns measured (traced) and leading-order-model volumes for every
+    implementation.
+    """
+    impls = (LU_IMPLEMENTATIONS if kernel == "lu"
+             else CHOLESKY_IMPLEMENTATIONS)
+    tracer = trace_lu if kernel == "lu" else trace_cholesky
+    series: dict[str, list[VolumePoint]] = {name: [] for name in impls}
+    for p in p_sweep:
+        if not feasible(n, p):
+            continue
+        mem = _mem_for(n, p)
+        for name in impls:
+            res = tracer(name, n, p)
+            series[name].append(VolumePoint(
+                name=name, n=n, nranks=p,
+                measured_words=res.mean_recv_words,
+                model_words=_paper_model(name, n, p, mem)))
+    return series
+
+
+def weak_scaling_n(p: int, base: int = 3200, granule: int = 512) -> int:
+    """The paper's weak-scaling size ``N = 3200 * P^(1/3)`` (constant work
+    per node), snapped to a multiple of ``granule`` so every block size
+    divides it."""
+    raw = base * p ** (1.0 / 3.0)
+    return max(granule, int(round(raw / granule)) * granule)
+
+
+def fig8b_weak_scaling(p_sweep=DEFAULT_P_SWEEP,
+                       kernel: str = "lu") -> dict[str, list[VolumePoint]]:
+    """Figure 8b: weak scaling (N = 3200 * cbrt(P)) — 2.5D codes keep the
+    per-node volume constant, 2D codes grow."""
+    impls = (LU_IMPLEMENTATIONS if kernel == "lu"
+             else CHOLESKY_IMPLEMENTATIONS)
+    tracer = trace_lu if kernel == "lu" else trace_cholesky
+    series: dict[str, list[VolumePoint]] = {name: [] for name in impls}
+    for p in p_sweep:
+        n = weak_scaling_n(p)
+        mem = _mem_for(n, p)
+        for name in impls:
+            res = tracer(name, n, p)
+            series[name].append(VolumePoint(
+                name=name, n=n, nranks=p,
+                measured_words=res.mean_recv_words,
+                model_words=_paper_model(name, n, p, mem)))
+    return series
+
+
+def fig8c_comm_reduction(
+        p_sweep=DEFAULT_P_SWEEP,
+        n_sweep=(4096, 16384, 65536),
+        predicted_cells=((16384, 4096), (32768, 32768), (131072, 262144)),
+) -> list[dict]:
+    """Figure 8c: COnfLUX's communication reduction vs the second-best
+    implementation — measured (traced) for the machine-scale sweep plus
+    model-predicted exascale cells where N grows with P (the paper's
+    full-Summit point is P = 262,144).
+
+    Predictions use the *full* validated models for COnfLUX and the 2D
+    codes (so COnfLUX's own O(M) and O(N v) terms are not wished away)
+    with tuned (c, v) per :func:`best_conflux_config`; CANDMC keeps its
+    author model, as in the paper.
+    """
+    rows: list[dict] = []
+    for n in n_sweep:
+        for p in p_sweep:
+            if not feasible(n, p):
+                continue
+            others = {}
+            for name in ("mkl", "slate", "candmc"):
+                others[name] = trace_lu(name, n, p).mean_recv_words
+            ours = trace_lu("conflux", n, p).mean_recv_words
+            best_name = min(others, key=others.get)
+            rows.append({
+                "n": n, "nranks": p, "kind": "measured",
+                "second_best": best_name,
+                "reduction": others[best_name] / ours,
+            })
+    from .harness import best_conflux_config
+
+    for n, p in predicted_cells:
+        if not feasible(n, p):
+            continue
+        mem = _mem_for(n, p)
+        _, _, ours = best_conflux_config(n, p)
+        models = {
+            "mkl": cm.mkl_lu_full_model(n, p, _nb_for_model(n)),
+            "slate": cm.slate_lu_full_model(n, p, _nb_for_model(n)),
+            "candmc": cm.candmc_paper_model(n, p, mem),
+        }
+        best_name = min(models, key=models.get)
+        rows.append({
+            "n": n, "nranks": p, "kind": "predicted",
+            "second_best": best_name,
+            "reduction": models[best_name] / ours,
+        })
+    return rows
+
+
+def _nb_for_model(n: int) -> int:
+    nb = 128
+    while n % nb != 0 or nb > n:
+        nb //= 2
+    return max(nb, 1)
+
+
+# ---------------------------------------------------------------------------
+# Figures 9 and 10 (achieved % of peak)
+# ---------------------------------------------------------------------------
+
+def _scaling_series(impls: dict, tracer, workloads: list[tuple[str, int, int]],
+                    ) -> list[dict]:
+    rows = []
+    for label, n, p in workloads:
+        if not feasible(n, p):
+            continue
+        for name in impls:
+            timed = estimate_time(tracer(name, n, p))
+            rows.append({
+                "workload": label, "name": name, "n": n, "nranks": p,
+                "time_s": timed.time_s,
+                "peak_pct": 100.0 * timed.peak_fraction,
+            })
+    return rows
+
+
+def fig9_lu_scaling(p_sweep=DEFAULT_P_SWEEP) -> list[dict]:
+    """Figure 9: LU %-of-peak for (a) strong N=2^17, (b) strong N=2^14,
+    (c) weak N = 8192 * sqrt(P/4)."""
+    workloads: list[tuple[str, int, int]] = []
+    for p in p_sweep:
+        workloads.append(("strong-131072", 131072, p))
+        workloads.append(("strong-16384", 16384, p))
+        n_weak = int(8192 * math.sqrt(p / 4))
+        n_weak = max(2048, (n_weak // 2048) * 2048)
+        workloads.append(("weak", n_weak, p))
+    return _scaling_series(LU_IMPLEMENTATIONS, trace_lu, workloads)
+
+
+def fig10_cholesky_scaling(p_sweep=DEFAULT_P_SWEEP) -> list[dict]:
+    """Figure 10: Cholesky %-of-peak, same three scalings."""
+    workloads: list[tuple[str, int, int]] = []
+    for p in p_sweep:
+        workloads.append(("strong-131072", 131072, p))
+        workloads.append(("strong-16384", 16384, p))
+        n_weak = int(8192 * math.sqrt(p / 4))
+        n_weak = max(2048, (n_weak // 2048) * 2048)
+        workloads.append(("weak", n_weak, p))
+    return _scaling_series(CHOLESKY_IMPLEMENTATIONS, trace_cholesky,
+                           workloads)
+
+
+# ---------------------------------------------------------------------------
+# Figures 1 and 11 (heatmaps)
+# ---------------------------------------------------------------------------
+
+def _heatmap(impls: dict, tracer, ours: str, n_sweep, p_sweep,
+             min_peak: float = 0.03) -> list[dict]:
+    cells = []
+    for n in n_sweep:
+        for p in p_sweep:
+            if not feasible(n, p):
+                cells.append({"n": n, "nranks": p, "status": "no-memory"})
+                continue
+            timings = {}
+            peaks = {}
+            for name in impls:
+                timed = estimate_time(tracer(name, n, p))
+                timings[name] = timed.time_s
+                peaks[name] = timed.peak_fraction
+            if max(peaks.values()) < min_peak:
+                cells.append({"n": n, "nranks": p, "status": "below-3pct"})
+                continue
+            t_ours = timings.pop(ours)
+            best = min(timings, key=timings.get)
+            cells.append({
+                "n": n, "nranks": p, "status": "ok",
+                "speedup": timings[best] / t_ours,
+                "second_best": best,
+                "our_peak_pct": 100.0 * peaks[ours],
+            })
+    return cells
+
+
+def fig1_lu_heatmap(
+        n_sweep=(2048, 4096, 8192, 16384, 32768, 65536, 131072),
+        p_sweep=DEFAULT_P_SWEEP) -> list[dict]:
+    """Figure 1: COnfLUX speedup over the best competing library and
+    achieved %-of-peak over the (nodes x matrix size) grid."""
+    return _heatmap(LU_IMPLEMENTATIONS, trace_lu, "conflux", n_sweep, p_sweep)
+
+
+def fig11_cholesky_heatmap(
+        n_sweep=(2048, 4096, 8192, 16384, 32768, 65536, 131072),
+        p_sweep=DEFAULT_P_SWEEP) -> list[dict]:
+    """Figure 11: the same heatmaps for COnfCHOX."""
+    return _heatmap(CHOLESKY_IMPLEMENTATIONS, trace_cholesky, "confchox",
+                    n_sweep, p_sweep)
+
+
+# ---------------------------------------------------------------------------
+# Tables
+# ---------------------------------------------------------------------------
+
+def table1_routine_costs(n: int = 16384, p: int = 1024, t: int = 0,
+                         v: int | None = None,
+                         c: int | None = None) -> list[dict]:
+    """Table 1: per-routine communication and computation costs of
+    COnfLUX vs COnfCHOX at step ``t``, evaluated numerically."""
+    if c is None:
+        c = max_replication(p, n)
+    if v is None:
+        from ..factorizations.conflux import default_block_size
+
+        v = default_block_size(n, p, c)
+    p1 = p // c
+    nrem = n - t * v
+    mem = c * float(n) * n / p
+    sqrt_p1 = math.sqrt(p1)
+    lg = math.ceil(math.log2(max(2, sqrt_p1)))
+    rows = [
+        {"routine": "pivoting", "lu_comm": v * v * lg,
+         "lu_comp": v ** 3 / 3 * lg, "chol_comm": 0.0, "chol_comp": 0.0},
+        {"routine": "A00", "lu_comm": 0.0, "lu_comp": 0.0,
+         "chol_comm": float(v * v), "chol_comp": v ** 3 / 6},
+        {"routine": "A10/A01",
+         "lu_comm": 2 * nrem * v * mem / (n * n),
+         "lu_comp": 2 * nrem * v * v / (2 * p),
+         "chol_comm": 2 * nrem * v * mem / (n * n),
+         "chol_comp": 2 * nrem * v * v / (2 * p)},
+        {"routine": "A11",
+         "lu_comm": 2 * nrem * v / p, "lu_comp": nrem * nrem * v / p,
+         "chol_comm": 2 * nrem * v / p,
+         "chol_comp": nrem * nrem * v / (2 * p)},
+    ]
+    return rows
+
+
+def table2_model_validation(
+        cases=((8192, 256), (16384, 1024), (32768, 4096)),
+) -> list[dict]:
+    """Table 2's validation: measured (traced) volume vs the full cost
+    models; the paper reports +/-3% for MKL, SLATE and COnfLUX/CHOX, and
+    30-40% overapproximation for the CANDMC/CAPITAL author models."""
+    from ..factorizations import confchox_cholesky, conflux_lu
+    from ..factorizations.baselines import (
+        scalapack_cholesky, scalapack_lu, slate_lu)
+    from ..factorizations.conflux import default_block_size
+
+    rows = []
+    for n, p in cases:
+        c = max_replication(p, n)
+        v = default_block_size(n, p, c)
+        mem = c * float(n) * n / p
+        checks = [
+            ("conflux", conflux_lu(n, p, v=v, c=c,
+                                   execute=False).mean_recv_words,
+             cm.conflux_full_model(n, p, c, v)),
+            ("confchox", confchox_cholesky(n, p, v=v, c=c,
+                                           execute=False).mean_recv_words,
+             cm.confchox_full_model(n, p, c, v)),
+            ("mkl", scalapack_lu(n, p, nb=128,
+                                 execute=False).mean_recv_words,
+             cm.mkl_lu_full_model(n, p, 128)),
+            ("slate", slate_lu(n, p, nb=128,
+                               execute=False).mean_recv_words,
+             cm.slate_lu_full_model(n, p, 128)),
+            ("mkl-chol", scalapack_cholesky(n, p, nb=128,
+                                            execute=False).mean_recv_words,
+             cm.mkl_cholesky_full_model(n, p, 128)),
+            ("candmc", trace_lu("candmc", n, p, c=c).mean_recv_words,
+             cm.candmc_paper_model(n, p, mem)),
+            ("capital", trace_cholesky("capital", n, p,
+                                       c=c).mean_recv_words,
+             cm.capital_paper_model(n, p, mem)),
+        ]
+        for name, measured, model in checks:
+            rows.append({
+                "name": name, "n": n, "nranks": p,
+                "measured": measured, "model": model,
+                "error_pct": 100.0 * (model - measured) / measured,
+            })
+    return rows
+
+
+def lower_bound_ratios(cases=((8192, 256), (16384, 1024)),
+                       ) -> list[dict]:
+    """Section 6/7 headline: COnfLUX's volume vs the LU lower bound
+    (factor ~1.5 plus lower-order terms) and COnfCHOX vs the Cholesky
+    bound (factor ~3)."""
+    from ..factorizations import confchox_cholesky, conflux_lu
+    from ..factorizations.conflux import default_block_size
+
+    rows = []
+    for n, p in cases:
+        c = max_replication(p, n)
+        v = default_block_size(n, p, c)
+        mem = c * float(n) * n / p
+        lu = conflux_lu(n, p, v=v, c=c, execute=False)
+        ch = confchox_cholesky(n, p, v=v, c=c, execute=False)
+        rows.append({
+            "kernel": "lu", "n": n, "nranks": p,
+            "measured_max": lu.max_recv_words,
+            "lower_bound": lu_io_lower_bound(n, p, mem),
+            "ratio": lu.max_recv_words / lu_io_lower_bound(n, p, mem),
+        })
+        rows.append({
+            "kernel": "cholesky", "n": n, "nranks": p,
+            "measured_max": ch.max_recv_words,
+            "lower_bound": cholesky_io_lower_bound(n, p, mem),
+            "ratio": ch.max_recv_words / cholesky_io_lower_bound(n, p, mem),
+        })
+    return rows

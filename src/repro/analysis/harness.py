@@ -1,0 +1,221 @@
+"""Experiment harness: registry of implementations, trace runners, and
+text-table formatting shared by the figure benchmarks.
+
+The paper's evaluation space is (implementation, N, P) with the memory /
+replication policy of Section 9: every run gets the maximum replication
+``c = P^(1/3)`` (the experiments "allowed for the maximum number of
+replications"), Piz Daint nodes hold two ranks, and configurations where
+the input does not fit or every library lands below 3% of peak are
+discarded.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Callable
+
+from ..factorizations import confchox_cholesky, conflux_lu
+from ..factorizations.baselines import (
+    candmc_lu,
+    capital_cholesky,
+    scalapack_cholesky,
+    scalapack_lu,
+    slate_lu,
+    slate_cholesky,
+)
+from ..factorizations.common import FactorizationResult
+from ..machine.perf_model import PIZ_DAINT_XC40, MachineParams, PerfModel
+
+__all__ = [
+    "LU_IMPLEMENTATIONS", "CHOLESKY_IMPLEMENTATIONS",
+    "NODE_MEM_WORDS", "RANKS_PER_NODE",
+    "max_replication", "feasible", "best_conflux_config",
+    "trace_lu", "trace_cholesky",
+    "estimate_time", "TimedRun", "format_table",
+]
+
+#: One Piz Daint XC40 node: 64 GiB, two ranks -> 32 GiB/rank in words.
+NODE_MEM_WORDS = 32 * 2 ** 30 / 8
+RANKS_PER_NODE = 2
+
+
+def max_replication(p: int, n: int,
+                    node_mem_words: float = NODE_MEM_WORDS) -> int:
+    """Replication depth used in the paper's runs: the largest
+    ``c <= P^(1/3)`` dividing ``P`` whose replicated footprint
+    ``c N^2 / P`` fits in a rank's memory."""
+    if p <= 0 or n <= 0:
+        raise ValueError("p and n must be positive")
+    c = int(round(p ** (1.0 / 3.0)))
+    while c > 1 and (p % c != 0 or c * n * n / p > node_mem_words):
+        c -= 1
+    return max(1, c)
+
+
+def feasible(n: int, p: int,
+             node_mem_words: float = NODE_MEM_WORDS) -> bool:
+    """The input fits: ``N^2 / P <= M`` (the grey cells of Figure 1)."""
+    return n * n / p <= node_mem_words
+
+
+def _config_for(n: int, p: int, c: int) -> tuple[int, int]:
+    """(c, v) for the 2.5D schedules, degrading ``c`` when ``N`` has no
+    tile size compatible with it (e.g. N = 2^a * k with an odd
+    replication depth)."""
+    from ..factorizations.conflux import default_block_size
+
+    while c > 1:
+        if p % c == 0:
+            try:
+                return c, default_block_size(n, p, c)
+            except ValueError:
+                pass
+        c -= 1
+    return 1, default_block_size(n, p, 1)
+
+
+def _nb_for(n: int) -> int:
+    """2D panel width: ScaLAPACK-style 128, shrunk for small matrices."""
+    nb = 128
+    while n % nb != 0 or nb > n:
+        nb //= 2
+        if nb == 0:
+            raise ValueError(f"cannot pick a panel width for N={n}")
+    return nb
+
+
+def _run_conflux(n: int, p: int, c: int) -> FactorizationResult:
+    c_ok, v = _config_for(n, p, c)
+    return conflux_lu(n, p, v=v, c=c_ok, execute=False)
+
+
+def _run_confchox(n: int, p: int, c: int) -> FactorizationResult:
+    c_ok, v = _config_for(n, p, c)
+    return confchox_cholesky(n, p, v=v, c=c_ok, execute=False)
+
+
+LU_IMPLEMENTATIONS: dict[str, Callable[..., FactorizationResult]] = {
+    "conflux": _run_conflux,
+    "mkl": lambda n, p, c: scalapack_lu(n, p, nb=_nb_for(n), execute=False),
+    "slate": lambda n, p, c: slate_lu(n, p, nb=_nb_for(n), execute=False),
+    "candmc": lambda n, p, c: candmc_lu(n, p, c=c),
+}
+
+CHOLESKY_IMPLEMENTATIONS: dict[str, Callable[..., FactorizationResult]] = {
+    "confchox": _run_confchox,
+    "mkl-chol": lambda n, p, c: scalapack_cholesky(n, p, nb=_nb_for(n),
+                                                   execute=False),
+    "slate-chol": lambda n, p, c: slate_cholesky(n, p, nb=_nb_for(n),
+                                                 execute=False),
+    "capital": lambda n, p, c: capital_cholesky(n, p, c=c),
+}
+
+
+def best_conflux_config(n: int, p: int,
+                        node_mem_words: float = NODE_MEM_WORDS,
+                        ) -> tuple[int, int, float]:
+    """Tuned (c, v) for COnfLUX/COnfCHOX at (N, P) — the "optimized
+    defaults" of Table 2.
+
+    Searches replication depths ``c`` (divisors of P up to P^(1/3) whose
+    replicated footprint fits) and block sizes ``v`` in {c, 2c, 4c}
+    (divisors of N) minimizing the full cost model; returns
+    ``(c, v, predicted_words)``.  Larger ``c`` shrinks the leading
+    N^3/(P sqrt(M)) term but inflates the O(M) reductions and the O(N v)
+    A00 broadcasts, so the optimum sits below maximal replication when
+    P approaches N.
+    """
+    from ..models.costmodels import conflux_full_model
+
+    c_max = int(round(p ** (1.0 / 3.0)))
+    best: tuple[int, int, float] | None = None
+    for c in range(1, c_max + 1):
+        if p % c != 0 or c * float(n) * n / p > node_mem_words:
+            continue
+        for a in (1, 2, 4):
+            v = a * c
+            if v > n or n % v != 0:
+                continue
+            cost = conflux_full_model(n, p, c, v)
+            if best is None or cost < best[2]:
+                best = (c, v, cost)
+    if best is None:
+        raise ValueError(f"no feasible COnfLUX configuration for "
+                         f"N={n}, P={p}")
+    return best
+
+
+def trace_lu(name: str, n: int, p: int,
+             c: int | None = None) -> FactorizationResult:
+    """Trace one LU implementation at paper scale (no numerics)."""
+    if name not in LU_IMPLEMENTATIONS:
+        raise KeyError(f"unknown LU implementation {name!r}; "
+                       f"have {sorted(LU_IMPLEMENTATIONS)}")
+    if c is None:
+        c = max_replication(p, n)
+    return LU_IMPLEMENTATIONS[name](n, p, c)
+
+
+def trace_cholesky(name: str, n: int, p: int,
+                   c: int | None = None) -> FactorizationResult:
+    """Trace one Cholesky implementation at paper scale."""
+    if name not in CHOLESKY_IMPLEMENTATIONS:
+        raise KeyError(f"unknown Cholesky implementation {name!r}; "
+                       f"have {sorted(CHOLESKY_IMPLEMENTATIONS)}")
+    if c is None:
+        c = max_replication(p, n)
+    return CHOLESKY_IMPLEMENTATIONS[name](n, p, c)
+
+
+@dataclasses.dataclass(frozen=True)
+class TimedRun:
+    """A traced run with its alpha-beta-gamma time estimate."""
+
+    name: str
+    n: int
+    nranks: int
+    mean_recv_words: float
+    max_recv_words: float
+    total_flops: float
+    time_s: float
+    peak_fraction: float
+
+
+def estimate_time(result: FactorizationResult,
+                  params: MachineParams = PIZ_DAINT_XC40) -> TimedRun:
+    """Run the performance model over a result's step log."""
+    model = PerfModel(params)
+    local_words = result.n * result.n / result.nranks
+    breakdown = model.evaluate(result.step_log, result.nranks, local_words)
+    return TimedRun(
+        name=result.name, n=result.n, nranks=result.nranks,
+        mean_recv_words=result.mean_recv_words,
+        max_recv_words=result.max_recv_words,
+        total_flops=result.total_flops,
+        time_s=breakdown.total_s,
+        peak_fraction=breakdown.peak_fraction,
+    )
+
+
+def format_table(headers: list[str], rows: list[list], title: str = "",
+                 floatfmt: str = "{:.4g}") -> str:
+    """Plain-text table (the benches print what the paper tabulates)."""
+    def fmt(x) -> str:
+        if isinstance(x, float):
+            if math.isnan(x):
+                return "-"
+            return floatfmt.format(x)
+        return str(x)
+
+    srows = [[fmt(x) for x in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in srows)) if srows else len(h)
+              for i, h in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in srows:
+        lines.append("  ".join(x.ljust(w) for x, w in zip(r, widths)))
+    return "\n".join(lines)

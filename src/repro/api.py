@@ -1,0 +1,166 @@
+"""ScaLAPACK-compatible entry points (Section 8, "Data distribution").
+
+The paper's library is "fully ScaLAPACK-compatible": users hand it a
+matrix distributed per a ScaLAPACK descriptor, and the library reshuffles
+it into COnfLUX's native layout with COSTA, factorizes, and reshuffles
+back.  This module reproduces that contract on the simulated machine:
+
+* :func:`pdgetrf` — LU with tournament pivoting, descriptor in/out;
+* :func:`pdpotrf` — Cholesky, descriptor in/out;
+* :func:`pdgetrs` / :func:`pdpotrs` — the corresponding solves.
+
+Each call takes a :class:`~repro.machine.comm.Machine` whose stores hold
+the distributed tiles under ``(name, bi, bj)`` keys, performs the counted
+COSTA redistribution into the algorithm's tile size, runs the
+factorization, and writes the factors back in the caller's layout.  The
+reshuffle costs O(N^2/P) per rank — asymptotically free, as the paper
+argues (Section 7.4).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .factorizations import confchox_cholesky, conflux_lu
+from .factorizations.solve import SolveResult, cholesky_solve, lu_solve
+from .layouts import (
+    BlockCyclicLayout,
+    ScaLAPACKDescriptor,
+    block_key,
+    redistribute,
+)
+from .machine import Machine, ProcessorGrid2D
+
+__all__ = ["pdgetrf", "pdpotrf", "pdgetrs", "pdpotrs", "PDResult"]
+
+
+@dataclasses.dataclass
+class PDResult:
+    """Result of a ScaLAPACK-style call.
+
+    The factors live back in the machine's stores under ``out_name`` in
+    the caller's layout; this object carries the pivots, the counted
+    communication (including the COSTA reshuffles), and dense copies for
+    verification convenience.
+    """
+
+    out_name: str
+    desc: ScaLAPACKDescriptor
+    machine: Machine
+    perm: np.ndarray | None
+    lower: np.ndarray
+    upper: np.ndarray | None
+    reshuffle_words: float
+    factorization_words: float
+
+    def gather(self) -> np.ndarray:
+        """Dense packed factors from the distributed stores."""
+        layout = _layout_from_desc(self.desc)
+        return layout.gather_to(self.machine, self.out_name)
+
+
+def _layout_from_desc(desc: ScaLAPACKDescriptor) -> BlockCyclicLayout:
+    grid = ProcessorGrid2D(desc.prows, desc.pcols)
+    return BlockCyclicLayout(desc.m, desc.n, desc.mb, desc.nb, grid)
+
+
+def _prepare(machine: Machine, name: str, desc: ScaLAPACKDescriptor,
+             v: int) -> tuple[np.ndarray, float, BlockCyclicLayout]:
+    """COSTA-reshuffle the caller's matrix into v x v tiles and return a
+    dense working copy plus the reshuffle volume."""
+    if desc.m != desc.n:
+        raise ValueError(f"need a square matrix, got {desc.m}x{desc.n}")
+    if desc.prows * desc.pcols > machine.nranks:
+        raise ValueError("descriptor grid exceeds machine size")
+    src = _layout_from_desc(desc)
+    native = BlockCyclicLayout(desc.n, desc.n, v, v,
+                               ProcessorGrid2D(desc.prows, desc.pcols))
+    before = machine.stats.total_recv_words
+    redistribute(machine, name, src, native, dst_name=name + ":native")
+    reshuffle = machine.stats.total_recv_words - before
+    dense = native.gather_to(machine, name + ":native")
+    return dense, reshuffle, native
+
+
+def _writeback(machine: Machine, out_name: str,
+               desc: ScaLAPACKDescriptor, packed: np.ndarray,
+               v: int) -> float:
+    """Scatter packed factors into native tiles, then COSTA back to the
+    caller's layout; returns the reshuffle volume."""
+    native = BlockCyclicLayout(desc.n, desc.n, v, v,
+                               ProcessorGrid2D(desc.prows, desc.pcols))
+    native.scatter_from(machine, out_name + ":native", packed)
+    dst = _layout_from_desc(desc)
+    before = machine.stats.total_recv_words
+    redistribute(machine, out_name + ":native", native, dst,
+                 dst_name=out_name)
+    return machine.stats.total_recv_words - before
+
+
+def pdgetrf(machine: Machine, name: str, desc: ScaLAPACKDescriptor,
+            v: int = 16, c: int = 1,
+            out_name: str | None = None) -> PDResult:
+    """LU factorization of a descriptor-distributed matrix.
+
+    The packed factors (L below the unit diagonal, U on/above — the
+    LAPACK ``getrf`` convention, rows in *pivot order*) are stored back
+    under ``out_name``; ``perm`` maps pivot order to original rows.
+    """
+    out_name = out_name or name + ":lu"
+    dense, resh_in, _ = _prepare(machine, name, desc, v)
+    res = conflux_lu(desc.n, machine.nranks, v=v, c=c, a=dense)
+    machine.stats.add_recv_array(res.comm.recv_words)
+    machine.stats.add_sent_array(res.comm.sent_words)
+    machine.stats.add_flops_array(res.comm.flops)
+    packed = np.tril(res.lower, -1) + res.upper
+    resh_out = _writeback(machine, out_name, desc, packed, v)
+    return PDResult(out_name=out_name, desc=desc, machine=machine,
+                    perm=res.perm, lower=res.lower, upper=res.upper,
+                    reshuffle_words=resh_in + resh_out,
+                    factorization_words=res.comm.total_recv_words)
+
+
+def pdpotrf(machine: Machine, name: str, desc: ScaLAPACKDescriptor,
+            v: int = 16, c: int = 1,
+            out_name: str | None = None) -> PDResult:
+    """Cholesky factorization of a descriptor-distributed SPD matrix."""
+    out_name = out_name or name + ":chol"
+    dense, resh_in, _ = _prepare(machine, name, desc, v)
+    res = confchox_cholesky(desc.n, machine.nranks, v=v, c=c, a=dense)
+    machine.stats.add_recv_array(res.comm.recv_words)
+    machine.stats.add_sent_array(res.comm.sent_words)
+    machine.stats.add_flops_array(res.comm.flops)
+    resh_out = _writeback(machine, out_name, desc, res.lower, v)
+    return PDResult(out_name=out_name, desc=desc, machine=machine,
+                    perm=None, lower=res.lower, upper=None,
+                    reshuffle_words=resh_in + resh_out,
+                    factorization_words=res.comm.total_recv_words)
+
+
+def pdgetrs(result: PDResult, b: np.ndarray) -> SolveResult:
+    """Solve ``A x = b`` from a :func:`pdgetrf` result."""
+    from .factorizations.common import FactorizationResult
+    from .machine.stats import CommStats
+
+    fr = FactorizationResult(
+        name="pdgetrf", n=result.desc.n, nranks=result.machine.nranks,
+        mem_words=result.machine.mem_words, comm=CommStats(
+            result.machine.nranks),
+        params={"v": result.desc.nb}, lower=result.lower,
+        upper=result.upper, perm=result.perm)
+    return lu_solve(fr, b)
+
+
+def pdpotrs(result: PDResult, b: np.ndarray) -> SolveResult:
+    """Solve ``A x = b`` from a :func:`pdpotrf` result."""
+    from .factorizations.common import FactorizationResult
+    from .machine.stats import CommStats
+
+    fr = FactorizationResult(
+        name="pdpotrf", n=result.desc.n, nranks=result.machine.nranks,
+        mem_words=result.machine.mem_words, comm=CommStats(
+            result.machine.nranks),
+        params={"v": result.desc.nb}, lower=result.lower)
+    return cholesky_solve(fr, b)

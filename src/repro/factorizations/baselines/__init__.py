@@ -1,0 +1,16 @@
+"""Comparison targets of the paper's evaluation (Section 9):
+MKL/ScaLAPACK 2D, SLATE 2D, CANDMC 2.5D (LU), CAPITAL 2.5D (Cholesky)."""
+
+from .candmc import CandmcLU, candmc_lu
+from .capital import CapitalCholesky, capital_cholesky
+from .scalapack_chol import ScalapackCholesky, scalapack_cholesky
+from .scalapack_lu import ScalapackLU, scalapack_lu
+from .slate import SlateCholesky, SlateLU, slate_cholesky, slate_lu
+
+__all__ = [
+    "ScalapackLU", "scalapack_lu",
+    "ScalapackCholesky", "scalapack_cholesky",
+    "SlateLU", "slate_lu", "SlateCholesky", "slate_cholesky",
+    "CandmcLU", "candmc_lu",
+    "CapitalCholesky", "capital_cholesky",
+]

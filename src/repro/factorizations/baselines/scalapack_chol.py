@@ -1,0 +1,125 @@
+"""2D block-cyclic right-looking Cholesky (ScaLAPACK ``pdpotrf`` / MKL).
+
+Per step ``k`` on a ``Pr x Pc`` grid with panel width ``nb``:
+
+* ``potrf`` of the diagonal block on its owner, broadcast down the grid
+  column;
+* ``trsm`` of the subdiagonal panel on the owning grid column;
+* broadcast of the L panel along grid rows (for the ``syrk`` left factor)
+  and along grid columns (transposed right factor);
+* local symmetric rank-``nb`` trailing update.
+
+Volume per rank sums to ``~N^2/2 * (1/Pr + 1/Pc) ~ N^2/sqrt(P)``: the 2D
+model of Table 2, which weak-scales sub-optimally exactly like 2D LU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...kernels import blas, flops
+from ...machine.grid import ProcessorGrid3D, choose_grid_2d
+from ...machine.stats import CommStats
+from ..common import FactorizationResult, RankAccountant, validate_problem
+
+__all__ = ["ScalapackCholesky", "scalapack_cholesky"]
+
+
+class ScalapackCholesky:
+    """2D block-cyclic Cholesky (MKL/ScaLAPACK flavour)."""
+
+    name = "mkl-chol"
+
+    def __init__(self, n: int, nranks: int, nb: int = 128,
+                 execute: bool = True,
+                 mem_words: float | None = None) -> None:
+        validate_problem(n, nb, nranks)
+        grid2d = choose_grid_2d(nranks)
+        self.n = n
+        self.nranks = nranks
+        self.nb = nb
+        self.grid = ProcessorGrid3D(grid2d.rows, grid2d.cols, 1)
+        self.execute = execute
+        self.mem_words = float(mem_words if mem_words is not None
+                               else n * n / nranks)
+        self.stats = CommStats(nranks)
+        self.acct = RankAccountant(self.grid, self.stats)
+
+    def run(self, a: np.ndarray | None = None,
+            rng: np.random.Generator | None = None) -> FactorizationResult:
+        n, nb = self.n, self.nb
+        steps = n // nb
+
+        if self.execute:
+            if a is None:
+                rng = rng or np.random.default_rng(0)
+                g = rng.standard_normal((n, n))
+                a = g @ g.T + n * np.eye(n)
+            work = np.asarray(a, dtype=np.float64).copy()
+            if work.shape != (n, n):
+                raise ValueError(f"matrix shape {work.shape} != ({n},{n})")
+            if not np.allclose(work, work.T, atol=1e-10):
+                raise ValueError("input must be symmetric")
+        elif a is not None:
+            raise ValueError("trace mode takes no input matrix")
+
+        for k in range(steps):
+            nrem = n - k * nb
+            n11 = nrem - nb
+            self.stats.begin_step(f"k={k}")
+            self._account_step(k, nrem, n11)
+            if self.execute:
+                c0, c1 = k * nb, (k + 1) * nb
+                l00, _ = blas.potrf(work[c0:c1, c0:c1])
+                work[c0:c1, c0:c1] = l00
+                if n11 > 0:
+                    panel, _ = blas.trsm(l00.T, work[c1:, c0:c1],
+                                         side="right", lower=False)
+                    work[c1:, c0:c1] = panel
+                    work[c1:, c1:] -= panel @ panel.T
+            self.stats.end_step()
+
+        params = {"nb": nb, "grid": (self.grid.rows, self.grid.cols, 1),
+                  "c": 1, "mem_words": self.mem_words}
+        if not self.execute:
+            return FactorizationResult(self.name, n, self.nranks,
+                                       self.mem_words, self.stats, params)
+        return FactorizationResult(self.name, n, self.nranks,
+                                   self.mem_words, self.stats, params,
+                                   lower=np.tril(work))
+
+    def _account_step(self, k: int, nrem: int, n11: int) -> None:
+        acct = self.acct
+        nb = self.nb
+        pr, pc = self.grid.rows, self.grid.cols
+        steps = self.n // nb
+        on_qcol = (acct.pj == k % pc).astype(float)
+        diag_owner = on_qcol * (acct.pi == k % pr)
+        row_tiles = acct.tiles_owned(steps, k + 1, acct.pi, pr)
+        col_tiles = acct.tiles_owned(steps, k + 1, acct.pj, pc)
+        rows_per = nrem / pr
+
+        # Diagonal potrf + broadcast down the panel's grid column.
+        acct.add_flops(diag_owner * flops.potrf_flops(nb))
+        acct.add_recv(on_qcol * nb * nb * (n11 > 0), msgs=1.0)
+
+        # Panel trsm on the owning grid column.
+        acct.add_flops(on_qcol * flops.trsm_flops(nb, rows_per) * (n11 > 0))
+
+        # L panel broadcast along grid rows (left syrk factor) and along
+        # grid columns (transposed right factor).
+        acct.add_recv(row_tiles * nb * nb * (n11 > 0), msgs=1.0)
+        acct.add_recv(col_tiles * nb * nb * (n11 > 0), msgs=1.0)
+
+        # Local triangular trailing update (gemmt-like: half the tiles).
+        acct.add_flops((row_tiles * nb) * (col_tiles * nb) * nb)
+
+
+def scalapack_cholesky(n: int, nranks: int, nb: int = 128,
+                       execute: bool = True, a: np.ndarray | None = None,
+                       rng: np.random.Generator | None = None,
+                       mem_words: float | None = None) -> FactorizationResult:
+    """One-call 2D ScaLAPACK/MKL-style Cholesky."""
+    algo = ScalapackCholesky(n, nranks, nb=nb, execute=execute,
+                             mem_words=mem_words)
+    return algo.run(a=a, rng=rng)

@@ -1,0 +1,174 @@
+"""2D block-cyclic right-looking LU with partial pivoting.
+
+This is the classic ScaLAPACK ``pdgetrf`` schedule, which the paper's
+measurements show is also what Intel MKL executes ("the implementation
+uses the suboptimal 2D processor decomposition").  Communication per step
+``k`` on a ``Pr x Pc`` grid with panel width ``nb``:
+
+* panel factorization — ``nb`` pivot-search allreduces over the grid
+  column plus in-panel pivot-row exchanges;
+* pivot row swaps across the trailing matrix (``laswp``);
+* broadcast of the factored L panel along grid rows;
+* triangular solve and broadcast of the U row panel along grid columns;
+* local rank-``nb`` trailing update.
+
+Summed over steps the received volume per rank is
+``N^2/2 * (1/Pr + 1/Pc) + swaps ~ N^2/sqrt(P)`` — the paper's Table 2
+model for MKL/SLATE, asymptotically worse than 2.5D in ``P``.
+
+MKL's implementation rebroadcasts the current panel during its column-
+by-column factorization (the behaviour the paper's measurements pick up
+as a slight disadvantage against SLATE); the ``panel_rebroadcast`` knob
+models it and is on for the MKL flavour, off for SLATE's tile algorithm
+(see :mod:`repro.factorizations.baselines.slate`).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ...kernels import blas, flops
+from ...machine.grid import ProcessorGrid3D, choose_grid_2d
+from ...machine.stats import CommStats
+from ..common import FactorizationResult, RankAccountant, validate_problem
+
+__all__ = ["ScalapackLU", "scalapack_lu"]
+
+
+class ScalapackLU:
+    """2D block-cyclic partial-pivoting LU (MKL/ScaLAPACK flavour)."""
+
+    name = "mkl"
+
+    def __init__(self, n: int, nranks: int, nb: int = 128,
+                 execute: bool = True, panel_rebroadcast: bool = True,
+                 mem_words: float | None = None) -> None:
+        validate_problem(n, nb, nranks)
+        grid2d = choose_grid_2d(nranks)
+        self.n = n
+        self.nranks = nranks
+        self.nb = nb
+        self.grid = ProcessorGrid3D(grid2d.rows, grid2d.cols, 1)
+        self.execute = execute
+        self.panel_rebroadcast = panel_rebroadcast
+        # 2D algorithms need only one matrix copy: M = N^2/P unless told
+        # otherwise (the value is reported, not enforced).
+        self.mem_words = float(mem_words if mem_words is not None
+                               else n * n / nranks)
+        self.stats = CommStats(nranks)
+        self.acct = RankAccountant(self.grid, self.stats)
+
+    # ------------------------------------------------------------------
+    def run(self, a: np.ndarray | None = None,
+            rng: np.random.Generator | None = None) -> FactorizationResult:
+        n, nb = self.n, self.nb
+        steps = n // nb
+        pr, pc = self.grid.rows, self.grid.cols
+
+        if self.execute:
+            if a is None:
+                rng = rng or np.random.default_rng(0)
+                a = rng.standard_normal((n, n)) + n * np.eye(n)
+            work = np.asarray(a, dtype=np.float64).copy()
+            if work.shape != (n, n):
+                raise ValueError(f"matrix shape {work.shape} != ({n},{n})")
+            piv_all = np.zeros(n, dtype=int)
+        elif a is not None:
+            raise ValueError("trace mode takes no input matrix")
+
+        for k in range(steps):
+            nrem = n - k * nb
+            n11 = nrem - nb
+            self.stats.begin_step(f"k={k}")
+            self._account_step(k, nrem, n11)
+            if self.execute:
+                c0, c1 = k * nb, (k + 1) * nb
+                # Panel factorization with partial pivoting.
+                lu_panel, piv, _ = blas.getrf(work[c0:, c0:c1])
+                # Apply the swaps across the whole trailing matrix.
+                for i, p in enumerate(piv):
+                    p = int(p)
+                    if p != i:
+                        work[[c0 + i, c0 + p], :] = work[[c0 + p, c0 + i], :]
+                    piv_all[c0 + i] = c0 + p
+                work[c0:, c0:c1] = lu_panel
+                if n11 > 0:
+                    l00 = np.tril(lu_panel[:nb], -1) + np.eye(nb)
+                    # U row panel via trsm, then the trailing update.
+                    u01, _ = blas.trsm(l00, work[c0:c1, c1:], side="left",
+                                       lower=True, unit_diagonal=True)
+                    work[c0:c1, c1:] = u01
+                    work[c1:, c1:] -= work[c1:, c0:c1] @ u01
+            self.stats.end_step()
+
+        params = {"nb": nb, "grid": (pr, pc, 1), "c": 1,
+                  "mem_words": self.mem_words}
+        if not self.execute:
+            return FactorizationResult(self.name, n, self.nranks,
+                                       self.mem_words, self.stats, params)
+        perm = blas.pivots_to_permutation(piv_all, n)
+        return FactorizationResult(
+            self.name, n, self.nranks, self.mem_words, self.stats, params,
+            lower=np.tril(work, -1) + np.eye(n), upper=np.triu(work),
+            perm=perm)
+
+    # ------------------------------------------------------------------
+    def _account_step(self, k: int, nrem: int, n11: int) -> None:
+        acct = self.acct
+        nb = self.nb
+        pr, pc = self.grid.rows, self.grid.cols
+        steps = self.n // nb
+        q_col = k % pc
+        q_row = k % pr
+        on_qcol = (acct.pj == q_col).astype(float)
+        on_qrow = (acct.pi == q_row).astype(float)
+        row_tiles = acct.tiles_owned(steps, k + 1, acct.pi, pr)
+        col_tiles = acct.tiles_owned(steps, k + 1, acct.pj, pc)
+        rows_per = nrem / pr
+
+        # Panel factorization (grid column q_col): nb pivot-search
+        # allreduces (2 words each: value + index) over Pr ranks, plus the
+        # in-panel exchange of chosen pivot rows (nb rows of width nb).
+        lg_pr = math.ceil(math.log2(max(2, pr)))
+        acct.add_recv(on_qcol * 2.0 * nb * lg_pr, msgs=nb * lg_pr)
+        acct.add_recv(on_qcol * nb * nb * (pr - 1) / pr, msgs=nb)
+        acct.add_flops(on_qcol * flops.getrf_flops(rows_per, nb))
+        if self.panel_rebroadcast:
+            # MKL-style column-by-column panel broadcast: the panel column
+            # ranks see the multipliers twice overall.
+            acct.add_recv(on_qcol * rows_per * nb, msgs=nb)
+
+        # Pivot row swaps across the trailing matrix: nb row pairs of
+        # extent ~nrem exchanged between grid rows.  A rank holds the
+        # swapped rows' intersection with its column tiles; each swap is
+        # remote with probability (Pr-1)/Pr and both rows move, and the
+        # nb swapped rows land on a 1/Pr fraction of grid rows.
+        acct.add_recv(2.0 * nb * (col_tiles * nb) * (pr - 1) / pr / pr,
+                      msgs=nb)
+
+        # L panel broadcast along grid rows: every rank receives the rows
+        # of the panel matching its trailing row ownership.
+        acct.add_recv(rows_per * nb * (n11 > 0), msgs=1.0)
+
+        # U row panel: trsm on the owner grid row, broadcast along grid
+        # columns: every rank receives the columns matching its trailing
+        # column ownership.
+        acct.add_flops(on_qrow * (nb * nb * (col_tiles * nb)) * (n11 > 0))
+        acct.add_recv(col_tiles * nb * nb * (n11 > 0), msgs=1.0)
+
+        # Trailing update (local gemm).
+        acct.add_flops(2.0 * rows_per * (col_tiles * nb) * nb)
+
+
+def scalapack_lu(n: int, nranks: int, nb: int = 128, execute: bool = True,
+                 a: np.ndarray | None = None,
+                 rng: np.random.Generator | None = None,
+                 panel_rebroadcast: bool = True,
+                 mem_words: float | None = None) -> FactorizationResult:
+    """One-call 2D ScaLAPACK/MKL-style LU. See :class:`ScalapackLU`."""
+    algo = ScalapackLU(n, nranks, nb=nb, execute=execute,
+                       panel_rebroadcast=panel_rebroadcast,
+                       mem_words=mem_words)
+    return algo.run(a=a, rng=rng)

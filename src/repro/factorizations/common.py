@@ -1,0 +1,160 @@
+"""Shared infrastructure of the distributed factorization schedules.
+
+All schedules (COnfLUX, COnfCHOX, and the baselines) follow the same
+pattern: a step loop that *always* performs exact per-rank communication
+and flop accounting (vectorized over ranks), and *optionally* executes the
+real numerics on global NumPy arrays.  ``execute=False`` is *trace mode*:
+the same accounting code runs for paper-scale ``N`` and ``P`` without
+touching matrix data — this is what regenerates the communication-volume
+figures; ``execute=True`` additionally produces (and lets tests verify)
+the actual factors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any
+
+import numpy as np
+
+from ..machine.grid import ProcessorGrid2D, ProcessorGrid3D
+from ..machine.stats import CommStats, StepLog
+
+__all__ = ["FactorizationResult", "RankAccountant", "validate_problem"]
+
+
+def validate_problem(n: int, v: int, nranks: int) -> None:
+    """Common parameter validation: positive sizes, tiles divide N."""
+    if n <= 0 or v <= 0 or nranks <= 0:
+        raise ValueError(f"need positive N={n}, v={v}, P={nranks}")
+    if n % v != 0:
+        raise ValueError(f"tile size v={v} must divide N={n}")
+
+
+@dataclasses.dataclass
+class FactorizationResult:
+    """Outcome of one factorization run.
+
+    ``comm`` holds the per-rank counters; ``max_recv_words`` is the
+    communicated-elements-per-processor metric of the paper's figures.
+    Numeric outputs (``lower``, ``upper``, ``perm``) are None in trace
+    mode.
+    """
+
+    name: str
+    n: int
+    nranks: int
+    mem_words: float
+    comm: CommStats
+    params: dict[str, Any]
+    lower: np.ndarray | None = None
+    upper: np.ndarray | None = None
+    perm: np.ndarray | None = None
+
+    @property
+    def max_recv_words(self) -> float:
+        return self.comm.max_recv_words
+
+    @property
+    def mean_recv_words(self) -> float:
+        return self.comm.mean_recv_words
+
+    @property
+    def total_flops(self) -> float:
+        return self.comm.total_flops
+
+    @property
+    def step_log(self) -> StepLog:
+        return self.comm.steps
+
+    def local_words(self) -> float:
+        """Per-rank working-set estimate ``N^2 * c / P`` (with replication)."""
+        c = self.params.get("c", 1)
+        return self.n * self.n * c / self.nranks
+
+    def reconstruct(self) -> np.ndarray:
+        """``L @ U`` (or ``L @ L.T`` for Cholesky) — execution mode only."""
+        if self.lower is None:
+            raise ValueError("trace-mode result has no factors")
+        if self.upper is not None:
+            return self.lower @ self.upper
+        return self.lower @ self.lower.T
+
+
+class RankAccountant:
+    """Vectorized per-rank accounting over a 3D (or degenerate 2D) grid.
+
+    Provides coordinate index arrays aligned with
+    :meth:`~repro.machine.grid.ProcessorGrid3D.rank` ordering so schedules
+    can express "every rank with grid row pi receives f(pi) words" as one
+    NumPy expression, then flush into a :class:`CommStats`.
+    """
+
+    def __init__(self, grid: ProcessorGrid3D | ProcessorGrid2D,
+                 stats: CommStats) -> None:
+        if isinstance(grid, ProcessorGrid2D):
+            grid = ProcessorGrid3D(grid.rows, grid.cols, 1)
+        self.grid = grid
+        self.stats = stats
+        if stats.nranks != grid.size:
+            raise ValueError(
+                f"stats tracks {stats.nranks} ranks, grid has {grid.size}")
+        pk, pi, pj = np.meshgrid(
+            np.arange(grid.layers), np.arange(grid.rows),
+            np.arange(grid.cols), indexing="ij")
+        # Flattening (pk, pi, pj) row-major matches ProcessorGrid3D.rank.
+        self.pi = pi.reshape(-1)
+        self.pj = pj.reshape(-1)
+        self.pk = pk.reshape(-1)
+        self.nranks = grid.size
+
+    # ------------------------------------------------------------------
+    def zeros(self) -> np.ndarray:
+        return np.zeros(self.nranks)
+
+    def tiles_owned(self, total_tiles: int, first: int, coord: np.ndarray,
+                    nprocs: int) -> np.ndarray:
+        """Per-rank count of cyclic tile indices in ``[first, total)``
+        owned by grid coordinate ``coord`` (vectorized
+        :func:`~repro.machine.grid.balanced_block_count`)."""
+        remaining = max(0, total_tiles - first)
+        offset = (coord - first) % nprocs
+        return np.maximum(0, (remaining - offset + nprocs - 1) // nprocs)
+
+    def add_recv(self, words: np.ndarray | float,
+                 msgs: np.ndarray | float = 1.0) -> None:
+        w = np.broadcast_to(np.asarray(words, float), (self.nranks,))
+        m = np.broadcast_to(np.asarray(msgs, float), (self.nranks,))
+        self.stats.add_recv_array(w.copy(), np.where(w > 0, m, 0.0))
+
+    def add_sent(self, words: np.ndarray | float,
+                 msgs: np.ndarray | float = 1.0) -> None:
+        w = np.broadcast_to(np.asarray(words, float), (self.nranks,))
+        m = np.broadcast_to(np.asarray(msgs, float), (self.nranks,))
+        self.stats.add_sent_array(w.copy(), np.where(w > 0, m, 0.0))
+
+    def add_flops(self, flops: np.ndarray | float) -> None:
+        f = np.broadcast_to(np.asarray(flops, float), (self.nranks,))
+        self.stats.add_flops_array(f.copy())
+
+    def pipelined_reduce_recv(self, share_words: np.ndarray | float,
+                              participate: np.ndarray | None = None) -> None:
+        """Accounting of the layered (fiber) reduction of Algorithm 1.
+
+        A pipelined reduction across the ``c`` layers moves each rank's
+        panel share once per hop: every participating rank except the
+        ones on the source layer receives its share.  With ``c`` layers
+        that is ``(c - 1)/c`` of the fiber, which we spread as
+        ``share * (c - 1) / c`` per participating rank — the convention
+        under which the per-step costs of Algorithm 1 hold exactly.
+        """
+        c = self.grid.layers
+        if c <= 1:
+            return
+        factor = (c - 1.0) / c
+        w = np.broadcast_to(np.asarray(share_words, float), (self.nranks,))
+        if participate is not None:
+            w = w * participate
+        self.stats.add_recv_array(w * factor, np.where(w > 0, 1.0, 0.0))
+        self.stats.add_sent_array(w * factor, np.where(w > 0, 1.0, 0.0))

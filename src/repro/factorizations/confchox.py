@@ -1,0 +1,183 @@
+"""COnfCHOX: near-communication-optimal parallel Cholesky (Section 7.5).
+
+From the data-flow perspective Cholesky is LU without pivoting on an SPD
+matrix, and COnfCHOX reuses COnfLUX's machinery: the same 2.5D
+``[Pr, Pc, c]`` decomposition, block-cyclic layout, layered reduction of
+the current panel, and deferred (per-layer) trailing updates.  Key
+differences (Table 1):
+
+* no pivoting: A00 is factored by a local ``potrf`` (cost ``v^3/6``) and
+  broadcast (``v^2``);
+* one panel per step: by symmetry only the block column is reduced and
+  triangular-solved; the "A01" role is played by ``A10^T``;
+* the trailing update is ``gemmt`` (triangular output), halving the
+  computation — but the *communication* of distributing A10 along both
+  grid dimensions is the same as LU's two panels, which is why Cholesky
+  communicates as much as LU per Table 1.
+
+Total I/O per rank: ``N^3/(P sqrt(M)) + O(M)`` against the lower bound
+``N^3/(3 P sqrt(M))``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kernels import blas, flops
+from ..machine.grid import ProcessorGrid3D, choose_grid_25d, replication_factor
+from ..machine.stats import CommStats
+from .common import FactorizationResult, RankAccountant, validate_problem
+from .conflux import default_block_size
+
+__all__ = ["ConfchoxCholesky", "confchox_cholesky"]
+
+
+class ConfchoxCholesky:
+    """One COnfCHOX factorization problem instance."""
+
+    def __init__(self, n: int, nranks: int, v: int | None = None,
+                 c: int | None = None, mem_words: float | None = None,
+                 execute: bool = True,
+                 grid: ProcessorGrid3D | None = None) -> None:
+        if mem_words is None and c is None:
+            c = max(1, int(round(nranks ** (1.0 / 3.0))))
+            while nranks % c != 0:
+                c -= 1
+        if c is None:
+            c = replication_factor(nranks, n, mem_words)
+        if grid is None:
+            grid = choose_grid_25d(nranks, n, mem_words or c * n * n / nranks,
+                                   c=c)
+        if grid.layers != c or grid.size != nranks:
+            raise ValueError(f"grid {grid} inconsistent with P={nranks}, c={c}")
+        if mem_words is None:
+            mem_words = c * float(n) * n / nranks
+        if v is None:
+            v = default_block_size(n, nranks, c)
+        validate_problem(n, v, nranks)
+        if v % c != 0:
+            raise ValueError(f"v={v} must be a multiple of c={c}")
+        self.n = n
+        self.nranks = nranks
+        self.v = v
+        self.c = c
+        self.mem_words = float(mem_words)
+        self.grid = grid
+        self.execute = execute
+        self.stats = CommStats(nranks)
+        self.acct = RankAccountant(grid, self.stats)
+
+    # ------------------------------------------------------------------
+    def run(self, a: np.ndarray | None = None,
+            rng: np.random.Generator | None = None) -> FactorizationResult:
+        """Factor an SPD matrix (random well-conditioned one by default)."""
+        n, v, c = self.n, self.v, self.c
+        steps = n // v
+
+        if self.execute:
+            if a is None:
+                rng = rng or np.random.default_rng(0)
+                g = rng.standard_normal((n, n))
+                a = g @ g.T + n * np.eye(n)
+            a = np.asarray(a, dtype=np.float64)
+            if a.shape != (n, n):
+                raise ValueError(f"matrix shape {a.shape} != ({n},{n})")
+            if not np.allclose(a, a.T, atol=1e-10):
+                raise ValueError("input must be symmetric")
+            partials = np.zeros((c, n, n))
+            partials[0] = a
+            lower = np.zeros((n, n))
+        elif a is not None:
+            raise ValueError("trace mode takes no input matrix")
+
+        for t in range(steps):
+            nrem = n - t * v
+            n11 = nrem - v
+            self.stats.begin_step(f"t={t}")
+            self._account_step(t, nrem, n11)
+            if self.execute:
+                col0, col1 = t * v, (t + 1) * v
+                # Reduce the block column (diagonal block + below) over
+                # the c layers.
+                colpanel = partials[:, col0:, col0:col1].sum(axis=0)
+                # Local potrf of the diagonal block.
+                l00, _ = blas.potrf(colpanel[:v])
+                lower[col0:col1, col0:col1] = l00
+                if n11 > 0:
+                    # A10 <- A10 * L00^{-T} (trsm with the transposed
+                    # Cholesky factor on the right).
+                    a10, _ = blas.trsm(l00.T, colpanel[v:], side="right",
+                                       lower=False)
+                    lower[col1:, col0:col1] = a10
+                    # Deferred symmetric update: each layer applies its
+                    # v/c planes of -A10 A10^T to its accumulator.
+                    planes = v // c
+                    for k in range(c):
+                        sl = slice(k * planes, (k + 1) * planes)
+                        partials[k][col1:, col1:] -= a10[:, sl] @ a10[:, sl].T
+            self.stats.end_step()
+
+        params = {"v": v, "c": c,
+                  "grid": (self.grid.rows, self.grid.cols, c),
+                  "mem_words": self.mem_words}
+        if not self.execute:
+            return FactorizationResult("confchox", n, self.nranks,
+                                       self.mem_words, self.stats, params)
+        return FactorizationResult("confchox", n, self.nranks,
+                                   self.mem_words, self.stats, params,
+                                   lower=lower)
+
+    # ------------------------------------------------------------------
+    def _account_step(self, t: int, nrem: int, n11: int) -> None:
+        """Per-rank accounting, mirroring COnfLUX minus pivoting.
+
+        Cholesky has no masking, so trailing *rows* are tile-aligned too
+        and counted exactly via cyclic ownership.
+        """
+        acct = self.acct
+        grid = self.grid
+        v, c = self.v, self.c
+        pr, pc = grid.rows, grid.cols
+        steps = self.n // v
+        row_tiles = acct.tiles_owned(steps, t + 1, acct.pi, pr)
+        col_tiles = acct.tiles_owned(steps, t + 1, acct.pj, pc)
+        diag_owner = ((acct.pi == t % pr) & (acct.pj == t % pc)
+                      & (acct.pk == t % c)).astype(float)
+
+        # Reduce the block column (nrem x v) over layers (machine-wide
+        # reduce-scatter, as in COnfLUX step 1).
+        acct.add_recv(nrem * v * (c - 1.0) / self.nranks)
+        acct.add_sent(nrem * v * (c - 1.0) / self.nranks)
+
+        # Local potrf of A00 on its owner; broadcast of the factor
+        # (v^2 per rank, Table 1) and potrf flops v^3/6 at the owner.
+        acct.add_flops(diag_owner * flops.potrf_flops(v))
+        acct.add_recv(float(v * v))
+
+        # Scatter A10 (n11 x v) 1D over all ranks + local trsm.
+        acct.add_recv(n11 * v / self.nranks)
+        acct.add_flops(flops.trsm_flops(v, n11 / self.nranks))
+
+        # Distribute A10 for the symmetric update: each rank needs the
+        # row-part matching its trailing row tiles and the column-part
+        # matching its trailing column tiles, restricted to its layer's
+        # v/c planes — same volume as COnfLUX's two panels.
+        planes = v / c
+        acct.add_recv(row_tiles * v * planes)
+        acct.add_recv(col_tiles * v * planes)
+
+        # Trailing gemmt: triangular output, half the gemm flops; each
+        # rank updates only its lower-triangular share, so roughly half
+        # its tile products contribute.
+        acct.add_flops((row_tiles * v) * (col_tiles * v) * planes)
+
+
+def confchox_cholesky(n: int, nranks: int, v: int | None = None,
+                      c: int | None = None, mem_words: float | None = None,
+                      execute: bool = True, a: np.ndarray | None = None,
+                      rng: np.random.Generator | None = None,
+                      ) -> FactorizationResult:
+    """One-call COnfCHOX. See :class:`ConfchoxCholesky`."""
+    algo = ConfchoxCholesky(n, nranks, v=v, c=c, mem_words=mem_words,
+                            execute=execute)
+    return algo.run(a=a, rng=rng)

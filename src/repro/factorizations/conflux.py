@@ -1,0 +1,290 @@
+"""COnfLUX: near-communication-optimal parallel LU (Section 7, Algorithm 1).
+
+The matrix is processed in ``N/v`` steps over a ``[Pr, Pc, c]`` 2.5D grid
+(``P1 = Pr*Pc`` ranks per layer, replication depth ``c = P*M/N^2``).  Each
+step handles one ``v``-wide panel:
+
+ 1. reduce the next block column over the ``c`` layers,
+ 2. tournament-pivot to select the next ``v`` pivot rows (and factor A00),
+ 3. scatter the factored A00 and the pivot row indices,
+ 4. scatter A10 (1D decomposition over all ranks),
+ 5. reduce the ``v`` pivot rows over the layers,
+ 6. scatter A01,
+ 7. factorize A10 (local trsm, no communication),
+ 8. distribute A10 pieces for the 2.5D Schur update,
+ 9. factorize A01 (local trsm),
+10. distribute A01 pieces,
+11. update A11 (each layer applies its ``v/c`` reduction planes locally).
+
+Pivot rows are *masked*, never swapped (Section 7.3): swapping in a
+replicated layout would double the leading-order communication.
+
+Per-processor I/O cost (Lemma 10): ``N^3/(P sqrt(M)) + O(M)`` — a factor
+1.5 over the lower bound ``2N^3/(3 P sqrt(M))``.
+
+Modes: ``execute=True`` performs the real factorization on NumPy arrays
+(global-view; per-rank attribution through the accounting layer) and
+returns verifiable ``L``, ``U``, ``perm``; ``execute=False`` (trace mode)
+runs only the exact accounting, enabling paper-scale parameter sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..kernels import blas, flops
+from ..machine.grid import ProcessorGrid3D, choose_grid_25d, replication_factor
+from ..machine.stats import CommStats
+from .common import FactorizationResult, RankAccountant, validate_problem
+from .pivoting import tournament_pivot, tournament_rounds
+
+__all__ = ["ConfluxLU", "conflux_lu", "default_block_size"]
+
+
+def default_block_size(n: int, nranks: int, c: int, a: int = 4,
+                       max_steps: int = 4096) -> int:
+    """The paper's tuned tile size ``v = a * P*M/N^2 = a * c`` for a small
+    constant ``a`` (Section 7.2, "Block size v").
+
+    ``v`` must be a multiple of the replication depth ``c`` (one reduction
+    plane per layer at minimum) and divide ``N``.  We pick the smallest
+    divisor of ``N`` that is a multiple of ``c`` and at least ``a * c``,
+    growing it if needed so the step count ``N/v`` stays below
+    ``max_steps`` (keeps trace-mode sweeps fast; communication totals are
+    insensitive to ``v`` in that range because the ``O(N v)`` broadcast
+    term stays lower-order).
+    """
+    if n <= 0 or nranks <= 0 or c <= 0:
+        raise ValueError("n, nranks, c must be positive")
+    want = max(a * c, c, (n + max_steps - 1) // max_steps)
+    candidates = [d for d in range(1, n + 1) if n % d == 0 and d % c == 0]
+    if not candidates:
+        raise ValueError(f"no tile size divides N={n} and replication c={c}")
+    for d in candidates:
+        if d >= want:
+            return d
+    return candidates[-1]
+
+
+class ConfluxLU:
+    """One COnfLUX factorization problem instance."""
+
+    def __init__(self, n: int, nranks: int, v: int | None = None,
+                 c: int | None = None, mem_words: float | None = None,
+                 execute: bool = True,
+                 grid: ProcessorGrid3D | None = None) -> None:
+        if mem_words is None and c is None:
+            c = max(1, int(round(nranks ** (1.0 / 3.0))))
+            while nranks % c != 0:
+                c -= 1
+        if c is None:
+            c = replication_factor(nranks, n, mem_words)
+        if grid is None:
+            grid = choose_grid_25d(nranks, n, mem_words or c * n * n / nranks,
+                                   c=c)
+        if grid.layers != c or grid.size != nranks:
+            raise ValueError(f"grid {grid} inconsistent with P={nranks}, c={c}")
+        if mem_words is None:
+            # One replicated copy per layer: M = c N^2 / P.
+            mem_words = c * float(n) * n / nranks
+        if v is None:
+            v = default_block_size(n, nranks, c)
+        validate_problem(n, v, nranks)
+        if v % c != 0:
+            raise ValueError(f"v={v} must be a multiple of c={c}")
+        self.n = n
+        self.nranks = nranks
+        self.v = v
+        self.c = c
+        self.mem_words = float(mem_words)
+        self.grid = grid
+        self.execute = execute
+        self.stats = CommStats(nranks)
+        self.acct = RankAccountant(grid, self.stats)
+
+    # ------------------------------------------------------------------
+    def run(self, a: np.ndarray | None = None,
+            rng: np.random.Generator | None = None) -> FactorizationResult:
+        """Factorize.  In execution mode ``a`` (or a random well-conditioned
+        matrix) is factorized; in trace mode ``a`` must be None."""
+        n, v, c = self.n, self.v, self.c
+        grid = self.grid
+        steps = n // v
+        pr, pc = grid.rows, grid.cols
+        acct = self.acct
+
+        if self.execute:
+            if a is None:
+                rng = rng or np.random.default_rng(0)
+                a = rng.standard_normal((n, n)) + n * np.eye(n)
+            a = np.asarray(a, dtype=np.float64)
+            if a.shape != (n, n):
+                raise ValueError(f"matrix shape {a.shape} != ({n},{n})")
+            # partials[k] = layer k's accumulated contribution; the current
+            # Schur complement of any untouched entry is sum over layers.
+            partials = np.zeros((c, n, n))
+            partials[0] = a
+            rows_left = np.arange(n)
+            lower = np.zeros((n, n))
+            upper = np.zeros((n, n))
+            perm: list[int] = []
+        elif a is not None:
+            raise ValueError("trace mode takes no input matrix")
+
+        rounds = tournament_rounds(pr)
+        for t in range(steps):
+            nrem = n - t * v          # unfactored rows (and columns)
+            n11 = nrem - v            # trailing extent after this panel
+            self.stats.begin_step(f"t={t}")
+            self._account_step(t, nrem, n11, rounds)
+            if self.execute:
+                col0, col1 = t * v, (t + 1) * v
+                # Step 1: reduce the block column over layers.
+                colpanel = partials[:, rows_left, col0:col1].sum(axis=0)
+                # Step 2: tournament pivoting + A00 factorization.
+                tres = tournament_pivot(colpanel, v, parts=pr)
+                piv_local = tres.winners
+                piv_global = rows_left[piv_local]
+                l00 = np.tril(tres.lu00, -1) + np.eye(v)
+                u00 = np.triu(tres.lu00)
+                mask = np.ones(rows_left.size, dtype=bool)
+                mask[piv_local] = False
+                nonpiv_global = rows_left[mask]
+                # Step 5: reduce the pivot rows' trailing part over layers.
+                rowpanel = partials[:, piv_global, col1:].sum(axis=0)
+                # Step 7: A10 <- A10 * U00^{-1} (the L entries).
+                if nonpiv_global.size:
+                    a10, _ = blas.trsm(u00, colpanel[mask], side="right",
+                                       lower=False)
+                else:
+                    a10 = np.zeros((0, v))
+                # Step 9: A01 <- L00^{-1} * A01 (the U entries).
+                if n11 > 0:
+                    a01, _ = blas.trsm(l00, rowpanel, side="left", lower=True,
+                                       unit_diagonal=True)
+                else:
+                    a01 = np.zeros((v, 0))
+                # Step 11: layered Schur update — each layer applies its
+                # v/c reduction planes to its private accumulator.
+                if n11 > 0 and nonpiv_global.size:
+                    planes = v // c
+                    cols = np.arange(col1, n)
+                    for k in range(c):
+                        sl = slice(k * planes, (k + 1) * planes)
+                        partials[k][np.ix_(nonpiv_global, cols)] -= (
+                            a10[:, sl] @ a01[sl, :])
+                # Assemble factors (pivot rows keep their global ids;
+                # the permutation orders them at the end — row masking).
+                lower[piv_global, col0:col1] = l00
+                if nonpiv_global.size:
+                    lower[nonpiv_global, col0:col1] = a10
+                upper[col0:col1, col0:col1] = u00
+                upper[col0:col1, col1:] = a01
+                perm.extend(int(r) for r in piv_global)
+                rows_left = nonpiv_global
+            self.stats.end_step()
+
+        params = {"v": v, "c": c, "grid": (pr, pc, c),
+                  "mem_words": self.mem_words}
+        if not self.execute:
+            return FactorizationResult("conflux", n, self.nranks,
+                                       self.mem_words, self.stats, params)
+        perm_arr = np.asarray(perm)
+        return FactorizationResult(
+            "conflux", n, self.nranks, self.mem_words, self.stats, params,
+            lower=lower[perm_arr], upper=upper, perm=perm_arr)
+
+    # ------------------------------------------------------------------
+    def _account_step(self, t: int, nrem: int, n11: int,
+                      rounds: int) -> None:
+        """Exact per-rank accounting of the 11 sub-steps of Algorithm 1.
+
+        Masked (not yet pivoted) rows are spread uniformly over the grid
+        rows — the paper's "with high probability, pivots are evenly
+        distributed" assumption; columns are tile-aligned and counted
+        exactly via cyclic tile ownership.
+        """
+        acct = self.acct
+        grid = self.grid
+        v, c = self.v, self.c
+        pr, pc = grid.rows, grid.cols
+        p1 = pr * pc
+        steps = self.n // self.v
+        q_col = t % pc               # grid column owning panel column t
+        k_piv = t % c                # layer hosting the tournament
+        on_qcol = (acct.pj == q_col).astype(float)
+        on_piv_layer = on_qcol * (acct.pk == k_piv)
+        # Trailing column tiles owned per rank (exact cyclic counts).
+        col_tiles = acct.tiles_owned(steps, t + 1, acct.pj, pc)
+        rows_per_gridrow = nrem / pr          # masked rows, uniform split
+
+        if self.nranks == 1:
+            # A single rank communicates nothing; only the compute terms
+            # below apply.
+            acct.add_flops(flops.getrf_flops(max(rows_per_gridrow, v), v))
+            acct.add_flops(flops.trsm_flops(v, n11) * 2.0)
+            acct.add_flops(2.0 * rows_per_gridrow * (col_tiles * v)
+                           * (v / c))
+            return
+
+        # Step 1: reduce the block column (nrem x v) over layers.  The
+        # fine-grained block-cyclic layout spreads the panel over the
+        # whole machine, so the reduction is a machine-wide
+        # reduce-scatter: (c-1) of the c partial copies move, evenly over
+        # all P ranks (the paper's (N-tv)*v*M/N^2 per-processor cost).
+        acct.add_recv(nrem * v * (c - 1.0) / self.nranks)
+        acct.add_sent(nrem * v * (c - 1.0) / self.nranks)
+
+        # Step 2: tournament pivoting on [*, q_col, k_piv]: v x v candidate
+        # blocks exchanged for ceil(log2(Pr)) butterfly rounds, plus the
+        # local candidate-selection LU and the playoff LUs.
+        acct.add_recv(on_piv_layer * v * v * rounds, msgs=rounds)
+        acct.add_sent(on_piv_layer * v * v * rounds, msgs=rounds)
+        local_lu = flops.getrf_flops(max(rows_per_gridrow, v), v)
+        playoff = rounds * flops.getrf_flops(2 * v, v)
+        acct.add_flops(on_piv_layer * (local_lu + playoff))
+
+        # Step 3: broadcast factored A00 (v^2) + v pivot indices to all.
+        acct.add_recv(float(v * v + v))
+        acct.add_sent(on_piv_layer * (v * v + v) * math.log2(max(2, p1 * c)),
+                      msgs=math.ceil(math.log2(max(2, p1 * c))))
+
+        # Step 4: scatter A10 ((nrem - v) x v) 1D over all P ranks.
+        share_a10 = n11 * v / self.nranks
+        acct.add_recv(share_a10)
+
+        # Step 5: reduce the v pivot rows (v x n11) over layers — same
+        # machine-wide reduce-scatter convention as step 1 (pivot rows
+        # are spread evenly over the ranks with high probability).
+        acct.add_recv(v * n11 * (c - 1.0) / self.nranks)
+        acct.add_sent(v * n11 * (c - 1.0) / self.nranks)
+
+        # Step 6: scatter A01 (v x n11) 1D over all P ranks.
+        acct.add_recv(v * n11 / self.nranks)
+
+        # Steps 7 and 9: local trsm on the 1D-decomposed panels.
+        acct.add_flops(flops.trsm_flops(v, n11 / self.nranks) * 2.0)
+
+        # Step 8: distribute A10 — each rank needs the rows matching its
+        # local trailing tiles restricted to its layer's v/c planes.
+        planes = v / c
+        acct.add_recv(rows_per_gridrow * planes * (n11 > 0))
+
+        # Step 10: distribute A01 — the columns matching local tiles.
+        acct.add_recv(col_tiles * v * planes)
+
+        # Step 11: local Schur update (gemm, 2mnk flops), no communication.
+        acct.add_flops(2.0 * rows_per_gridrow * (col_tiles * v) * planes)
+
+
+def conflux_lu(n: int, nranks: int, v: int | None = None,
+               c: int | None = None, mem_words: float | None = None,
+               execute: bool = True, a: np.ndarray | None = None,
+               rng: np.random.Generator | None = None) -> FactorizationResult:
+    """One-call COnfLUX: factorize (or trace) an ``n x n`` system on
+    ``nranks`` simulated processors.  See :class:`ConfluxLU`."""
+    algo = ConfluxLU(n, nranks, v=v, c=c, mem_words=mem_words,
+                     execute=execute)
+    return algo.run(a=a, rng=rng)

@@ -1,0 +1,130 @@
+"""2.5D matrix multiplication (the SC19 near-optimal MMM substrate).
+
+The paper's framework and the COnfLUX/COnfCHOX schedules build directly
+on the authors' earlier SC19 result (Kwasniewski et al., "Red-Blue
+Pebbling Revisited") whose parallel bound ``2N^3/(P sqrt(M))`` this repo
+uses as the matmul cross-check.  This module implements the matching
+algorithm — a 2.5D SUMMA: ``C = A @ B`` on a ``[Pr, Pc, c]`` grid where
+each layer computes a disjoint ``1/c`` slice of the reduction dimension
+and the slices are combined by one machine-wide reduce-scatter.
+
+Per-rank communication: each of the ``K/(s c)`` SUMMA rounds broadcasts
+an A panel (``rows_local x s``) along grid rows and a B panel along grid
+columns, and the final reduction moves ``(c-1)/c`` of each rank's C
+share once:
+
+    Q = N^2/(Pr c) * K/(...)  ~  2 N^3 / (P sqrt(M)) + O(N^2/P)
+
+— matching the SC19 bound's leading constant, which the tests check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..machine.grid import ProcessorGrid3D, choose_grid_25d, replication_factor
+from ..machine.stats import CommStats
+from .common import FactorizationResult, RankAccountant, validate_problem
+
+__all__ = ["Matmul25D", "matmul_25d"]
+
+
+class Matmul25D:
+    """Square 2.5D SUMMA with dual execution/trace accounting."""
+
+    def __init__(self, n: int, nranks: int, s: int | None = None,
+                 c: int | None = None, mem_words: float | None = None,
+                 execute: bool = True) -> None:
+        if mem_words is None and c is None:
+            c = max(1, int(round(nranks ** (1.0 / 3.0))))
+            while nranks % c != 0:
+                c -= 1
+        if c is None:
+            c = replication_factor(nranks, n, mem_words)
+        grid = choose_grid_25d(nranks, n,
+                               mem_words or 3 * c * n * n / nranks, c=c)
+        if mem_words is None:
+            # Three operands, one layer copy each.
+            mem_words = 3.0 * c * n * n / nranks
+        if s is None:
+            s = max(c, 32)
+            while n % s != 0 and s > c:
+                s //= 2
+            if n % s != 0:
+                s = c
+        validate_problem(n, s, nranks)
+        if n % (s * c) != 0:
+            raise ValueError(f"s*c = {s * c} must divide N={n} so layers "
+                             "get whole reduction slices")
+        self.n = n
+        self.nranks = nranks
+        self.s = s
+        self.c = c
+        self.grid = grid
+        self.mem_words = float(mem_words)
+        self.execute = execute
+        self.stats = CommStats(nranks)
+        self.acct = RankAccountant(grid, self.stats)
+
+    def run(self, a: np.ndarray | None = None, b: np.ndarray | None = None,
+            rng: np.random.Generator | None = None) -> FactorizationResult:
+        n, s, c = self.n, self.s, self.c
+        grid = self.grid
+        pr, pc = grid.rows, grid.cols
+
+        if self.execute:
+            rng = rng or np.random.default_rng(0)
+            a = np.asarray(a if a is not None
+                           else rng.standard_normal((n, n)), dtype=float)
+            b = np.asarray(b if b is not None
+                           else rng.standard_normal((n, n)), dtype=float)
+            if a.shape != (n, n) or b.shape != (n, n):
+                raise ValueError("operands must be N x N")
+            partials = np.zeros((c, n, n))
+        elif a is not None or b is not None:
+            raise ValueError("trace mode takes no operands")
+
+        slice_len = n // c                     # reduction share per layer
+        rounds = slice_len // s                # SUMMA rounds per layer
+        rows_local = n / pr
+        cols_local = n / pc
+        for r in range(rounds):
+            self.stats.begin_step(f"summa-{r}")
+            # A panel broadcast along grid rows: every rank receives its
+            # rows_local x s piece; B panel along grid columns.
+            self.acct.add_recv(rows_local * s * (pc > 1 or c > 1))
+            self.acct.add_recv(cols_local * s * (pr > 1 or c > 1))
+            self.acct.add_flops(2.0 * rows_local * cols_local * s)
+            if self.execute:
+                for k in range(c):
+                    lo = k * slice_len + r * s
+                    partials[k] += a[:, lo:lo + s] @ b[lo:lo + s, :]
+            self.stats.end_step()
+
+        # Combine the layer slices: machine-wide reduce-scatter, (c-1)
+        # of the c copies move once, spread over all ranks.
+        self.stats.begin_step("reduce")
+        self.acct.add_recv(n * n * (c - 1.0) / self.nranks)
+        self.acct.add_sent(n * n * (c - 1.0) / self.nranks)
+        self.stats.end_step()
+
+        params = {"s": s, "c": c, "grid": (pr, pc, c),
+                  "mem_words": self.mem_words}
+        if not self.execute:
+            return FactorizationResult("matmul25d", n, self.nranks,
+                                       self.mem_words, self.stats, params)
+        product = partials.sum(axis=0)
+        return FactorizationResult("matmul25d", n, self.nranks,
+                                   self.mem_words, self.stats, params,
+                                   lower=product, upper=np.eye(n))
+
+
+def matmul_25d(n: int, nranks: int, s: int | None = None,
+               c: int | None = None, mem_words: float | None = None,
+               execute: bool = True, a: np.ndarray | None = None,
+               b: np.ndarray | None = None,
+               rng: np.random.Generator | None = None) -> FactorizationResult:
+    """One-call 2.5D matmul; the product is in ``result.lower``."""
+    algo = Matmul25D(n, nranks, s=s, c=c, mem_words=mem_words,
+                     execute=execute)
+    return algo.run(a=a, b=b, rng=rng)

@@ -1,0 +1,199 @@
+"""Local dense kernels (the BLAS/LAPACK calls of Section 8).
+
+The paper's implementation performs all node-local work through MKL BLAS
+(``gemm``, ``trsm``) and LAPACK (``getrf``, ``potrf``).  Here the same
+operations are provided as validated NumPy/SciPy routines that return both
+the result and the exact flop count, so schedules can attribute
+computation to the owning rank.
+
+All routines are pure (inputs are never mutated) unless the ``out``
+parameter is used, and all of them validate shapes eagerly: a schedule bug
+should fail at the kernel boundary, not as a silent broadcast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+from . import flops as _flops
+
+__all__ = ["gemm", "gemmt", "trsm", "getrf", "potrf", "laswp",
+           "KernelError", "SingularMatrixError"]
+
+
+class KernelError(ValueError):
+    """Invalid kernel invocation (shape mismatch, bad triangle, ...)."""
+
+
+class SingularMatrixError(KernelError):
+    """Factorization hit an exactly-zero pivot."""
+
+
+def _as2d(a: np.ndarray, name: str) -> np.ndarray:
+    arr = np.asarray(a, dtype=np.float64)
+    if arr.ndim != 2:
+        raise KernelError(f"{name} must be 2-D, got shape {arr.shape}")
+    return arr
+
+
+def gemm(a: np.ndarray, b: np.ndarray, c: np.ndarray | None = None,
+         alpha: float = 1.0, beta: float = 1.0) -> tuple[np.ndarray, float]:
+    """``alpha * A @ B + beta * C``; returns ``(result, flops)``."""
+    a = _as2d(a, "a")
+    b = _as2d(b, "b")
+    if a.shape[1] != b.shape[0]:
+        raise KernelError(f"gemm inner dims differ: {a.shape} @ {b.shape}")
+    m, k = a.shape
+    n = b.shape[1]
+    prod = alpha * (a @ b)
+    if c is None:
+        result = prod
+    else:
+        c = _as2d(c, "c")
+        if c.shape != (m, n):
+            raise KernelError(f"gemm C shape {c.shape} != ({m},{n})")
+        result = beta * c + prod
+    return result, _flops.gemm_flops(m, n, k)
+
+
+def gemmt(a: np.ndarray, b: np.ndarray, c: np.ndarray | None = None,
+          alpha: float = 1.0, beta: float = 1.0) -> tuple[np.ndarray, float]:
+    """Triangular-output gemm: lower triangle of ``alpha*A@B + beta*C``.
+
+    The upper strict triangle of the result is zeroed; only the lower part
+    is meaningful (this mirrors MKL's ``gemmt``, used by COnfCHOX for the
+    symmetric trailing update, Table 1).
+    """
+    a = _as2d(a, "a")
+    b = _as2d(b, "b")
+    if a.shape[1] != b.shape[0]:
+        raise KernelError(f"gemmt inner dims differ: {a.shape} @ {b.shape}")
+    n = a.shape[0]
+    if b.shape[1] != n:
+        raise KernelError(f"gemmt output must be square, got {n}x{b.shape[1]}")
+    k = a.shape[1]
+    prod = alpha * np.tril(a @ b)
+    if c is None:
+        result = prod
+    else:
+        c = _as2d(c, "c")
+        if c.shape != (n, n):
+            raise KernelError(f"gemmt C shape {c.shape} != ({n},{n})")
+        result = beta * np.tril(c) + prod
+    return result, _flops.gemmt_flops(n, k)
+
+
+def trsm(tri: np.ndarray, rhs: np.ndarray, side: str = "left",
+         lower: bool = True, unit_diagonal: bool = False,
+         ) -> tuple[np.ndarray, float]:
+    """Triangular solve ``T X = RHS`` (side='left') or ``X T = RHS``.
+
+    Returns ``(X, flops)``.
+    """
+    tri = _as2d(tri, "tri")
+    rhs = _as2d(rhs, "rhs")
+    if tri.shape[0] != tri.shape[1]:
+        raise KernelError(f"triangle must be square, got {tri.shape}")
+    t = tri.shape[0]
+    if not unit_diagonal and np.any(np.diagonal(tri) == 0.0):
+        raise SingularMatrixError("zero diagonal entry in triangular solve")
+    if side == "left":
+        if rhs.shape[0] != t:
+            raise KernelError(f"trsm left: {tri.shape} vs rhs {rhs.shape}")
+        x = scipy.linalg.solve_triangular(
+            tri, rhs, lower=lower, unit_diagonal=unit_diagonal)
+        fl = _flops.trsm_flops(t, rhs.shape[1])
+    elif side == "right":
+        if rhs.shape[1] != t:
+            raise KernelError(f"trsm right: {tri.shape} vs rhs {rhs.shape}")
+        # X T = RHS  <=>  T^T X^T = RHS^T
+        x = scipy.linalg.solve_triangular(
+            tri.T, rhs.T, lower=not lower, unit_diagonal=unit_diagonal).T
+        fl = _flops.trsm_flops(t, rhs.shape[0])
+    else:
+        raise KernelError(f"side must be 'left' or 'right', got {side!r}")
+    return x, fl
+
+
+def getrf(a: np.ndarray, pivot: bool = True,
+          tolerant: bool = False) -> tuple[np.ndarray, np.ndarray, float]:
+    """Partial-pivoting LU of a rectangular panel, packed LAPACK-style.
+
+    Returns ``(lu, piv, flops)`` where ``lu`` holds ``L`` (unit diagonal
+    implicit) below and ``U`` on/above the diagonal, and ``piv[i]`` is the
+    row swapped with row ``i`` at step ``i`` (LAPACK ipiv, 0-based).
+    With ``pivot=False`` no rows are swapped (used by the pebbling and
+    lower-bound cDAGs, which analyze the pivot-free dataflow).
+
+    ``tolerant=True`` mirrors LAPACK's ``info > 0`` behaviour: an exactly
+    zero pivot leaves the column uneliminated instead of raising — used
+    by tournament pivoting's candidate selection, where rank-deficient
+    local blocks are legal (the playoff rounds weed them out).
+    """
+    a = _as2d(a, "a").copy()
+    m, n = a.shape
+    piv = np.arange(min(m, n))
+    for k in range(min(m, n)):
+        if pivot:
+            p = k + int(np.argmax(np.abs(a[k:, k])))
+        else:
+            p = k
+        if a[p, k] == 0.0:
+            if not tolerant:
+                raise SingularMatrixError(f"zero pivot at column {k}")
+            piv[k] = k
+            continue
+        piv[k] = p
+        if p != k:
+            a[[k, p], :] = a[[p, k], :]
+        a[k + 1:, k] /= a[k, k]
+        if k + 1 < n:
+            a[k + 1:, k + 1:] -= np.outer(a[k + 1:, k], a[k, k + 1:])
+    return a, piv, _flops.getrf_flops(m, n)
+
+
+def potrf(a: np.ndarray) -> tuple[np.ndarray, float]:
+    """Cholesky factor (lower) of a symmetric positive-definite block.
+
+    Returns ``(L, flops)``; raises :class:`KernelError` if the block is
+    not positive definite.
+    """
+    a = _as2d(a, "a")
+    if a.shape[0] != a.shape[1]:
+        raise KernelError(f"potrf needs a square block, got {a.shape}")
+    try:
+        chol = scipy.linalg.cholesky(a, lower=True)
+    except scipy.linalg.LinAlgError as exc:
+        raise KernelError(f"block not positive definite: {exc}") from exc
+    return chol, _flops.potrf_flops(a.shape[0])
+
+
+def laswp(a: np.ndarray, piv: np.ndarray) -> np.ndarray:
+    """Apply LAPACK-style sequential row interchanges ``piv`` to ``a``.
+
+    ``piv`` uses the :func:`getrf` convention: at step ``i`` rows ``i`` and
+    ``piv[i]`` are swapped, in increasing ``i`` order.  Returns a new array.
+    """
+    a = _as2d(a, "a").copy()
+    piv = np.asarray(piv)
+    for i, p in enumerate(piv):
+        p = int(p)
+        if not i <= p < a.shape[0]:
+            raise KernelError(f"pivot {p} at step {i} out of range")
+        if p != i:
+            a[[i, p], :] = a[[p, i], :]
+    return a
+
+
+def pivots_to_permutation(piv: np.ndarray, m: int) -> np.ndarray:
+    """Convert LAPACK-style swap vector to a permutation ``perm`` such that
+    ``A[perm]`` equals the row ordering produced by the swaps."""
+    perm = np.arange(m)
+    for i, p in enumerate(np.asarray(piv)):
+        p = int(p)
+        perm[[i, p]] = perm[[p, i]]
+    return perm
+
+
+__all__.append("pivots_to_permutation")

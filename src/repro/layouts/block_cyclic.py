@@ -1,0 +1,143 @@
+"""2D block-cyclic layout over a processor grid.
+
+This is the layout of ScaLAPACK, MKL and (tile-wise) SLATE, and the
+within-layer layout of the 2.5D algorithms.  A global ``m x n`` matrix is
+tiled into ``mb x nb`` blocks; block ``(bi, bj)`` lives on grid process
+``(bi mod Pr, bj mod Pc)``.
+
+:class:`BlockCyclicLayout` answers ownership queries (vectorized where the
+trace-mode accounting needs them) and can scatter/gather real matrices
+to/from a :class:`~repro.machine.comm.Machine`'s rank stores, so the same
+object serves execution mode and trace mode.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from ..machine.comm import Machine
+from ..machine.exceptions import LayoutError
+from ..machine.grid import ProcessorGrid2D
+
+__all__ = ["BlockCyclicLayout", "block_key"]
+
+
+def block_key(name: str, bi: int, bj: int) -> tuple[str, int, int]:
+    """Canonical store key of tile ``(bi, bj)`` of distributed matrix ``name``."""
+    return (name, bi, bj)
+
+
+@dataclasses.dataclass(frozen=True)
+class BlockCyclicLayout:
+    """Block-cyclic distribution of an ``m x n`` matrix on a 2D grid."""
+
+    m: int
+    n: int
+    mb: int
+    nb: int
+    grid: ProcessorGrid2D
+
+    def __post_init__(self) -> None:
+        if self.m <= 0 or self.n <= 0:
+            raise LayoutError(f"matrix extents must be positive: {self.m}x{self.n}")
+        if self.mb <= 0 or self.nb <= 0:
+            raise LayoutError(f"block sizes must be positive: {self.mb}x{self.nb}")
+
+    # ------------------------------------------------------------------
+    # Block geometry
+    # ------------------------------------------------------------------
+    @property
+    def mblocks(self) -> int:
+        return math.ceil(self.m / self.mb)
+
+    @property
+    def nblocks(self) -> int:
+        return math.ceil(self.n / self.nb)
+
+    def block_shape(self, bi: int, bj: int) -> tuple[int, int]:
+        """Extents of tile ``(bi, bj)`` (edge tiles may be smaller)."""
+        self._check_block(bi, bj)
+        rows = min(self.mb, self.m - bi * self.mb)
+        cols = min(self.nb, self.n - bj * self.nb)
+        return rows, cols
+
+    def block_slice(self, bi: int, bj: int) -> tuple[slice, slice]:
+        rows, cols = self.block_shape(bi, bj)
+        return (slice(bi * self.mb, bi * self.mb + rows),
+                slice(bj * self.nb, bj * self.nb + cols))
+
+    def _check_block(self, bi: int, bj: int) -> None:
+        if not (0 <= bi < self.mblocks and 0 <= bj < self.nblocks):
+            raise LayoutError(
+                f"block ({bi},{bj}) outside {self.mblocks}x{self.nblocks}")
+
+    # ------------------------------------------------------------------
+    # Ownership
+    # ------------------------------------------------------------------
+    def owner_coords(self, bi: int, bj: int) -> tuple[int, int]:
+        self._check_block(bi, bj)
+        return bi % self.grid.rows, bj % self.grid.cols
+
+    def owner_rank(self, bi: int, bj: int) -> int:
+        pi, pj = self.owner_coords(bi, bj)
+        return self.grid.rank(pi, pj)
+
+    def element_owner(self, ig: int, jg: int) -> int:
+        if not (0 <= ig < self.m and 0 <= jg < self.n):
+            raise LayoutError(f"element ({ig},{jg}) outside {self.m}x{self.n}")
+        return self.owner_rank(ig // self.mb, jg // self.nb)
+
+    def blocks_of_rank(self, rank: int) -> list[tuple[int, int]]:
+        pi, pj = self.grid.coords(rank)
+        return [(bi, bj)
+                for bi in range(pi, self.mblocks, self.grid.rows)
+                for bj in range(pj, self.nblocks, self.grid.cols)]
+
+    def local_words(self, rank: int) -> int:
+        """Words of the matrix resident on ``rank``."""
+        total = 0
+        for bi, bj in self.blocks_of_rank(rank):
+            r, c = self.block_shape(bi, bj)
+            total += r * c
+        return total
+
+    def words_per_rank(self) -> np.ndarray:
+        """Vector of resident words for all ranks."""
+        out = np.zeros(self.grid.size)
+        for rank in range(self.grid.size):
+            out[rank] = self.local_words(rank)
+        return out
+
+    # ------------------------------------------------------------------
+    # Data movement to/from a simulated machine
+    # ------------------------------------------------------------------
+    def scatter_from(self, machine: Machine, name: str,
+                     a: np.ndarray) -> None:
+        """Place tiles of global matrix ``a`` into the owning rank stores.
+
+        Initial distribution is free (the paper assumes the input already
+        resides in the algorithm's layout; reshuffling costs only
+        O(N^2/P), see Section 7.4), so no communication is recorded.
+        """
+        a = np.asarray(a, dtype=np.float64)
+        if a.shape != (self.m, self.n):
+            raise LayoutError(f"matrix shape {a.shape} != ({self.m},{self.n})")
+        for bi in range(self.mblocks):
+            for bj in range(self.nblocks):
+                rank = self.owner_rank(bi, bj)
+                si, sj = self.block_slice(bi, bj)
+                machine.store(rank).put(block_key(name, bi, bj),
+                                        a[si, sj].copy())
+
+    def gather_to(self, machine: Machine, name: str) -> np.ndarray:
+        """Reassemble the global matrix from the rank stores (free)."""
+        out = np.zeros((self.m, self.n))
+        for bi in range(self.mblocks):
+            for bj in range(self.nblocks):
+                rank = self.owner_rank(bi, bj)
+                si, sj = self.block_slice(bi, bj)
+                out[si, sj] = machine.store(rank).get(block_key(name, bi, bj))
+        return out

@@ -1,0 +1,102 @@
+"""2.5D replicated block-cyclic layout (Section 7.2 / Figure 7).
+
+The ``P = Pr x Pc x c`` grid holds the trailing matrix block-cyclically
+within each layer; the reduction (``k``) dimension of the Schur update is
+split over the ``c`` layers.  Layer 0 owns the authoritative copy of the
+input; layers ``1..c-1`` hold zero-initialized accumulators for their
+share of the partial updates, which are combined by the layered reductions
+of steps 1 and 5 of Algorithm 1.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..machine.exceptions import LayoutError
+from ..machine.grid import ProcessorGrid3D
+from .block_cyclic import BlockCyclicLayout
+
+__all__ = ["Replicated25DLayout"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Replicated25DLayout:
+    """Replicated block-cyclic layout of an ``n x n`` matrix on a 3D grid.
+
+    Parameters
+    ----------
+    n:
+        Global matrix extent.
+    v:
+        Tile size (the paper's tunable block size ``v``); tiles are
+        ``v x v``, and in step ``t`` the ``v`` reduction planes are split
+        ``v / c`` per layer.
+    grid:
+        The ``[Pr, Pc, c]`` processor grid.
+    """
+
+    n: int
+    v: int
+    grid: ProcessorGrid3D
+
+    def __post_init__(self) -> None:
+        if self.n <= 0 or self.v <= 0:
+            raise LayoutError(f"invalid extents n={self.n} v={self.v}")
+        if self.n % self.v != 0:
+            raise LayoutError(
+                f"tile size v={self.v} must divide n={self.n} "
+                "(pad the input; the paper tunes v likewise)")
+        if self.v % self.grid.layers != 0:
+            raise LayoutError(
+                f"v={self.v} must be divisible by the replication depth "
+                f"c={self.grid.layers} so reduction planes split evenly")
+
+    @property
+    def ntiles(self) -> int:
+        return self.n // self.v
+
+    @property
+    def planes_per_layer(self) -> int:
+        """Reduction planes of one step handled by each layer (v / c)."""
+        return self.v // self.grid.layers
+
+    def layer_layout(self) -> BlockCyclicLayout:
+        """The within-layer 2D block-cyclic layout."""
+        return BlockCyclicLayout(self.n, self.n, self.v, self.v,
+                                 self.grid.layer_grid())
+
+    # ------------------------------------------------------------------
+    def owner_rank(self, bi: int, bj: int, pk: int) -> int:
+        """Rank holding tile ``(bi, bj)`` on layer ``pk``."""
+        if not 0 <= pk < self.grid.layers:
+            raise LayoutError(f"layer {pk} outside 0..{self.grid.layers - 1}")
+        if not (0 <= bi < self.ntiles and 0 <= bj < self.ntiles):
+            raise LayoutError(f"tile ({bi},{bj}) outside {self.ntiles}^2")
+        return self.grid.rank(bi % self.grid.rows, bj % self.grid.cols, pk)
+
+    def tile_counts_per_coord(self, first_tile: int) -> np.ndarray:
+        """Tiles of the trailing submatrix ``[first_tile:, first_tile:]``
+        owned per grid coordinate, shape ``(rows, cols)``.
+
+        Vectorized helper for the trace-mode accounting: entry ``(pi, pj)``
+        is the number of trailing tiles owned by every rank with those
+        layer coordinates (identical across layers).
+        """
+        if first_tile < 0:
+            raise LayoutError("negative tile index")
+        remaining = max(0, self.ntiles - first_tile)
+        rows = np.arange(self.grid.rows)
+        cols = np.arange(self.grid.cols)
+        row_off = (rows - first_tile) % self.grid.rows
+        col_off = (cols - first_tile) % self.grid.cols
+        row_cnt = np.maximum(0, (remaining - row_off
+                                 + self.grid.rows - 1) // self.grid.rows)
+        col_cnt = np.maximum(0, (remaining - col_off
+                                 + self.grid.cols - 1) // self.grid.cols)
+        return np.outer(row_cnt, col_cnt)
+
+    def local_words(self) -> float:
+        """Per-rank words of one full matrix copy within a layer."""
+        return float(self.n) * self.n / self.grid.layer_size

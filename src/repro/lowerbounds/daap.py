@@ -1,0 +1,310 @@
+"""Disjoint Access Array Programs (DAAP) — Section 2.2 of the paper.
+
+An input program is a collection of statements, each enclosed in a loop
+nest::
+
+    for psi_1 in D_1, ..., for psi_l in D_l:
+        S:  A_0[phi_0(psi)] <- f(A_1[phi_1(psi)], ..., A_m[phi_m(psi)])
+
+Key notions captured here:
+
+* the *iteration vector* ``psi = [psi_1, ..., psi_l]``;
+* *access function vectors* ``phi_j`` mapping iteration variables to array
+  subscripts — represented by the tuple of subscript expressions, of which
+  only the set of distinct iteration variables matters for the bounds
+  (the *access dimension* ``dim(A_j(phi_j))``, e.g. ``A[k, k]`` has
+  dimension 1);
+* the *disjoint access property*: within one statement no two access
+  function vectors may address the same vertex, which holds when the
+  (array, subscript-pattern) pairs are pairwise distinct;
+* per-statement vertex counts ``|V_S|`` as functions of the problem size,
+  needed by Lemma 1 / Lemma 9 to turn intensities into bounds.
+
+The representation is deliberately symbolic-but-minimal: subscripts are
+strings over iteration-variable names (affine or not — the method "does
+not require loop nests to be affine"), and what the optimization in
+:mod:`repro.lowerbounds.intensity` consumes is just, per access, the tuple
+of distinct iteration variables appearing in it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Callable, Sequence
+
+__all__ = ["ArrayAccess", "Statement", "Program", "DAAPError",
+           "lu_program", "cholesky_program", "matmul_program"]
+
+_IDENT = re.compile(r"[A-Za-z_][A-Za-z_0-9]*")
+
+
+class DAAPError(ValueError):
+    """Malformed DAAP program."""
+
+
+@dataclasses.dataclass(frozen=True)
+class ArrayAccess:
+    """One array access ``array[subscripts]``.
+
+    ``subscripts`` are expression strings over iteration-variable names,
+    e.g. ``("i", "k")`` for ``A[i, k]`` or ``("k", "k")`` for ``A[k, k]``.
+    """
+
+    array: str
+    subscripts: tuple[str, ...]
+
+    def variables_in(self, loop_vars: Sequence[str]) -> tuple[str, ...]:
+        """Distinct iteration variables appearing in the subscripts, in
+        loop-nest order.  Their count is the access dimension."""
+        found = []
+        loop_set = set(loop_vars)
+        for expr in self.subscripts:
+            for token in _IDENT.findall(expr):
+                if token in loop_set and token not in found:
+                    found.append(token)
+        return tuple(v for v in loop_vars if v in found)
+
+    def access_dimension(self, loop_vars: Sequence[str]) -> int:
+        return len(self.variables_in(loop_vars))
+
+    def pattern_key(self, loop_vars: Sequence[str]) -> tuple:
+        """Identity of the access for the disjoint-access check."""
+        return (self.array, self.subscripts)
+
+    def per_dimension_variables(self, loop_vars: Sequence[str]
+                                ) -> tuple[tuple[str, ...], ...]:
+        """For each subscript dimension, the loop variables it uses —
+        the signature of the offset-collision check."""
+        loop_set = set(loop_vars)
+        out = []
+        for expr in self.subscripts:
+            found = tuple(v for v in loop_vars
+                          if v in set(_IDENT.findall(expr)) & loop_set)
+            out.append(found)
+        return tuple(out)
+
+
+@dataclasses.dataclass(frozen=True)
+class Statement:
+    """One DAAP statement with its loop nest.
+
+    Parameters
+    ----------
+    name:
+        Identifier, e.g. ``"S2"``.
+    loop_vars:
+        Iteration variables of the enclosing nest, outermost first.
+    output:
+        The written access ``A_0[phi_0]``.
+    inputs:
+        The read accesses ``A_1[phi_1], ..., A_m[phi_m]``.
+    num_vertices:
+        ``|V_S|`` as a function of the problem size ``N`` — the number of
+        compute vertices this statement contributes to the cDAG.
+    min_unique_inputs:
+        The paper's ``u`` (Lemma 6): every compute vertex has at least
+        ``u`` direct predecessors that are out-degree-one graph inputs.
+        For update statements like ``A[i,k] /= A[k,k]`` the previous
+        version of the output element itself is such a predecessor, so
+        ``u >= 1``.
+    """
+
+    name: str
+    loop_vars: tuple[str, ...]
+    output: ArrayAccess
+    inputs: tuple[ArrayAccess, ...]
+    num_vertices: Callable[[float], float]
+    min_unique_inputs: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.loop_vars:
+            raise DAAPError(f"{self.name}: empty loop nest")
+        if len(set(self.loop_vars)) != len(self.loop_vars):
+            raise DAAPError(f"{self.name}: duplicate loop variables")
+        for acc in (self.output, *self.inputs):
+            if not acc.variables_in(self.loop_vars):
+                raise DAAPError(
+                    f"{self.name}: access {acc.array}{list(acc.subscripts)} "
+                    "uses no iteration variable")
+        # Disjoint access property: within one statement, two *input*
+        # accesses may not address the same vertex, so their
+        # (array, pattern) identities must be pairwise distinct.  An input
+        # matching the output pattern is fine — it reads the *previous
+        # version* of the element (a different cDAG vertex).
+        seen: set[tuple] = set()
+        for acc in self.inputs:
+            key = acc.pattern_key(self.loop_vars)
+            if key in seen:
+                raise DAAPError(
+                    f"{self.name}: disjoint access property violated for "
+                    f"{acc.array}{list(acc.subscripts)}")
+            seen.add(key)
+        # Offset-collision check: two *different* accesses to the same
+        # array whose subscripts use identical loop variables in every
+        # dimension differ only by constants — across iterations they hit
+        # the same vertex (e.g. the 5-point stencil's B[t-1,i,j] vs
+        # B[t-1,i-1,j]), so the program is not a DAAP and the
+        # no-reuse/intensity arguments would produce *invalid* bounds.
+        # The check is syntactic and conservative.
+        for a in range(len(self.inputs)):
+            for b in range(a + 1, len(self.inputs)):
+                accA, accB = self.inputs[a], self.inputs[b]
+                if accA.array != accB.array:
+                    continue
+                sigA = accA.per_dimension_variables(self.loop_vars)
+                sigB = accB.per_dimension_variables(self.loop_vars)
+                if sigA == sigB:
+                    raise DAAPError(
+                        f"{self.name}: accesses "
+                        f"{accA.array}{list(accA.subscripts)} and "
+                        f"{accB.array}{list(accB.subscripts)} differ only "
+                        "by constant offsets — overlapping ranges violate "
+                        "the disjoint access property (not a DAAP; see "
+                        "the paper's polyhedral-model comparison for "
+                        "stencil-shaped programs)")
+
+    @property
+    def depth(self) -> int:
+        """Loop-nest depth ``l``."""
+        return len(self.loop_vars)
+
+    def input_variable_groups(self) -> tuple[tuple[str, ...], ...]:
+        """For each input access, the distinct iteration variables used.
+
+        This is what the intensity optimization consumes: the access size
+        ``|A_j(D)|`` is the product of ``|D_t|`` over these variables
+        (Lemma 5).
+        """
+        return tuple(acc.variables_in(self.loop_vars) for acc in self.inputs)
+
+    def trivially_no_reuse(self) -> bool:
+        """True when every input has full access dimension ``l`` —
+        then each compute vertex needs ``m`` fresh inputs and
+        ``rho = 1/m`` (Section 3)."""
+        return all(len(g) == self.depth for g in self.input_variable_groups())
+
+
+@dataclasses.dataclass(frozen=True)
+class Program:
+    """A sequence of statements plus the data-reuse relationships between
+    them (input overlap: shared read arrays; output overlap:
+    producer-consumer pairs)."""
+
+    name: str
+    statements: tuple[Statement, ...]
+
+    def __post_init__(self) -> None:
+        names = [s.name for s in self.statements]
+        if len(set(names)) != len(names):
+            raise DAAPError(f"{self.name}: duplicate statement names")
+
+    def statement(self, name: str) -> Statement:
+        for s in self.statements:
+            if s.name == name:
+                return s
+        raise KeyError(name)
+
+    def shared_input_arrays(self) -> dict[str, list[str]]:
+        """Arrays read by more than one statement -> statement names
+        (Case I, Section 4.1)."""
+        readers: dict[str, list[str]] = {}
+        for s in self.statements:
+            for acc in s.inputs:
+                readers.setdefault(acc.array, [])
+                if s.name not in readers[acc.array]:
+                    readers[acc.array].append(s.name)
+        return {a: names for a, names in readers.items() if len(names) > 1}
+
+    def producer_consumer_pairs(self) -> list[tuple[str, str, str]]:
+        """``(producer, consumer, array)`` triples where one statement's
+        output array is another's input (Case II, Section 4.2)."""
+        pairs = []
+        for prod in self.statements:
+            for cons in self.statements:
+                if prod.name == cons.name:
+                    continue
+                for acc in cons.inputs:
+                    if acc.array == prod.output.array:
+                        pairs.append((prod.name, cons.name, acc.array))
+        return pairs
+
+    def total_vertices(self, n: float) -> float:
+        return float(sum(s.num_vertices(n) for s in self.statements))
+
+
+# ---------------------------------------------------------------------------
+# The three kernels analyzed in the paper, as DAAP programs.
+# ---------------------------------------------------------------------------
+
+def lu_program() -> Program:
+    """In-place LU factorization without pivoting (Figure 3).
+
+    ``S1: A[i,k] /= A[k,k]`` over ``k < i < N`` and
+    ``S2: A[i,j] -= A[i,k] * A[k,j]`` over ``k < i, j < N``.
+    """
+    s1 = Statement(
+        name="S1",
+        loop_vars=("k", "i"),
+        output=ArrayAccess("A", ("i", "k")),
+        inputs=(ArrayAccess("A", ("i", "k")), ArrayAccess("A", ("k", "k"))),
+        num_vertices=lambda n: n * (n - 1) / 2.0,
+        min_unique_inputs=1,  # previous version of A[i,k], out-degree 1
+    )
+    s2 = Statement(
+        name="S2",
+        loop_vars=("k", "i", "j"),
+        output=ArrayAccess("A", ("i", "j")),
+        inputs=(ArrayAccess("A", ("i", "j")), ArrayAccess("A", ("i", "k")),
+                ArrayAccess("A", ("k", "j"))),
+        num_vertices=lambda n: n * (n - 1) * (n - 2) / 3.0,
+    )
+    return Program("lu", (s1, s2))
+
+
+def cholesky_program() -> Program:
+    """Cholesky factorization (Listing 1): sqrt / column scale / update."""
+    s1 = Statement(
+        name="S1",
+        loop_vars=("k",),
+        output=ArrayAccess("L", ("k", "k")),
+        inputs=(ArrayAccess("L", ("k", "k")),),
+        num_vertices=lambda n: float(n),
+        min_unique_inputs=1,
+    )
+    s2 = Statement(
+        name="S2",
+        loop_vars=("k", "i"),
+        output=ArrayAccess("L", ("i", "k")),
+        inputs=(ArrayAccess("L", ("i", "k")), ArrayAccess("L", ("k", "k"))),
+        num_vertices=lambda n: n * (n - 1) / 2.0,
+        min_unique_inputs=1,
+    )
+    s3 = Statement(
+        name="S3",
+        loop_vars=("k", "i", "j"),
+        output=ArrayAccess("L", ("i", "j")),
+        inputs=(ArrayAccess("L", ("i", "j")), ArrayAccess("L", ("i", "k")),
+                ArrayAccess("L", ("j", "k"))),
+        num_vertices=lambda n: n * (n - 1) * (n - 2) / 6.0,
+    )
+    return Program("cholesky", (s1, s2, s3))
+
+
+def matmul_program() -> Program:
+    """Classic ``C[i,j] += A[i,k] * B[k,j]`` (the SC19 MMM kernel), used as
+    a cross-check of the framework against the known 2n^3/sqrt(M) bound.
+
+    The accumulator read ``C[i,j]`` (previous version) is part of the
+    dominator, exactly as in the LU/Cholesky Schur statements — dropping
+    it would change the bound from ``2n^3/sqrt(M)`` to ``n^3/M``.
+    """
+    s1 = Statement(
+        name="S1",
+        loop_vars=("i", "j", "k"),
+        output=ArrayAccess("C", ("i", "j")),
+        inputs=(ArrayAccess("C", ("i", "j")), ArrayAccess("A", ("i", "k")),
+                ArrayAccess("B", ("k", "j"))),
+        num_vertices=lambda n: float(n) ** 3,
+    )
+    return Program("matmul", (s1,))

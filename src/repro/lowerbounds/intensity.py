@@ -1,0 +1,330 @@
+"""Computational intensity via the X-partition optimization problem.
+
+This module implements the core of Sections 3 and 5 of the paper:
+
+1. **Lemma 3 / Section 3.2** — for a statement whose inputs ``A_j`` touch
+   iteration-variable groups ``G_j``, the largest subcomputation of an
+   X-partition is the solution of
+
+       maximize   prod_t d_t
+       subject to sum_j w_j * prod_{k in G_j} d_k  <=  X,   d_t >= 1,
+
+   giving ``chi(X) = |H_max|``.  The weights ``w_j`` default to 1; output
+   reuse (Lemma 8 / Corollary 1) replaces ``w_j`` by ``1 / rho_producer``
+   when that is larger than 1 is *not* allowed — the dominator can only
+   shrink when the producer can recompute cheaply, i.e. ``rho > 1``
+   (see :mod:`repro.lowerbounds.reuse`).
+
+2. **Lemma 2** — the I/O bound follows from the ``X`` minimizing the
+   computational intensity ``rho(X) = chi(X) / (X - M)``; we locate
+   ``X_0`` by scalar minimization (with the closed forms of the paper's
+   kernels recovered to high accuracy: ``X_0 = 3M`` and
+   ``rho = sqrt(M)/2`` for the Schur statements of LU and Cholesky).
+
+3. **Lemma 6** — if every compute vertex consumes at least ``u``
+   out-degree-one graph inputs, ``rho <= 1/u`` regardless of ``M``.
+
+The optimization is a geometric program, i.e. convex after the
+substitution ``y = log d``; we solve it with SLSQP and cross-check the
+known kernels against their closed forms in the tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Sequence
+
+import numpy as np
+import scipy.optimize
+
+from .daap import Statement
+
+__all__ = [
+    "SubcomputationSolution",
+    "IntensityResult",
+    "max_subcomputation",
+    "chi_function",
+    "minimize_rho",
+    "statement_intensity",
+    "lemma6_intensity_cap",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class SubcomputationSolution:
+    """Solution of the ``|H_max|`` optimization for one value of ``X``."""
+
+    chi: float
+    domain_sizes: dict[str, float]
+    access_sizes: tuple[float, ...]
+    x: float
+
+    def dominator_size(self) -> float:
+        return float(sum(self.access_sizes))
+
+
+@dataclasses.dataclass(frozen=True)
+class IntensityResult:
+    """Computational intensity of a statement.
+
+    ``rho`` is the maximum vertices-per-I/O ratio; ``x0`` the minimizing
+    ``X`` (``math.inf`` when the minimum is attained asymptotically, e.g.
+    for statements with ``rho = 1``); ``limited_by`` records whether the
+    optimization (``"x-partition"``) or Lemma 6 (``"out-degree-one"``)
+    provided the binding cap.
+    """
+
+    rho: float
+    x0: float
+    chi_x0: float
+    limited_by: str
+    solution: SubcomputationSolution | None = None
+
+
+def _solve_interior(masks: np.ndarray, logw: np.ndarray,
+                    logx: float) -> np.ndarray | None:
+    """Maximize ``sum(y)`` subject to the *tight* constraint
+    ``sum_j exp(logw_j + masks_j . y) = X`` with ``y`` free (no bounds).
+
+    Returns the solution or None when SLSQP cannot certify one.  Used on
+    the reduced problems of the support enumeration, where the optimum is
+    interior whenever the pinned set was guessed correctly.
+    """
+    nvars = masks.shape[1]
+    nterms = masks.shape[0]
+
+    def neg_obj(y: np.ndarray) -> float:
+        return -float(np.sum(y))
+
+    def neg_obj_grad(y: np.ndarray) -> np.ndarray:
+        return -np.ones_like(y)
+
+    def eq(y: np.ndarray) -> float:
+        return 1.0 - float(np.sum(np.exp(logw + masks @ y - logx)))
+
+    def eq_grad(y: np.ndarray) -> np.ndarray:
+        terms = np.exp(logw + masks @ y - logx)
+        return -(masks.T @ terms)
+
+    # Balanced start: every term gets an equal share of the budget, and
+    # each variable takes the smallest target over the terms it joins so
+    # the start is (approximately) feasible.
+    gsizes = np.maximum(np.sum(masks, axis=1), 1.0)
+    y0 = np.full(nvars, math.inf)
+    for j in range(nterms):
+        target = (logx - math.log(nterms) - logw[j]) / gsizes[j]
+        for t in range(nvars):
+            if masks[j, t]:
+                y0[t] = min(y0[t], target)
+    y0 = np.where(np.isfinite(y0), y0, 0.0)
+    res = scipy.optimize.minimize(
+        neg_obj, y0, jac=neg_obj_grad, method="SLSQP",
+        constraints=[{"type": "eq", "fun": eq, "jac": eq_grad}],
+        options={"maxiter": 1000, "ftol": 1e-14},
+    )
+    y = res.x
+    if abs(eq(y)) > 1e-7:
+        return None
+    return y
+
+
+def _solve_support_enumeration(masks: np.ndarray, logw: np.ndarray,
+                               logx: float) -> np.ndarray:
+    """Global solution of the |H_max| geometric program.
+
+    The KKT conditions admit optima on faces where some variables are
+    pinned at ``d_t = 1`` (e.g. the LU panel statement, whose optimum has
+    ``|D_k| = 1``).  Loop-nest depths are tiny (<= 4-5 for real kernels),
+    so we enumerate every pinned subset, solve the interior remainder
+    exactly, and keep the best feasible candidate.
+    """
+    nterms, nvars = masks.shape
+
+    def slack_norm(y: np.ndarray) -> float:
+        return 1.0 - float(np.sum(np.exp(logw + masks @ y - logx)))
+
+    best = np.zeros(nvars)
+    if slack_norm(best) < 0:
+        raise ValueError("X below the trivial dominator size")
+    best_obj = 0.0
+    for pinned_bits in range(2 ** nvars - 1):
+        free = [t for t in range(nvars) if not (pinned_bits >> t) & 1]
+        if not free:
+            continue
+        sub_masks = masks[:, free]
+        live = np.sum(sub_masks, axis=1) > 0
+        const = float(np.sum(np.exp(logw[~live]))) if np.any(~live) else 0.0
+        budget = math.exp(logx) - const
+        if budget <= 0:
+            continue
+        if not np.any(live):
+            continue
+        if np.any(np.sum(sub_masks[live], axis=0) == 0):
+            # Some free variable appears in no live term: unbounded on
+            # this face only if it appears in no term at all (already
+            # rejected by the caller); here it means the face is
+            # degenerate — skip it.
+            continue
+        y_sub = _solve_interior(sub_masks[live], logw[live],
+                                math.log(budget))
+        if y_sub is None:
+            continue
+        y = np.zeros(nvars)
+        y[free] = np.maximum(y_sub, 0.0)
+        if slack_norm(y) >= -1e-9 and float(np.sum(y)) > best_obj:
+            best = y
+            best_obj = float(np.sum(y))
+    return best
+
+
+def max_subcomputation(
+    loop_vars: Sequence[str],
+    input_groups: Sequence[Sequence[str]],
+    x: float,
+    weights: Sequence[float] | None = None,
+) -> SubcomputationSolution:
+    """Solve ``max prod d_t  s.t.  sum_j w_j prod_{k in G_j} d_k <= X``.
+
+    Parameters
+    ----------
+    loop_vars:
+        Names of the iteration variables (the ``d_t``).
+    input_groups:
+        For each input access, the iteration variables appearing in it
+        (``G_j``); empty groups are rejected.
+    x:
+        The X-partition parameter (dominator budget).
+    weights:
+        Optional per-access dominator weights (Lemma 8 adjustments).
+    """
+    loop_vars = list(loop_vars)
+    nvars = len(loop_vars)
+    if nvars == 0:
+        raise ValueError("need at least one iteration variable")
+    groups = [tuple(g) for g in input_groups]
+    if not groups:
+        raise ValueError("need at least one input access")
+    for g in groups:
+        if not g:
+            raise ValueError("input access uses no iteration variable")
+        if not set(g) <= set(loop_vars):
+            raise ValueError(f"group {g} uses unknown variables")
+    w = np.ones(len(groups)) if weights is None else np.asarray(weights, float)
+    if len(w) != len(groups) or np.any(w <= 0):
+        raise ValueError("need one positive weight per access")
+    if x < float(np.sum(w)):
+        raise ValueError(
+            f"X={x} below the trivial dominator size {float(np.sum(w))}")
+
+    var_index = {v: i for i, v in enumerate(loop_vars)}
+    masks = np.zeros((len(groups), nvars))
+    for j, g in enumerate(groups):
+        for v in g:
+            masks[j, var_index[v]] = 1.0
+
+    covered = np.sum(masks, axis=0)
+    if np.any(covered == 0):
+        missing = [loop_vars[t] for t in range(nvars) if covered[t] == 0]
+        raise ValueError(
+            f"iteration variables {missing} appear in no input access; "
+            "|H_max| would be unbounded (not a valid DAAP dominator)")
+    logx = math.log(x)
+
+    def raw_slack(y: np.ndarray) -> float:
+        return x - float(np.sum(np.exp(np.log(w) + masks @ y)))
+
+    y = _solve_support_enumeration(masks, np.log(w), logx)
+    # Tiny infeasibilities from round-off: shrink uniformly until feasible.
+    shrink = 0
+    while raw_slack(y) < 0 and shrink < 60:
+        y = y * (1.0 - 1e-12 * 2 ** shrink)
+        shrink += 1
+    y = np.maximum(y, 0.0)
+    logw = np.log(w)
+    d = np.exp(y)
+    access_sizes = tuple(float(np.exp(logw[j] + masks[j] @ y))
+                         for j in range(len(groups)))
+    return SubcomputationSolution(
+        chi=float(np.prod(d)),
+        domain_sizes={v: float(d[i]) for v, i in var_index.items()},
+        access_sizes=access_sizes,
+        x=float(x),
+    )
+
+
+def chi_function(loop_vars: Sequence[str],
+                 input_groups: Sequence[Sequence[str]],
+                 weights: Sequence[float] | None = None):
+    """Return ``chi(X)`` as a callable (Lemma 2's closed-form surrogate)."""
+    def chi(x: float) -> float:
+        return max_subcomputation(loop_vars, input_groups, x, weights).chi
+    return chi
+
+
+def minimize_rho(chi, mem_words: float, x_hi_factor: float = 1e6,
+                 tol: float = 1e-10) -> tuple[float, float, float]:
+    """Find ``X_0 = argmin chi(X)/(X - M)`` (Lemma 2).
+
+    Returns ``(rho, x0, chi(x0))``.  When ``rho(X)`` keeps decreasing up
+    to the search ceiling (statements with asymptotic intensity, e.g.
+    ``chi(X) = X - 1``), ``x0`` is reported as ``math.inf`` and ``rho`` as
+    the limiting value estimated at the ceiling.
+    """
+    if mem_words <= 0:
+        raise ValueError("memory size must be positive")
+    m = float(mem_words)
+
+    def rho_of(logx: float) -> float:
+        x = m + math.exp(logx)
+        return chi(x) / (x - m)
+
+    lo, hi = math.log(m * 1e-3 + 1.0), math.log(m * x_hi_factor)
+    res = scipy.optimize.minimize_scalar(
+        rho_of, bounds=(lo, hi), method="bounded",
+        options={"xatol": tol})
+    x0 = m + math.exp(float(res.x))
+    rho = float(res.fun)
+    # Detect an asymptotic (monotone-decreasing) profile: minimum pinned at
+    # the upper search bound.
+    if res.x > hi - 1e-3:
+        return rho, math.inf, chi(x0)
+    return rho, x0, chi(x0)
+
+
+def lemma6_intensity_cap(u: int) -> float:
+    """Lemma 6: ``rho <= 1/u`` when each vertex consumes ``u``
+    out-degree-one graph inputs.  ``u = 0`` yields no cap."""
+    if u < 0:
+        raise ValueError("u must be non-negative")
+    return math.inf if u == 0 else 1.0 / u
+
+
+def statement_intensity(stmt: Statement, mem_words: float,
+                        weights: Sequence[float] | None = None,
+                        ) -> IntensityResult:
+    """Maximum computational intensity of one DAAP statement.
+
+    Combines the X-partition optimization (Lemmas 2-5) with the
+    out-degree-one cap (Lemma 6) and the trivial no-reuse case
+    (``rho = 1/m`` when every access has full dimension).
+    """
+    cap = lemma6_intensity_cap(stmt.min_unique_inputs)
+
+    if stmt.trivially_no_reuse():
+        rho = min(1.0 / len(stmt.inputs), cap)
+        limited = ("out-degree-one" if cap < 1.0 / len(stmt.inputs)
+                   else "no-reuse")
+        return IntensityResult(rho=rho, x0=math.inf, chi_x0=math.nan,
+                               limited_by=limited)
+
+    groups = stmt.input_variable_groups()
+    chi = chi_function(stmt.loop_vars, groups, weights)
+    rho_opt, x0, chi_x0 = minimize_rho(chi, mem_words)
+    if cap < rho_opt:
+        return IntensityResult(rho=cap, x0=math.inf, chi_x0=math.nan,
+                               limited_by="out-degree-one")
+    solution = (max_subcomputation(stmt.loop_vars, groups, x0, weights)
+                if math.isfinite(x0) else None)
+    return IntensityResult(rho=rho_opt, x0=x0, chi_x0=chi_x0,
+                           limited_by="x-partition", solution=solution)

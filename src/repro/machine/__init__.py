@@ -1,0 +1,65 @@
+"""Simulated distributed-memory machine.
+
+This package is the substrate standing in for the paper's Piz Daint + MPI
+testbed (see DESIGN.md, "Substitutions"): ``P`` ranks with private
+memories, explicit counted communication, and an alpha-beta-gamma time
+model calibrated to XC40 node parameters.
+"""
+
+from .collectives import (
+    binomial_bcast,
+    butterfly_allreduce,
+    collective_cost_model,
+    pipelined_reduce,
+    recursive_halving_reduce_scatter,
+    ring_allgather,
+)
+from .comm import Machine
+from .exceptions import (
+    CommunicationError,
+    GridError,
+    LayoutError,
+    MachineError,
+    MemoryLimitError,
+    RankError,
+)
+from .grid import (
+    ProcessorGrid2D,
+    ProcessorGrid3D,
+    balanced_block_count,
+    choose_grid_25d,
+    choose_grid_2d,
+    largest_square_divisor,
+    replication_factor,
+)
+from .perf_model import PIZ_DAINT_XC40, MachineParams, PerfModel, TimeBreakdown
+from .stats import CommStats, StepLog, StepRecord
+from .store import RankStore
+
+__all__ = [
+    "Machine",
+    "binomial_bcast", "ring_allgather", "butterfly_allreduce",
+    "recursive_halving_reduce_scatter", "pipelined_reduce",
+    "collective_cost_model",
+    "CommStats",
+    "StepLog",
+    "StepRecord",
+    "RankStore",
+    "ProcessorGrid2D",
+    "ProcessorGrid3D",
+    "balanced_block_count",
+    "choose_grid_2d",
+    "choose_grid_25d",
+    "largest_square_divisor",
+    "replication_factor",
+    "MachineParams",
+    "PerfModel",
+    "TimeBreakdown",
+    "PIZ_DAINT_XC40",
+    "MachineError",
+    "RankError",
+    "MemoryLimitError",
+    "CommunicationError",
+    "GridError",
+    "LayoutError",
+]

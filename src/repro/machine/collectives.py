@@ -1,0 +1,199 @@
+"""Algorithmic collectives with per-algorithm cost characteristics.
+
+The basic :class:`~repro.machine.comm.Machine` collectives use fixed
+accounting conventions; this module implements the classic *algorithms*
+explicitly — every hop is a real counted point-to-point transfer between
+rank stores — so their latency/bandwidth trade-offs can be measured and
+compared, exactly the level at which Section 8 discusses implementation
+choices ("dedicated, asynchronous MPI collectives", the butterfly
+tournament exchange of Rabenseifner & Traeff).
+
+Provided algorithms (n = payload words, g = group size):
+
+====================  ==============  ===================  ==============
+algorithm             rounds          words/rank            used for
+====================  ==============  ===================  ==============
+binomial bcast        ceil(log2 g)    n                     A00, pivots
+ring allgather        g - 1           n (g-1)/g per hop     panels
+recursive halving     log2 g          n (g-1)/g             reductions
+(reduce-scatter)
+butterfly allreduce   2 log2 g        2 n (g-1)/g           tournament
+pipelined reduce      g - 1 (chain)   n                     layered sums
+====================  ==============  ===================  ==============
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from .comm import Machine
+from .exceptions import CommunicationError
+
+__all__ = [
+    "binomial_bcast",
+    "ring_allgather",
+    "recursive_halving_reduce_scatter",
+    "butterfly_allreduce",
+    "pipelined_reduce",
+    "collective_cost_model",
+]
+
+
+def _check_pow2(g: int, name: str) -> int:
+    if g < 1 or g & (g - 1):
+        raise CommunicationError(
+            f"{name} requires a power-of-two group, got {g}")
+    return int(math.log2(g))
+
+
+def binomial_bcast(machine: Machine, root: int, group: Sequence[int],
+                   key: Hashable) -> None:
+    """Binomial-tree broadcast: ceil(log2 g) rounds, every non-root
+    receives the payload exactly once."""
+    order = [root] + [r for r in group if r != root]
+    have = 1
+    while have < len(order):
+        senders = order[:have]
+        receivers = order[have:2 * have]
+        for src, dst in zip(senders, receivers):
+            machine.send(src, dst, key)
+        have += len(receivers)
+
+
+def ring_allgather(machine: Machine, group: Sequence[int],
+                   keys: Sequence[Hashable]) -> None:
+    """Ring allgather: g-1 rounds; in round r, rank i forwards the block
+    it received in round r-1 to its right neighbour.  Total received per
+    rank: the other g-1 blocks (bandwidth-optimal)."""
+    g = len(group)
+    if len(keys) != g:
+        raise CommunicationError("need one key per group rank")
+    for r in range(g - 1):
+        for i, rank in enumerate(group):
+            src_block_owner = (i - r) % g
+            dst = group[(i + 1) % g]
+            machine.send(rank, dst, keys[src_block_owner])
+
+
+def recursive_halving_reduce_scatter(machine: Machine,
+                                     group: Sequence[int],
+                                     keys: Sequence[Hashable]) -> None:
+    """Recursive-halving reduce-scatter: log2 g rounds, words per rank
+    n (g-1)/g.  After the call, ``group[i]`` holds the fully combined
+    ``keys[i]``; partial foreign blocks are dropped.
+
+    Requires a power-of-two group and one equally-sized block per rank.
+    """
+    g = len(group)
+    rounds = _check_pow2(g, "recursive halving")
+    if len(keys) != g:
+        raise CommunicationError("need one key per group rank")
+    # own[i] = set of block indices rank i is still responsible for.
+    own = {i: set(range(g)) for i in range(g)}
+    half = g // 2
+    while half >= 1:
+        for i in range(g):
+            j = i ^ half
+            if i > j:
+                continue
+            lo, hi = (i, j) if (i & half) == 0 else (j, i)
+            # lo keeps blocks whose bit is 0, hi keeps the others.
+            lo_keep = {b for b in own[lo] if (b & half) == 0}
+            hi_keep = {b for b in own[hi] if (b & half) != 0}
+            for b in own[lo] - lo_keep:
+                machine.send(group[lo], group[hi], keys[b],
+                             dest_key=("partial", keys[b], group[hi]))
+                dst_store = machine.store(group[hi])
+                acc = dst_store.get(keys[b]).astype(float, copy=True)
+                acc += dst_store.pop(("partial", keys[b], group[hi]))
+                dst_store.put(keys[b], acc)
+            for b in own[hi] - hi_keep:
+                machine.send(group[hi], group[lo], keys[b],
+                             dest_key=("partial", keys[b], group[lo]))
+                dst_store = machine.store(group[lo])
+                acc = dst_store.get(keys[b]).astype(float, copy=True)
+                acc += dst_store.pop(("partial", keys[b], group[lo]))
+                dst_store.put(keys[b], acc)
+            own[lo] = lo_keep
+            own[hi] = hi_keep
+        half //= 2
+    for i in range(g):
+        for b in range(g):
+            if b != i:
+                machine.store(group[i]).discard(keys[b])
+
+
+def butterfly_allreduce(machine: Machine, group: Sequence[int],
+                        key: Hashable) -> None:
+    """Butterfly (recursive-doubling) allreduce: log2 g rounds, the full
+    payload exchanged pairwise each round — the communication pattern of
+    COnfLUX's tournament pivoting (Section 7.3).
+
+    Every rank ends with the sum of all contributions under ``key``.
+    """
+    g = len(group)
+    rounds = _check_pow2(g, "butterfly")
+    for r in range(rounds):
+        mask = 1 << r
+        # Exchange: i <-> i ^ mask, both directions.
+        snapshot = {i: machine.store(group[i]).get(key).copy()
+                    for i in range(g)}
+        for i in range(g):
+            j = i ^ mask
+            machine.stats.record_transfer(group[j], group[i],
+                                          snapshot[j].size)
+            acc = machine.store(group[i]).get(key).astype(float, copy=True)
+            acc += snapshot[j]
+            machine.store(group[i]).put(key, acc)
+
+
+def pipelined_reduce(machine: Machine, chain: Sequence[int],
+                     key: Hashable) -> np.ndarray:
+    """Linear-pipeline reduction along ``chain``: each rank receives the
+    running partial from its predecessor, adds its own block, forwards.
+    Every rank except the first receives the payload once — the layered
+    reduction convention of Algorithm 1's steps 1 and 5."""
+    if not chain:
+        raise CommunicationError("empty chain")
+    acc_key = ("pipeline", key)
+    machine.store(chain[0]).put(
+        acc_key, machine.store(chain[0]).get(key).copy())
+    for prev, cur in zip(chain, chain[1:]):
+        machine.send(prev, cur, acc_key)
+        store = machine.store(cur)
+        acc = store.pop(acc_key).astype(float, copy=True)
+        acc += store.get(key)
+        store.put(acc_key, acc)
+        machine.store(prev).discard(acc_key)
+    result = machine.store(chain[-1]).pop(acc_key)
+    machine.store(chain[-1]).put(key, result)
+    return result
+
+
+def collective_cost_model(algorithm: str, g: int, n: float,
+                          ) -> tuple[float, float]:
+    """(rounds, words_per_rank) of each algorithm — the analytic
+    counterparts the tests validate the implementations against.
+
+    Payload convention: for ``binomial-bcast``, ``butterfly-allreduce``
+    and ``pipelined-reduce``, ``n`` is the (replicated) message size; for
+    ``ring-allgather``, ``n`` is one rank's block; for
+    ``recursive-halving``, ``n`` is the *total* payload (the union of the
+    per-rank blocks being reduced)."""
+    if g < 1 or n < 0:
+        raise ValueError("need g >= 1, n >= 0")
+    lg = math.ceil(math.log2(max(2, g)))
+    if algorithm == "binomial-bcast":
+        return lg, n
+    if algorithm == "ring-allgather":
+        return g - 1, n * (g - 1)
+    if algorithm == "recursive-halving":
+        return math.log2(g) if g > 1 else 0, n * (g - 1) / g
+    if algorithm == "butterfly-allreduce":
+        return math.log2(g) if g > 1 else 0, n * math.log2(g) if g > 1 else 0
+    if algorithm == "pipelined-reduce":
+        return g - 1, n
+    raise ValueError(f"unknown algorithm {algorithm!r}")

@@ -1,0 +1,264 @@
+"""Simulated message-passing machine.
+
+:class:`Machine` bundles ``P`` rank-private stores with a
+:class:`~repro.machine.stats.CommStats` counter object and exposes the
+communication operations the factorization schedules need: point-to-point
+moves plus the collectives of Algorithm 1 (broadcast, reduce,
+reduce-scatter, scatter, gather, allgather, allreduce).
+
+Counting conventions (see ``stats.py`` for the rationale):
+
+* the primary volume metric is **words received per rank**;
+* a broadcast of ``n`` words to a group of size ``g`` costs every non-root
+  rank ``n`` received words (tree topology changes only *sent*
+  attribution, which we model as a binomial tree: total sent equals total
+  received, split over the internal tree nodes);
+* a reduce of per-rank contributions of ``n`` words costs the root
+  ``(g-1) * n`` received words — each remote partial must reach the
+  combining rank, exactly the accounting used for steps 1 and 5 of
+  Algorithm 1 in the paper;
+* a reduce-scatter spreads that cost over the group:
+  each rank receives ``(g-1) * n/g``.
+
+All data-moving methods actually move ``numpy`` blocks between stores, so
+algorithms built on :class:`Machine` are *executable* and numerically
+checkable, not just counted.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from .exceptions import CommunicationError, RankError
+from .stats import CommStats
+from .store import RankStore
+
+__all__ = ["Machine"]
+
+
+def _tree_sent_attribution(group: Sequence[int], root: int,
+                           words: float) -> dict[int, float]:
+    """Sent-word attribution of a binomial-tree broadcast.
+
+    Every rank except the leaves forwards the payload to roughly half of
+    the remaining subtree.  We return per-rank sent words; they sum to
+    ``(g - 1) * words``.
+    """
+    order = [root] + [r for r in group if r != root]
+    sent: dict[int, float] = {r: 0.0 for r in group}
+    # Binomial tree: in round k, ranks [0, 2^k) send to ranks [2^k, 2^(k+1)).
+    active = 1
+    g = len(order)
+    while active < g:
+        for i in range(min(active, g - active)):
+            sent[order[i]] += words
+        active *= 2
+    return sent
+
+
+class Machine:
+    """``P`` simulated ranks with private memories and counted communication.
+
+    Parameters
+    ----------
+    nranks:
+        Number of processors ``P``.
+    mem_words:
+        Private fast-memory capacity ``M`` per rank in words
+        (``math.inf`` disables enforcement).
+    enforce_memory:
+        If False, stores are created unbounded even when ``mem_words`` is
+        finite; the value is still available to algorithms as the model
+        parameter ``M``.
+    """
+
+    def __init__(self, nranks: int, mem_words: float = math.inf,
+                 enforce_memory: bool = False) -> None:
+        if nranks <= 0:
+            raise RankError(f"need at least one rank, got {nranks}")
+        self.nranks = int(nranks)
+        self.mem_words = float(mem_words)
+        cap = mem_words if enforce_memory else math.inf
+        self.stores = [RankStore(r, cap) for r in range(self.nranks)]
+        self.stats = CommStats(self.nranks)
+
+    # ------------------------------------------------------------------
+    def _check_rank(self, rank: int) -> int:
+        r = int(rank)
+        if not 0 <= r < self.nranks:
+            raise RankError(f"rank {rank} out of range [0, {self.nranks})")
+        return r
+
+    def _check_group(self, group: Sequence[int]) -> list[int]:
+        gr = [self._check_rank(r) for r in group]
+        if len(set(gr)) != len(gr):
+            raise CommunicationError(f"duplicate ranks in group {group}")
+        if not gr:
+            raise CommunicationError("empty communication group")
+        return gr
+
+    def store(self, rank: int) -> RankStore:
+        return self.stores[self._check_rank(rank)]
+
+    # ------------------------------------------------------------------
+    # Point-to-point
+    # ------------------------------------------------------------------
+    def send(self, src: int, dst: int, key: Hashable,
+             dest_key: Hashable | None = None) -> None:
+        """Move block ``key`` from ``src``'s store into ``dst``'s store.
+
+        The block stays resident at ``src`` (message passing copies).
+        """
+        src = self._check_rank(src)
+        dst = self._check_rank(dst)
+        block = self.stores[src].get(key)
+        if src != dst:
+            self.stats.record_transfer(src, dst, block.size)
+            block = block.copy()
+        self.stores[dst].put(dest_key if dest_key is not None else key, block)
+
+    # ------------------------------------------------------------------
+    # Collectives
+    # ------------------------------------------------------------------
+    def bcast(self, root: int, group: Sequence[int], key: Hashable) -> None:
+        """Broadcast block ``key`` from ``root`` to every rank in ``group``."""
+        group = self._check_group(group)
+        root = self._check_rank(root)
+        if root not in group:
+            raise CommunicationError(f"root {root} not in group")
+        block = self.stores[root].get(key)
+        sent = _tree_sent_attribution(group, root, float(block.size))
+        for r in group:
+            if r == root:
+                continue
+            self.stats.record_recv(r, block.size)
+            self.stores[r].put(key, block.copy())
+        for r, w in sent.items():
+            if w > 0:
+                self.stats.record_send(r, w, msgs=max(1.0, w / block.size)
+                                       if block.size else 0.0)
+
+    def reduce(self, root: int, group: Sequence[int], key: Hashable,
+               op: str = "sum") -> np.ndarray:
+        """Combine per-rank blocks under ``key`` at ``root``.
+
+        Every remote contribution travels to ``root`` (flat accounting:
+        ``(g-1) * n`` received at root).  The combined block replaces
+        ``root``'s copy and is returned.
+        """
+        group = self._check_group(group)
+        root = self._check_rank(root)
+        if root not in group:
+            raise CommunicationError(f"root {root} not in group")
+        acc = self.stores[root].get(key).astype(np.float64, copy=True)
+        for r in group:
+            if r == root:
+                continue
+            contrib = self.stores[r].get(key)
+            if contrib.shape != acc.shape:
+                raise CommunicationError(
+                    f"reduce shape mismatch: {contrib.shape} vs {acc.shape}")
+            self.stats.record_transfer(r, root, contrib.size)
+            if op == "sum":
+                acc += contrib
+            elif op == "max":
+                np.maximum(acc, contrib, out=acc)
+            else:
+                raise CommunicationError(f"unknown reduce op {op!r}")
+        self.stores[root].put(key, acc)
+        return acc
+
+    def allreduce(self, group: Sequence[int], key: Hashable,
+                  op: str = "sum") -> np.ndarray:
+        """Reduce followed by broadcast (counted as both)."""
+        group = self._check_group(group)
+        root = group[0]
+        acc = self.reduce(root, group, key, op=op)
+        self.bcast(root, group, key)
+        return acc
+
+    def reduce_scatter(self, group: Sequence[int], keys: Sequence[Hashable],
+                       op: str = "sum") -> None:
+        """Reduce ``len(group)`` blocks, leaving result ``keys[i]`` on
+        ``group[i]``.
+
+        Each rank in the group must hold every block in ``keys`` (its
+        partial contributions).  After the call, ``group[i]`` holds the
+        combined ``keys[i]`` and the other partial blocks are dropped.
+        This is the collective behind the paper's layered reduction: per
+        rank received words are ``(g-1) * n/g`` for total payload ``n``.
+        """
+        group = self._check_group(group)
+        if len(keys) != len(group):
+            raise CommunicationError("need exactly one key per group rank")
+        for dest, key in zip(group, keys):
+            acc = self.stores[dest].get(key).astype(np.float64, copy=True)
+            for r in group:
+                if r == dest:
+                    continue
+                contrib = self.stores[r].get(key)
+                self.stats.record_transfer(r, dest, contrib.size)
+                if op == "sum":
+                    acc += contrib
+                else:
+                    raise CommunicationError(f"unknown reduce op {op!r}")
+            self.stores[dest].put(key, acc)
+        for dest, key in zip(group, keys):
+            for r in group:
+                if r != dest:
+                    self.stores[r].discard(key)
+
+    def scatter(self, root: int, group: Sequence[int],
+                keys: Sequence[Hashable]) -> None:
+        """Send block ``keys[i]`` from ``root`` to ``group[i]``."""
+        group = self._check_group(group)
+        root = self._check_rank(root)
+        if len(keys) != len(group):
+            raise CommunicationError("need exactly one key per group rank")
+        for dst, key in zip(group, keys):
+            self.send(root, dst, key)
+
+    def gather(self, root: int, group: Sequence[int],
+               keys: Sequence[Hashable]) -> None:
+        """Collect block ``keys[i]`` from ``group[i]`` at ``root``."""
+        group = self._check_group(group)
+        root = self._check_rank(root)
+        if len(keys) != len(group):
+            raise CommunicationError("need exactly one key per group rank")
+        for src, key in zip(group, keys):
+            if src == root:
+                continue
+            block = self.stores[src].get(key)
+            self.stats.record_transfer(src, root, block.size)
+            self.stores[root].put(key, block.copy())
+
+    def allgather(self, group: Sequence[int], keys: Sequence[Hashable]) -> None:
+        """After the call every rank in ``group`` holds every ``keys[i]``.
+
+        Received words per rank: sum of the other ranks' block sizes
+        (ring allgather accounting).
+        """
+        group = self._check_group(group)
+        if len(keys) != len(group):
+            raise CommunicationError("need exactly one key per group rank")
+        blocks = [self.stores[r].get(k) for r, k in zip(group, keys)]
+        for i, dst in enumerate(group):
+            for j, src in enumerate(group):
+                if i == j:
+                    continue
+                self.stats.record_transfer(src, dst, blocks[j].size,
+                                           msgs=1.0 / max(1, len(group) - 1))
+                self.stores[dst].put(keys[j], blocks[j].copy())
+
+    # ------------------------------------------------------------------
+    # Local compute attribution
+    # ------------------------------------------------------------------
+    def compute(self, rank: int, flops: float) -> None:
+        """Attribute ``flops`` local floating-point operations to ``rank``."""
+        self.stats.record_flops(rank, flops)
+
+    def reset_stats(self) -> None:
+        self.stats.reset()

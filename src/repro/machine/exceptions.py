@@ -1,0 +1,31 @@
+"""Exception hierarchy for the simulated distributed machine.
+
+Everything raised by :mod:`repro.machine` derives from :class:`MachineError`
+so callers can catch substrate failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class MachineError(Exception):
+    """Base class for all simulated-machine errors."""
+
+
+class RankError(MachineError):
+    """A rank index is out of range or used in an invalid role."""
+
+
+class MemoryLimitError(MachineError):
+    """A rank exceeded its private fast-memory capacity ``M``."""
+
+
+class CommunicationError(MachineError):
+    """An invalid communication operation (bad group, missing block, ...)."""
+
+
+class GridError(MachineError):
+    """Processor-grid construction or indexing failure."""
+
+
+class LayoutError(MachineError):
+    """Data-layout construction or indexing failure."""

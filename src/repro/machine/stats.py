@@ -1,0 +1,274 @@
+"""Per-rank communication and computation counters.
+
+The paper's primary evaluation metric is *communicated elements per
+processor* (measured on Piz Daint with Score-P).  In the parallel red-blue
+pebble game of Section 5, a communication is a remote vertex acquiring a
+local pebble, i.e. a *receive*; all per-step costs quoted in Algorithm 1 of
+the paper are receive volumes.  We therefore treat **words received per
+rank** as the primary volume metric, while also tracking sent words and
+message counts (for the latency term of the time model) and floating-point
+operations (for the compute term).
+
+Counters are plain ``numpy`` arrays of length ``P`` so that recording is
+O(1) per event and aggregation (max / total / per-rank) is vectorized.
+A :class:`StepLog` optionally captures per-superstep maxima, which the
+BSP-style performance model (:mod:`repro.machine.perf_model`) consumes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from .exceptions import RankError
+
+__all__ = ["CommStats", "StepRecord", "StepLog"]
+
+
+@dataclasses.dataclass(frozen=True)
+class StepRecord:
+    """Aggregated cost of one superstep (BSP round) of an algorithm.
+
+    Attributes
+    ----------
+    label:
+        Human-readable phase name (e.g. ``"tournament-pivot"``).
+    flops_max / flops_total:
+        Maximum per-rank and machine-total floating point operations.
+    recv_words_max / recv_words_total:
+        Maximum per-rank and machine-total received words (elements).
+    sent_words_max / sent_words_total:
+        Same for sent words.
+    msgs_max / msgs_total:
+        Message counts; feed the latency (alpha) term.
+    """
+
+    label: str
+    flops_max: float = 0.0
+    flops_total: float = 0.0
+    recv_words_max: float = 0.0
+    recv_words_total: float = 0.0
+    sent_words_max: float = 0.0
+    sent_words_total: float = 0.0
+    msgs_max: float = 0.0
+    msgs_total: float = 0.0
+
+    def merged(self, other: "StepRecord", label: str | None = None) -> "StepRecord":
+        """Combine two records that execute *concurrently* (max of maxima)."""
+        return StepRecord(
+            label=label or self.label,
+            flops_max=max(self.flops_max, other.flops_max),
+            flops_total=self.flops_total + other.flops_total,
+            recv_words_max=max(self.recv_words_max, other.recv_words_max),
+            recv_words_total=self.recv_words_total + other.recv_words_total,
+            sent_words_max=max(self.sent_words_max, other.sent_words_max),
+            sent_words_total=self.sent_words_total + other.sent_words_total,
+            msgs_max=max(self.msgs_max, other.msgs_max),
+            msgs_total=self.msgs_total + other.msgs_total,
+        )
+
+
+class StepLog:
+    """Ordered sequence of :class:`StepRecord` for one algorithm run."""
+
+    def __init__(self) -> None:
+        self._records: list[StepRecord] = []
+
+    def append(self, record: StepRecord) -> None:
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[StepRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, idx: int) -> StepRecord:
+        return self._records[idx]
+
+    @property
+    def records(self) -> Sequence[StepRecord]:
+        return tuple(self._records)
+
+    def total(self, field: str) -> float:
+        """Sum of ``field`` over all steps (e.g. ``"recv_words_max"``)."""
+        return float(sum(getattr(r, field) for r in self._records))
+
+
+class CommStats:
+    """Exact per-rank counters for a machine with ``nranks`` processors.
+
+    The recording API is deliberately low-level (rank indices plus word
+    counts); the communicator in :mod:`repro.machine.comm` and the
+    trace-mode accounting in the factorization modules are its clients.
+    """
+
+    def __init__(self, nranks: int) -> None:
+        if nranks <= 0:
+            raise RankError(f"need at least one rank, got {nranks}")
+        self.nranks = int(nranks)
+        self.sent_words = np.zeros(nranks, dtype=np.float64)
+        self.recv_words = np.zeros(nranks, dtype=np.float64)
+        self.sent_msgs = np.zeros(nranks, dtype=np.float64)
+        self.recv_msgs = np.zeros(nranks, dtype=np.float64)
+        self.flops = np.zeros(nranks, dtype=np.float64)
+        self.steps = StepLog()
+        # Open-step accumulators (delta since begin_step).
+        self._step_label: str | None = None
+        self._snap: tuple[np.ndarray, ...] | None = None
+
+    # ------------------------------------------------------------------
+    # Validation helpers
+    # ------------------------------------------------------------------
+    def _check_rank(self, rank: int) -> int:
+        r = int(rank)
+        if not 0 <= r < self.nranks:
+            raise RankError(f"rank {rank} out of range [0, {self.nranks})")
+        return r
+
+    # ------------------------------------------------------------------
+    # Event recording
+    # ------------------------------------------------------------------
+    def record_send(self, rank: int, words: float, msgs: float = 1.0) -> None:
+        r = self._check_rank(rank)
+        if words < 0 or msgs < 0:
+            raise ValueError("words and msgs must be non-negative")
+        self.sent_words[r] += words
+        self.sent_msgs[r] += msgs
+
+    def record_recv(self, rank: int, words: float, msgs: float = 1.0) -> None:
+        r = self._check_rank(rank)
+        if words < 0 or msgs < 0:
+            raise ValueError("words and msgs must be non-negative")
+        self.recv_words[r] += words
+        self.recv_msgs[r] += msgs
+
+    def record_transfer(self, src: int, dst: int, words: float,
+                        msgs: float = 1.0) -> None:
+        """A point-to-point move of ``words`` elements from ``src`` to ``dst``."""
+        if src == dst:
+            return  # local: no communication in the distributed model
+        self.record_send(src, words, msgs)
+        self.record_recv(dst, words, msgs)
+
+    def record_flops(self, rank: int, flops: float) -> None:
+        r = self._check_rank(rank)
+        if flops < 0:
+            raise ValueError("flops must be non-negative")
+        self.flops[r] += flops
+
+    # Vectorized bulk recording (trace mode feeds arrays indexed by rank).
+    def add_recv_array(self, words: np.ndarray, msgs: np.ndarray | None = None) -> None:
+        words = np.asarray(words, dtype=np.float64)
+        if words.shape != (self.nranks,):
+            raise ValueError(f"expected shape ({self.nranks},), got {words.shape}")
+        if np.any(words < 0):
+            raise ValueError("negative word counts")
+        self.recv_words += words
+        self.recv_msgs += np.ceil(words > 0) if msgs is None else np.asarray(msgs)
+
+    def add_sent_array(self, words: np.ndarray, msgs: np.ndarray | None = None) -> None:
+        words = np.asarray(words, dtype=np.float64)
+        if words.shape != (self.nranks,):
+            raise ValueError(f"expected shape ({self.nranks},), got {words.shape}")
+        if np.any(words < 0):
+            raise ValueError("negative word counts")
+        self.sent_words += words
+        self.sent_msgs += np.ceil(words > 0) if msgs is None else np.asarray(msgs)
+
+    def add_flops_array(self, flops: np.ndarray) -> None:
+        flops = np.asarray(flops, dtype=np.float64)
+        if flops.shape != (self.nranks,):
+            raise ValueError(f"expected shape ({self.nranks},), got {flops.shape}")
+        if np.any(flops < 0):
+            raise ValueError("negative flop counts")
+        self.flops += flops
+
+    # ------------------------------------------------------------------
+    # Superstep bracketing
+    # ------------------------------------------------------------------
+    def begin_step(self, label: str) -> None:
+        if self._step_label is not None:
+            raise RuntimeError(f"step {self._step_label!r} still open")
+        self._step_label = label
+        self._snap = (self.flops.copy(), self.recv_words.copy(),
+                      self.sent_words.copy(), self.recv_msgs.copy())
+
+    def end_step(self) -> StepRecord:
+        if self._step_label is None or self._snap is None:
+            raise RuntimeError("no open step")
+        flops0, recv0, sent0, msgs0 = self._snap
+        dflops = self.flops - flops0
+        drecv = self.recv_words - recv0
+        dsent = self.sent_words - sent0
+        dmsgs = self.recv_msgs - msgs0
+        rec = StepRecord(
+            label=self._step_label,
+            flops_max=float(dflops.max()), flops_total=float(dflops.sum()),
+            recv_words_max=float(drecv.max()), recv_words_total=float(drecv.sum()),
+            sent_words_max=float(dsent.max()), sent_words_total=float(dsent.sum()),
+            msgs_max=float(dmsgs.max()), msgs_total=float(dmsgs.sum()),
+        )
+        self.steps.append(rec)
+        self._step_label = None
+        self._snap = None
+        return rec
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    @property
+    def max_recv_words(self) -> float:
+        """Maximum communicated (received) elements over all ranks.
+
+        This is the quantity the paper's figures plot per node and the
+        quantity bounded below by the parallel I/O lower bounds.
+        """
+        return float(self.recv_words.max())
+
+    @property
+    def total_recv_words(self) -> float:
+        return float(self.recv_words.sum())
+
+    @property
+    def mean_recv_words(self) -> float:
+        """Average communicated elements per rank (the "communication
+        volume per node" metric of the paper's Figure 8)."""
+        return float(self.recv_words.mean())
+
+    @property
+    def max_sent_words(self) -> float:
+        return float(self.sent_words.max())
+
+    @property
+    def total_flops(self) -> float:
+        return float(self.flops.sum())
+
+    @property
+    def max_flops(self) -> float:
+        return float(self.flops.max())
+
+    def volume_per_rank(self) -> np.ndarray:
+        """Received words per rank (copy)."""
+        return self.recv_words.copy()
+
+    def reset(self) -> None:
+        for arr in (self.sent_words, self.recv_words, self.sent_msgs,
+                    self.recv_msgs, self.flops):
+            arr[:] = 0.0
+        self.steps = StepLog()
+        self._step_label = None
+        self._snap = None
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "nranks": float(self.nranks),
+            "max_recv_words": self.max_recv_words,
+            "total_recv_words": self.total_recv_words,
+            "max_sent_words": self.max_sent_words,
+            "total_flops": self.total_flops,
+            "max_flops": self.max_flops,
+            "max_recv_msgs": float(self.recv_msgs.max()),
+        }

@@ -1,0 +1,97 @@
+"""Rank-private block stores.
+
+In the parallel machine model of the paper (Section 2.1 / Section 5) every
+processor owns a private fast memory of ``M`` words; there is no shared or
+global memory, and data moves only through explicit communication.  A
+:class:`RankStore` is one such private memory: a dictionary from block keys
+to ``numpy`` arrays, with live word counting and an optional hard capacity
+that raises :class:`~repro.machine.exceptions.MemoryLimitError` on
+overflow, mirroring the "at most M red pebbles" rule.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Hashable, Iterator
+
+import numpy as np
+
+from .exceptions import CommunicationError, MemoryLimitError
+
+__all__ = ["RankStore"]
+
+
+class RankStore:
+    """Private memory of one simulated rank.
+
+    Parameters
+    ----------
+    rank:
+        Owning rank id (for error messages).
+    capacity_words:
+        Fast-memory size ``M`` in words.  ``math.inf`` disables the check
+        (useful for baselines whose working set intentionally exceeds the
+        2.5D replication budget).
+    """
+
+    def __init__(self, rank: int, capacity_words: float = math.inf) -> None:
+        if capacity_words <= 0:
+            raise ValueError("capacity must be positive")
+        self.rank = rank
+        self.capacity_words = capacity_words
+        self._blocks: dict[Hashable, np.ndarray] = {}
+        self._words = 0
+        self.peak_words = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def words(self) -> int:
+        """Words currently resident."""
+        return self._words
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def keys(self) -> Iterator[Hashable]:
+        return iter(self._blocks.keys())
+
+    # ------------------------------------------------------------------
+    def put(self, key: Hashable, value: np.ndarray | Any) -> None:
+        """Insert or replace a block; enforces the capacity limit."""
+        arr = np.asarray(value)
+        delta = arr.size - (self._blocks[key].size if key in self._blocks else 0)
+        if self._words + delta > self.capacity_words:
+            raise MemoryLimitError(
+                f"rank {self.rank}: storing {arr.size} words under key {key!r} "
+                f"exceeds capacity {self.capacity_words} "
+                f"(resident: {self._words})")
+        self._blocks[key] = arr
+        self._words += delta
+        self.peak_words = max(self.peak_words, self._words)
+
+    def get(self, key: Hashable) -> np.ndarray:
+        try:
+            return self._blocks[key]
+        except KeyError:
+            raise CommunicationError(
+                f"rank {self.rank}: no block under key {key!r}") from None
+
+    def pop(self, key: Hashable) -> np.ndarray:
+        arr = self.get(key)
+        del self._blocks[key]
+        self._words -= arr.size
+        return arr
+
+    def discard(self, key: Hashable) -> None:
+        if key in self._blocks:
+            self.pop(key)
+
+    def clear(self) -> None:
+        self._blocks.clear()
+        self._words = 0
+
+    def items(self) -> Iterator[tuple[Hashable, np.ndarray]]:
+        return iter(self._blocks.items())

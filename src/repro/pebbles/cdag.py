@@ -1,0 +1,148 @@
+"""Computational DAGs (cDAGs) for the red-blue pebble game.
+
+Each vertex is the result of a unique computation (one *version* of an
+array element — Section 2.2: ``A[i,j]`` before and after an update are
+different vertices).  Vertices without incoming edges are the cDAG inputs,
+vertices without outgoing edges its outputs.
+
+Vertex ids are arbitrary hashables; the builders in
+:mod:`repro.pebbles.builders` use ``(array, i, j, version)`` tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+__all__ = ["CDag", "CDagError"]
+
+
+class CDagError(ValueError):
+    """Malformed cDAG operation."""
+
+
+class CDag:
+    """A directed acyclic graph with explicit input/output classification.
+
+    Acyclicity is validated lazily by :meth:`topological_order` (which the
+    pebble-game schedulers always call); ``add_edge`` only checks vertex
+    existence so that construction stays linear.
+    """
+
+    def __init__(self) -> None:
+        self._preds: dict[Hashable, set[Hashable]] = {}
+        self._succs: dict[Hashable, set[Hashable]] = {}
+
+    # ------------------------------------------------------------------
+    def add_vertex(self, v: Hashable) -> None:
+        if v not in self._preds:
+            self._preds[v] = set()
+            self._succs[v] = set()
+
+    def add_edge(self, u: Hashable, v: Hashable) -> None:
+        if u == v:
+            raise CDagError(f"self-loop on {u!r}")
+        self.add_vertex(u)
+        self.add_vertex(v)
+        self._preds[v].add(u)
+        self._succs[u].add(v)
+
+    # ------------------------------------------------------------------
+    def __contains__(self, v: Hashable) -> bool:
+        return v in self._preds
+
+    def __len__(self) -> int:
+        return len(self._preds)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._preds)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(s) for s in self._succs.values())
+
+    def vertices(self) -> Iterator[Hashable]:
+        return iter(self._preds.keys())
+
+    def preds(self, v: Hashable) -> frozenset:
+        try:
+            return frozenset(self._preds[v])
+        except KeyError:
+            raise CDagError(f"unknown vertex {v!r}") from None
+
+    def succs(self, v: Hashable) -> frozenset:
+        try:
+            return frozenset(self._succs[v])
+        except KeyError:
+            raise CDagError(f"unknown vertex {v!r}") from None
+
+    def in_degree(self, v: Hashable) -> int:
+        return len(self.preds(v))
+
+    def out_degree(self, v: Hashable) -> int:
+        return len(self.succs(v))
+
+    def inputs(self) -> set[Hashable]:
+        """Vertices with no incoming edges (initial element versions)."""
+        return {v for v, p in self._preds.items() if not p}
+
+    def outputs(self) -> set[Hashable]:
+        """Vertices with no outgoing edges (final results)."""
+        return {v for v, s in self._succs.items() if not s}
+
+    def compute_vertices(self) -> set[Hashable]:
+        """Non-input vertices (the ones a schedule must compute)."""
+        return {v for v, p in self._preds.items() if p}
+
+    # ------------------------------------------------------------------
+    def topological_order(self) -> list[Hashable]:
+        """Kahn topological order; raises :class:`CDagError` on a cycle."""
+        indeg = {v: len(p) for v, p in self._preds.items()}
+        ready = sorted((v for v, d in indeg.items() if d == 0), key=repr)
+        order: list[Hashable] = []
+        stack = list(reversed(ready))
+        while stack:
+            v = stack.pop()
+            order.append(v)
+            for w in sorted(self._succs[v], key=repr):
+                indeg[w] -= 1
+                if indeg[w] == 0:
+                    stack.append(w)
+        if len(order) != len(self._preds):
+            raise CDagError("cDAG contains a cycle")
+        return order
+
+    def min_outdegree_one_input_preds(self) -> int:
+        """The paper's ``u`` (Lemma 6): minimum over compute vertices of
+        the number of direct predecessors that are out-degree-one inputs."""
+        inputs = self.inputs()
+        u = None
+        for v in self.compute_vertices():
+            count = sum(1 for p in self._preds[v]
+                        if p in inputs and len(self._succs[p]) == 1)
+            u = count if u is None else min(u, count)
+        return u or 0
+
+    def subgraph_closure(self, seeds: Iterable[Hashable]) -> set[Hashable]:
+        """All vertices reachable *backwards* from ``seeds`` (ancestors
+        plus the seeds), used for dominator-set computations."""
+        seen: set[Hashable] = set()
+        stack = [s for s in seeds]
+        while stack:
+            v = stack.pop()
+            if v in seen:
+                continue
+            seen.add(v)
+            stack.extend(self._preds[v])
+        return seen
+
+    def to_networkx(self):
+        """Export as :class:`networkx.DiGraph` (for min-cut computations)."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_nodes_from(self._preds.keys())
+        for u, succs in self._succs.items():
+            for v in succs:
+                g.add_edge(u, v)
+        return g

@@ -1,0 +1,209 @@
+"""Parallel red-blue pebble game (Section 5 of the paper).
+
+Each of the ``P`` processors owns ``M`` pebbles of its private color;
+pebbles are never shared, and data moves only by the *communication* rule:
+
+1. **compute** — if all direct predecessors of ``v`` carry pebbles of
+   ``p``'s color, ``p`` may place its pebble on ``v``;
+2. **communicate** — if ``v`` carries *any* pebble, any other processor
+   may place its own pebble on ``v`` (a receive, counted against the
+   receiving rank; the sending side is attributed to one current holder).
+
+From one processor's view data is local or remote with uniform remote
+cost — the model of real MPI programs the paper targets.  Lemma 9 follows:
+``max_p Q_p >= |V| / (P * rho)``, which the tests verify against executed
+schedules.
+
+:func:`block_row_schedule` is a simple work-partitioned scheduler used to
+exercise the game end-to-end on the kernel cDAGs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Hashable, Iterable, Sequence
+
+from .cdag import CDag
+
+__all__ = ["ParallelMove", "ParallelPebbleGame", "ParallelPebbleGameError",
+           "block_row_schedule"]
+
+
+class ParallelPebbleGameError(RuntimeError):
+    """Illegal move in the parallel pebble game."""
+
+
+@dataclasses.dataclass(frozen=True)
+class ParallelMove:
+    """op in {'compute', 'recv', 'evict'}; ``proc`` is the acting rank."""
+
+    op: str
+    proc: int
+    vertex: Hashable
+
+
+class ParallelPebbleGame:
+    """Validating executor of parallel pebble schedules."""
+
+    def __init__(self, cdag: CDag, nprocs: int, mem_pebbles: int,
+                 input_owner: Callable[[Hashable], int] | None = None) -> None:
+        if nprocs < 1:
+            raise ValueError("need at least one processor")
+        if mem_pebbles < 1:
+            raise ValueError("need at least one pebble per processor")
+        self.cdag = cdag
+        self.nprocs = nprocs
+        self.mem = mem_pebbles
+        self.pebbles: list[set[Hashable]] = [set() for _ in range(nprocs)]
+        self.recv_count = [0] * nprocs
+        self.send_count = [0] * nprocs
+        self.computed: set[Hashable] = set(cdag.inputs())
+        # Initial input distribution: every input element resides in
+        # exactly one location (the paper's non-replicated-input rule).
+        owner = input_owner or (lambda v: hash(v) % nprocs)
+        for v in cdag.inputs():
+            p = owner(v) % nprocs
+            self.pebbles[p].add(v)
+        for p in range(nprocs):
+            if len(self.pebbles[p]) > mem_pebbles:
+                raise ValueError(
+                    f"initial distribution overflows rank {p}: "
+                    f"{len(self.pebbles[p])} > M={mem_pebbles}")
+
+    def _check_proc(self, p: int) -> int:
+        if not 0 <= p < self.nprocs:
+            raise ParallelPebbleGameError(f"rank {p} out of range")
+        return p
+
+    def holders(self, v: Hashable) -> list[int]:
+        return [p for p in range(self.nprocs) if v in self.pebbles[p]]
+
+    def apply(self, move: ParallelMove) -> None:
+        p = self._check_proc(move.proc)
+        v = move.vertex
+        if v not in self.cdag:
+            raise ParallelPebbleGameError(f"unknown vertex {v!r}")
+        if move.op == "compute":
+            missing = [u for u in self.cdag.preds(v)
+                       if u not in self.pebbles[p]]
+            if missing:
+                raise ParallelPebbleGameError(
+                    f"rank {p} compute {v!r}: missing local copies of "
+                    f"{missing[:3]}")
+            self._place(p, v)
+            self.computed.add(v)
+        elif move.op == "recv":
+            holders = self.holders(v)
+            if not holders:
+                raise ParallelPebbleGameError(
+                    f"rank {p} recv {v!r}: no rank holds it")
+            if v in self.pebbles[p]:
+                raise ParallelPebbleGameError(
+                    f"rank {p} recv {v!r}: already local")
+            self._place(p, v)
+            self.recv_count[p] += 1
+            self.send_count[holders[0]] += 1
+        elif move.op == "evict":
+            if v not in self.pebbles[p]:
+                raise ParallelPebbleGameError(
+                    f"rank {p} evict {v!r}: not local")
+            self.pebbles[p].discard(v)
+        else:
+            raise ParallelPebbleGameError(f"unknown op {move.op!r}")
+
+    def _place(self, p: int, v: Hashable) -> None:
+        if len(self.pebbles[p]) >= self.mem:
+            raise ParallelPebbleGameError(
+                f"rank {p}: placing pebble on {v!r} exceeds M={self.mem}")
+        self.pebbles[p].add(v)
+
+    def run(self, schedule: Iterable[ParallelMove]) -> int:
+        for move in schedule:
+            self.apply(move)
+        return self.max_io
+
+    @property
+    def max_io(self) -> int:
+        """``max_p Q_p`` — the quantity Lemma 9 lower-bounds."""
+        return max(self.recv_count)
+
+    @property
+    def total_io(self) -> int:
+        return sum(self.recv_count)
+
+    def finished(self) -> bool:
+        return all(any(v in s for s in self.pebbles)
+                   for v in self.cdag.outputs())
+
+
+def block_row_schedule(cdag: CDag, nprocs: int, mem_pebbles: int,
+                       part: Callable[[Hashable], int],
+                       input_owner: Callable[[Hashable], int] | None = None,
+                       ) -> tuple[list[ParallelMove],
+                                  Callable[[Hashable], int]]:
+    """Generate a valid parallel schedule from a vertex -> rank assignment.
+
+    Vertices are computed in global topological order on their assigned
+    rank; missing operands are received just-in-time and evicted with a
+    FIFO policy when the rank's memory fills (pinned operands excluded).
+    Returns the move list plus the input-owner function used, so callers
+    can replay it on a fresh :class:`ParallelPebbleGame`.
+    """
+    owner = input_owner or (lambda v: part(v))
+    moves: list[ParallelMove] = []
+    local: list[set[Hashable]] = [set() for _ in range(nprocs)]
+    fifo: list[list[Hashable]] = [[] for _ in range(nprocs)]
+    holders: dict[Hashable, int] = {}
+    # remaining_uses[v]: consumers not yet computed — the last copy of a
+    # still-needed vertex must never be evicted (the parallel game has no
+    # blue pebbles; data evicted everywhere is lost for good).
+    remaining_uses: dict[Hashable, int] = {
+        v: cdag.out_degree(v) for v in cdag.vertices()}
+    outputs = cdag.outputs()
+    for v in cdag.inputs():
+        p = owner(v) % nprocs
+        local[p].add(v)
+        fifo[p].append(v)
+        holders[v] = 1
+
+    def evictable(p: int, u: Hashable, pinned: set[Hashable]) -> bool:
+        if u in pinned:
+            return False
+        last_copy = holders.get(u, 0) <= 1
+        still_needed = remaining_uses.get(u, 0) > 0 or u in outputs
+        return not (last_copy and still_needed)
+
+    def make_room(p: int, pinned: set[Hashable]) -> None:
+        while len(local[p]) >= mem_pebbles:
+            for i, u in enumerate(fifo[p]):
+                if evictable(p, u, pinned):
+                    fifo[p].pop(i)
+                    local[p].discard(u)
+                    holders[u] -= 1
+                    moves.append(ParallelMove("evict", p, u))
+                    break
+            else:
+                raise RuntimeError(
+                    f"rank {p}: M={mem_pebbles} too small, all pinned or "
+                    "last still-needed copies")
+
+    for v in cdag.topological_order():
+        if cdag.in_degree(v) == 0:
+            continue
+        p = part(v) % nprocs
+        pinned = set(cdag.preds(v)) | {v}
+        for u in sorted(cdag.preds(v), key=repr):
+            if u not in local[p]:
+                make_room(p, pinned)
+                moves.append(ParallelMove("recv", p, u))
+                local[p].add(u)
+                fifo[p].append(u)
+                holders[u] = holders.get(u, 0) + 1
+        make_room(p, pinned)
+        moves.append(ParallelMove("compute", p, v))
+        local[p].add(v)
+        fifo[p].append(v)
+        holders[v] = holders.get(v, 0) + 1
+        for u in cdag.preds(v):
+            remaining_uses[u] -= 1
+    return moves, owner

@@ -1,0 +1,164 @@
+"""X-partitions, dominator sets, and minimum sets (Sections 2.3.2-2.3.3).
+
+For a vertex subset ``H``:
+
+* ``Dom(H)`` — every path from a cDAG input to a vertex of ``H`` passes
+  through it; the *minimum* dominator ``Dom_min(H)`` is computed exactly
+  as a minimum vertex cut (max-flow with unit vertex capacities via node
+  splitting, on :mod:`networkx`).
+* ``Min(H)`` — vertices of ``H`` with no immediate successor inside ``H``.
+
+An *X-partition* is a disjoint cover of the cDAG by subcomputations with
+``|Dom_min(H)| <= X`` and ``|Min(H)| <= X`` and an acyclic quotient;
+:func:`validate_x_partition` checks all four properties, and
+:func:`partition_from_schedule` extracts the X-partition associated with a
+pebble-game schedule (Lemma 2 of the SC19 paper: split the schedule at
+every ``X - M``-th load).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterable, Sequence
+
+import networkx as nx
+
+from .cdag import CDag
+from .game import Move
+
+__all__ = [
+    "minimum_set",
+    "minimum_dominator_size",
+    "validate_x_partition",
+    "partition_from_schedule",
+    "XPartitionError",
+]
+
+
+class XPartitionError(ValueError):
+    """A proposed X-partition violates one of the defining properties."""
+
+
+def minimum_set(cdag: CDag, subset: Iterable[Hashable]) -> set[Hashable]:
+    """``Min(H)``: vertices of ``H`` without immediate successors in ``H``."""
+    h = set(subset)
+    return {v for v in h if not (cdag.succs(v) & h)}
+
+
+def minimum_dominator_size(cdag: CDag, subset: Iterable[Hashable]) -> int:
+    """Exact ``|Dom_min(H)|`` via min vertex cut between inputs and ``H``.
+
+    Node-splitting construction: each vertex ``v`` becomes an arc
+    ``v_in -> v_out`` of capacity 1; original edges get infinite capacity.
+    A super-source feeds every cDAG input's ``v_in`` (so inputs themselves
+    may be chosen as dominators); a super-sink drains every ``h_out`` for
+    ``h`` in ``H`` — cutting ``h``'s own unit arc corresponds to putting
+    ``h`` itself in the dominator set, which the definition allows.
+    """
+    h = set(subset)
+    if not h:
+        return 0
+    for v in h:
+        if v not in cdag:
+            raise XPartitionError(f"subset vertex {v!r} not in cDAG")
+    inputs = cdag.inputs()
+    # Restrict to ancestors of H: vertices that cannot reach H are
+    # irrelevant and only slow the max-flow down.
+    relevant = cdag.subgraph_closure(h)
+    g = nx.DiGraph()
+    src, snk = "__S__", "__T__"
+    for v in relevant:
+        g.add_edge(("in", v), ("out", v), capacity=1)
+        for w in cdag.succs(v):
+            if w in relevant:
+                g.add_edge(("out", v), ("in", w), capacity=math.inf)
+    for v in inputs & relevant:
+        g.add_edge(src, ("in", v), capacity=math.inf)
+    for v in h:
+        g.add_edge(("out", v), snk, capacity=math.inf)
+    if src not in g or snk not in g:
+        return 0
+    value, _ = nx.maximum_flow(g, src, snk)
+    if not math.isfinite(value):  # pragma: no cover - construction bug guard
+        raise XPartitionError("infinite min cut; graph construction error")
+    return int(round(value))
+
+
+def validate_x_partition(cdag: CDag, parts: Sequence[Iterable[Hashable]],
+                         x: int, cover: str = "compute") -> None:
+    """Raise :class:`XPartitionError` unless ``parts`` is a valid
+    X-partition of the cDAG.
+
+    ``cover`` selects which vertices must be covered: ``"compute"`` (the
+    non-input vertices a schedule must pebble — what Lemma 2's schedule
+    association produces) or ``"all"`` (the literal Section-2.3.3
+    definition including inputs).
+    """
+    sets = [set(p) for p in parts]
+    # Disjointness + cover.
+    union: set[Hashable] = set()
+    for i, s in enumerate(sets):
+        if union & s:
+            raise XPartitionError(f"subcomputation {i} overlaps earlier ones")
+        union |= s
+    required = (cdag.compute_vertices() if cover == "compute"
+                else set(cdag.vertices()))
+    if union != required:
+        missing = required - union
+        extra = union - required
+        raise XPartitionError(
+            f"cover mismatch: missing {len(missing)}, extra {len(extra)}")
+    # Acyclic quotient.
+    owner: dict[Hashable, int] = {}
+    for i, s in enumerate(sets):
+        for v in s:
+            owner[v] = i
+    q = nx.DiGraph()
+    q.add_nodes_from(range(len(sets)))
+    for v in union:
+        for w in cdag.succs(v):
+            if w in owner and owner[w] != owner[v]:
+                q.add_edge(owner[v], owner[w])
+    if not nx.is_directed_acyclic_graph(q):
+        raise XPartitionError("cyclic dependencies between subcomputations")
+    # Size constraints.
+    for i, s in enumerate(sets):
+        dom = minimum_dominator_size(cdag, s)
+        if dom > x:
+            raise XPartitionError(
+                f"subcomputation {i}: |Dom_min| = {dom} > X = {x}")
+        mn = len(minimum_set(cdag, s))
+        if mn > x:
+            raise XPartitionError(
+                f"subcomputation {i}: |Min| = {mn} > X = {x}")
+
+
+def partition_from_schedule(cdag: CDag, schedule: Sequence[Move],
+                            mem_pebbles: int, x: int) -> list[set[Hashable]]:
+    """The X-partition associated with a pebbling schedule (SC19 Lemma 2).
+
+    The schedule is cut into segments performing at most ``X - M`` I/O
+    operations each; the compute vertices of each segment form one
+    subcomputation.  For a schedule with ``Q`` I/Os this yields at most
+    ``(Q + X - M) / (X - M)`` subcomputations — the counting argument
+    behind Lemma 1.
+    """
+    if x <= mem_pebbles:
+        raise XPartitionError(f"need X > M, got X={x}, M={mem_pebbles}")
+    budget = x - mem_pebbles
+    parts: list[set[Hashable]] = []
+    current: set[Hashable] = set()
+    io_in_segment = 0
+    for move in schedule:
+        if move.op in ("load", "store"):
+            if io_in_segment >= budget:
+                if current:
+                    parts.append(current)
+                    current = set()
+                io_in_segment = 0
+            io_in_segment += 1
+        elif move.op == "compute":
+            current.add(move.vertex)
+    if current:
+        parts.append(current)
+    return parts

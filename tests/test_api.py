@@ -1,0 +1,87 @@
+"""Tests for the ScaLAPACK-compatible API (repro.api)."""
+
+import numpy as np
+import pytest
+
+from repro.api import pdgetrf, pdgetrs, pdpotrf, pdpotrs
+from repro.layouts import BlockCyclicLayout, ScaLAPACKDescriptor
+from repro.machine import Machine, ProcessorGrid2D
+
+
+def setup_machine(rng, n=64, mb=16, spd=False):
+    machine = Machine(4)
+    desc = ScaLAPACKDescriptor(m=n, n=n, mb=mb, nb=mb, prows=2, pcols=2)
+    layout = BlockCyclicLayout(n, n, mb, mb, ProcessorGrid2D(2, 2))
+    if spd:
+        g = rng.standard_normal((n, n))
+        a = g @ g.T + n * np.eye(n)
+    else:
+        a = rng.standard_normal((n, n)) + n * np.eye(n)
+    layout.scatter_from(machine, "A", a)
+    return machine, desc, layout, a
+
+
+class TestPdgetrf:
+    def test_factorization_correct(self, rng):
+        machine, desc, _, a = setup_machine(rng)
+        res = pdgetrf(machine, "A", desc, v=8)
+        err = np.linalg.norm(a[res.perm] - res.lower @ res.upper)
+        assert err / np.linalg.norm(a) < 1e-12
+
+    def test_factors_written_back_in_caller_layout(self, rng):
+        machine, desc, _, a = setup_machine(rng)
+        res = pdgetrf(machine, "A", desc, v=8)
+        packed = res.gather()
+        expected = np.tril(res.lower, -1) + res.upper
+        assert np.allclose(packed, expected)
+
+    def test_reshuffle_cost_is_low_order(self, rng):
+        machine, desc, _, a = setup_machine(rng)
+        res = pdgetrf(machine, "A", desc, v=8)
+        # COSTA reshuffles move at most ~2 matrix copies in total.
+        assert res.reshuffle_words <= 2 * desc.n * desc.n
+
+    def test_same_tile_size_reshuffle_free(self, rng):
+        machine, desc, _, a = setup_machine(rng, mb=8)
+        res = pdgetrf(machine, "A", desc, v=8)
+        assert res.reshuffle_words == 0
+
+    def test_with_replication(self, rng):
+        machine, desc, _, a = setup_machine(rng)
+        res = pdgetrf(machine, "A", desc, v=8, c=2)
+        err = np.linalg.norm(a[res.perm] - res.lower @ res.upper)
+        assert err / np.linalg.norm(a) < 1e-12
+
+    def test_non_square_rejected(self, rng):
+        machine = Machine(4)
+        desc = ScaLAPACKDescriptor(m=32, n=64, mb=16, nb=16,
+                                   prows=2, pcols=2)
+        with pytest.raises(ValueError):
+            pdgetrf(machine, "A", desc)
+
+    def test_solve_roundtrip(self, rng):
+        machine, desc, _, a = setup_machine(rng)
+        res = pdgetrf(machine, "A", desc, v=8)
+        x = rng.standard_normal(desc.n)
+        sol = pdgetrs(res, a @ x)
+        assert np.allclose(sol.x, x, atol=1e-8)
+
+
+class TestPdpotrf:
+    def test_factorization_correct(self, rng):
+        machine, desc, _, a = setup_machine(rng, spd=True)
+        res = pdpotrf(machine, "S" if False else "A", desc, v=8)
+        err = np.linalg.norm(a - res.lower @ res.lower.T)
+        assert err / np.linalg.norm(a) < 1e-12
+
+    def test_solve_roundtrip(self, rng):
+        machine, desc, _, a = setup_machine(rng, spd=True)
+        res = pdpotrf(machine, "A", desc, v=8)
+        x = rng.standard_normal(desc.n)
+        sol = pdpotrs(res, a @ x)
+        assert np.allclose(sol.x, x, atol=1e-7)
+
+    def test_perm_is_none(self, rng):
+        machine, desc, _, a = setup_machine(rng, spd=True)
+        res = pdpotrf(machine, "A", desc, v=8)
+        assert res.perm is None

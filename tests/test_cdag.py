@@ -1,0 +1,179 @@
+"""Unit tests for cDAGs and the kernel cDAG builders."""
+
+import pytest
+
+from repro.pebbles import CDag, CDagError, cholesky_cdag, lu_cdag, matmul_cdag
+
+
+class TestCDag:
+    def test_add_edge_creates_vertices(self):
+        g = CDag()
+        g.add_edge("a", "b")
+        assert "a" in g and "b" in g
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        g = CDag()
+        with pytest.raises(CDagError):
+            g.add_edge("a", "a")
+
+    def test_inputs_outputs(self):
+        g = CDag()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        assert g.inputs() == {"a"}
+        assert g.outputs() == {"c"}
+        assert g.compute_vertices() == {"b", "c"}
+
+    def test_duplicate_edge_idempotent(self):
+        g = CDag()
+        g.add_edge("a", "b")
+        g.add_edge("a", "b")
+        assert g.num_edges == 1
+
+    def test_topological_order(self):
+        g = CDag()
+        g.add_edge("a", "b")
+        g.add_edge("a", "c")
+        g.add_edge("b", "d")
+        g.add_edge("c", "d")
+        order = g.topological_order()
+        pos = {v: i for i, v in enumerate(order)}
+        assert pos["a"] < pos["b"] < pos["d"]
+        assert pos["a"] < pos["c"] < pos["d"]
+
+    def test_cycle_detected(self):
+        g = CDag()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.add_edge("c", "a")
+        with pytest.raises(CDagError):
+            g.topological_order()
+
+    def test_unknown_vertex_queries(self):
+        g = CDag()
+        with pytest.raises(CDagError):
+            g.preds("missing")
+
+    def test_subgraph_closure(self):
+        g = CDag()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.add_edge("x", "y")
+        assert g.subgraph_closure(["c"]) == {"a", "b", "c"}
+
+    def test_to_networkx(self):
+        g = CDag()
+        g.add_edge("a", "b")
+        nxg = g.to_networkx()
+        assert nxg.has_edge("a", "b")
+
+
+class TestLUCDag:
+    def test_vertex_count(self):
+        """|V| = N^2 inputs + |V_S1| + |V_S2| (exact Schur count)."""
+        for n in (2, 3, 4, 6):
+            g = lu_cdag(n)
+            s1 = n * (n - 1) // 2
+            s2 = sum((n - k - 1) ** 2 for k in range(n))
+            assert g.num_vertices == n * n + s1 + s2
+
+    def test_inputs_are_version_zero(self):
+        g = lu_cdag(4)
+        assert g.inputs() == {("A", i, j, 0) for i in range(4)
+                              for j in range(4)}
+
+    def test_outputs_are_final_factors(self):
+        g = lu_cdag(3)
+        outs = g.outputs()
+        # U diagonal corner A[2,2] final version (2 updates) is an output.
+        assert ("A", 2, 2, 2) in outs
+
+    def test_s2_vertex_dependencies(self):
+        g = lu_cdag(4)
+        # A[2,3] after step-0 update depends on A[2,3]v0, L A[2,0], U A[0,3].
+        v = ("A", 2, 3, 1)
+        assert g.preds(v) == {("A", 2, 3, 0), ("A", 2, 0, 1), ("A", 0, 3, 0)}
+
+    def test_s1_vertex_dependencies(self):
+        g = lu_cdag(4)
+        # L entry A[3,1] (final at version 2): previous version + pivot.
+        v = ("A", 3, 1, 2)
+        assert g.preds(v) == {("A", 3, 1, 1), ("A", 1, 1, 1)}
+
+    def test_acyclic(self):
+        lu_cdag(5).topological_order()
+
+    def test_n1_trivial(self):
+        g = lu_cdag(1)
+        assert g.num_vertices == 1
+        assert g.num_edges == 0
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            lu_cdag(0)
+
+
+class TestCholeskyCDag:
+    def test_vertex_count(self):
+        # Listing 1's S3 loop is "for j = k+1:i" (inclusive), so each
+        # (k, i) pair contributes i - k update vertices; the paper's
+        # N(N-1)(N-2)/6 count in Section 6.2 is a conservative
+        # under-count that keeps the bound valid.
+        for n in (2, 3, 5):
+            g = cholesky_cdag(n)
+            inputs = n * (n + 1) // 2
+            s1 = n
+            s2 = n * (n - 1) // 2
+            s3 = sum(i - k for k in range(n) for i in range(k + 1, n))
+            assert g.num_vertices == inputs + s1 + s2 + s3
+
+    def test_only_lower_triangle(self):
+        g = cholesky_cdag(4)
+        for v in g.vertices():
+            _, i, j, _ = v
+            assert i >= j
+
+    def test_diagonal_sqrt_chain(self):
+        g = cholesky_cdag(3)
+        # L[1,1]: one Schur update (k=0) then the sqrt -> version 2 final.
+        assert ("L", 1, 1, 2) in g
+        assert g.preds(("L", 1, 1, 2)) == {("L", 1, 1, 1)}
+
+    def test_s2_depends_on_final_diagonal(self):
+        g = cholesky_cdag(3)
+        v = ("L", 2, 0, 1)  # L[2,0] final: divide by sqrt'd L[0,0]
+        assert g.preds(v) == {("L", 2, 0, 0), ("L", 0, 0, 1)}
+
+    def test_acyclic(self):
+        cholesky_cdag(6).topological_order()
+
+
+class TestMatmulCDag:
+    def test_vertex_count_with_c_input(self):
+        n = 3
+        g = matmul_cdag(n)
+        # A, B inputs (2n^2) + C versions 0..n (n^2 * (n+1)).
+        assert g.num_vertices == 2 * n * n + n * n * (n + 1)
+
+    def test_vertex_count_without_c_input(self):
+        n = 3
+        g = matmul_cdag(n, include_c_input=False)
+        assert g.num_vertices == 2 * n * n + n * n * n
+
+    def test_accumulation_chain(self):
+        g = matmul_cdag(2)
+        v = ("C", 0, 1, 2)
+        assert g.preds(v) == {("C", 0, 1, 1), ("A", 0, 1, 0), ("B", 1, 1, 0)}
+
+    def test_outputs_are_final_c(self):
+        n = 3
+        g = matmul_cdag(n)
+        assert g.outputs() == {("C", i, j, n) for i in range(n)
+                               for j in range(n)}
+
+    def test_out_degree_one_inputs(self):
+        # Every A/B input feeds n different C chains: out-degree n, so no
+        # out-degree-one inputs for n > 1 (u = 0).
+        g = matmul_cdag(3)
+        assert g.min_outdegree_one_input_preds() == 0

@@ -1,0 +1,191 @@
+"""Tests for the algorithmic collectives (repro.machine.collectives)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.machine import CommunicationError, Machine
+from repro.machine.collectives import (
+    binomial_bcast,
+    butterfly_allreduce,
+    collective_cost_model,
+    pipelined_reduce,
+    recursive_halving_reduce_scatter,
+    ring_allgather,
+)
+
+
+class TestBinomialBcast:
+    @pytest.mark.parametrize("g", [1, 2, 3, 4, 7, 8])
+    def test_delivers_to_all(self, g):
+        m = Machine(g)
+        m.store(0).put("k", np.arange(5.0))
+        binomial_bcast(m, 0, list(range(g)), "k")
+        for r in range(g):
+            assert np.array_equal(m.store(r).get("k"), np.arange(5.0))
+
+    def test_each_rank_receives_once(self):
+        g, n = 8, 10
+        m = Machine(g)
+        m.store(0).put("k", np.zeros(n))
+        binomial_bcast(m, 0, list(range(g)), "k")
+        _, words = collective_cost_model("binomial-bcast", g, n)
+        for r in range(1, g):
+            assert m.stats.recv_words[r] == words
+        assert m.stats.recv_words[0] == 0
+
+    def test_sent_load_is_logarithmic(self):
+        """The root sends at most ceil(log2 g) copies (tree, not star)."""
+        g, n = 16, 10
+        m = Machine(g)
+        m.store(0).put("k", np.zeros(n))
+        binomial_bcast(m, 0, list(range(g)), "k")
+        assert m.stats.sent_words[0] <= math.ceil(math.log2(g)) * n
+
+    def test_nonzero_root(self):
+        m = Machine(4)
+        m.store(2).put("k", np.ones(3))
+        binomial_bcast(m, 2, [0, 1, 2, 3], "k")
+        assert np.array_equal(m.store(0).get("k"), np.ones(3))
+
+
+class TestRingAllgather:
+    @pytest.mark.parametrize("g", [2, 3, 5, 8])
+    def test_everyone_gets_everything(self, g):
+        m = Machine(g)
+        keys = [("b", i) for i in range(g)]
+        for i in range(g):
+            m.store(i).put(keys[i], np.full(4, float(i)))
+        ring_allgather(m, list(range(g)), keys)
+        for i in range(g):
+            for j in range(g):
+                assert np.array_equal(m.store(i).get(keys[j]),
+                                      np.full(4, float(j)))
+
+    def test_bandwidth_optimal(self):
+        g, n = 8, 4
+        m = Machine(g)
+        keys = [("b", i) for i in range(g)]
+        for i in range(g):
+            m.store(i).put(keys[i], np.zeros(n))
+        ring_allgather(m, list(range(g)), keys)
+        _, words = collective_cost_model("ring-allgather", g, n)
+        assert np.allclose(m.stats.recv_words, words)
+
+    def test_key_count_checked(self):
+        m = Machine(3)
+        with pytest.raises(CommunicationError):
+            ring_allgather(m, [0, 1, 2], ["a"])
+
+
+class TestRecursiveHalving:
+    @pytest.mark.parametrize("g", [2, 4, 8])
+    def test_reduce_scatter_values(self, g):
+        m = Machine(g)
+        keys = [("p", i) for i in range(g)]
+        for r in range(g):
+            for i in range(g):
+                m.store(r).put(keys[i], np.full(2, float(r + 1)))
+        recursive_halving_reduce_scatter(m, list(range(g)), keys)
+        total = g * (g + 1) / 2
+        for i in range(g):
+            assert np.allclose(m.store(i).get(keys[i]), total)
+
+    def test_words_match_model(self):
+        g, n = 8, 16
+        m = Machine(g)
+        keys = [("p", i) for i in range(g)]
+        for r in range(g):
+            for i in range(g):
+                m.store(r).put(keys[i], np.zeros(n))
+        recursive_halving_reduce_scatter(m, list(range(g)), keys)
+        # Model convention: n is the TOTAL payload (g blocks of n words).
+        _, words = collective_cost_model("recursive-halving", g, g * n)
+        assert np.allclose(m.stats.recv_words, words)
+
+    def test_foreign_blocks_dropped(self):
+        g = 4
+        m = Machine(g)
+        keys = [("p", i) for i in range(g)]
+        for r in range(g):
+            for i in range(g):
+                m.store(r).put(keys[i], np.zeros(2))
+        recursive_halving_reduce_scatter(m, list(range(g)), keys)
+        assert keys[1] not in m.store(0)
+
+    def test_power_of_two_required(self):
+        m = Machine(3)
+        with pytest.raises(CommunicationError):
+            recursive_halving_reduce_scatter(m, [0, 1, 2],
+                                             ["a", "b", "c"])
+
+
+class TestButterflyAllreduce:
+    @pytest.mark.parametrize("g", [2, 4, 8, 16])
+    def test_allreduce_values(self, g):
+        m = Machine(g)
+        for r in range(g):
+            m.store(r).put("k", np.full(3, float(r)))
+        butterfly_allreduce(m, list(range(g)), "k")
+        expected = sum(range(g))
+        for r in range(g):
+            assert np.allclose(m.store(r).get("k"), expected)
+
+    def test_words_match_model(self):
+        g, n = 8, 6
+        m = Machine(g)
+        for r in range(g):
+            m.store(r).put("k", np.zeros(n))
+        butterfly_allreduce(m, list(range(g)), "k")
+        _, words = collective_cost_model("butterfly-allreduce", g, n)
+        assert np.allclose(m.stats.recv_words, words)
+
+    def test_rounds_are_log(self):
+        """Per-rank message count equals log2 g — the tournament's
+        'playoff' rounds (Section 7.3)."""
+        g = 16
+        m = Machine(g)
+        for r in range(g):
+            m.store(r).put("k", np.zeros(4))
+        butterfly_allreduce(m, list(range(g)), "k")
+        assert np.allclose(m.stats.recv_msgs, math.log2(g))
+
+
+class TestPipelinedReduce:
+    def test_values(self):
+        g = 5
+        m = Machine(g)
+        for r in range(g):
+            m.store(r).put("k", np.full(4, float(r + 1)))
+        out = pipelined_reduce(m, list(range(g)), "k")
+        assert np.allclose(out, 15.0)
+
+    def test_each_non_head_receives_once(self):
+        g, n = 6, 8
+        m = Machine(g)
+        for r in range(g):
+            m.store(r).put("k", np.zeros(n))
+        pipelined_reduce(m, list(range(g)), "k")
+        assert m.stats.recv_words[0] == 0
+        for r in range(1, g):
+            assert m.stats.recv_words[r] == n
+
+    def test_empty_chain(self):
+        with pytest.raises(CommunicationError):
+            pipelined_reduce(Machine(2), [], "k")
+
+
+class TestCostModel:
+    def test_known_values(self):
+        assert collective_cost_model("binomial-bcast", 8, 10) == (3, 10)
+        assert collective_cost_model("ring-allgather", 4, 10) == (3, 30)
+        assert collective_cost_model("pipelined-reduce", 5, 7) == (4, 7)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            collective_cost_model("gossip", 4, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            collective_cost_model("binomial-bcast", 0, 1)

@@ -1,0 +1,130 @@
+"""Tests for the analytic cost models (Table 2)."""
+
+import math
+
+import pytest
+
+from repro.models import costmodels as cm
+
+
+class TestPaperModels:
+    def test_conflux_value(self):
+        n, p, m = 16384.0, 1024.0, 2.0 ** 21
+        assert cm.conflux_paper_model(n, p, m) == pytest.approx(
+            n ** 3 / (p * math.sqrt(m)))
+
+    def test_confchox_equals_conflux(self):
+        assert cm.confchox_paper_model(8192, 256, 2.0 ** 20) == \
+            cm.conflux_paper_model(8192, 256, 2.0 ** 20)
+
+    def test_2d_independent_of_m(self):
+        assert cm.mkl_lu_paper_model(8192, 256) == \
+            cm.mkl_lu_paper_model(8192, 256, mem_words=123.0)
+
+    def test_candmc_is_5x(self):
+        n, p, m = 16384, 1024, 2.0 ** 21
+        assert cm.candmc_paper_model(n, p, m) == pytest.approx(
+            5 * cm.conflux_paper_model(n, p, m))
+
+    def test_capital_is_45_eighths(self):
+        n, p, m = 16384, 1024, 2.0 ** 21
+        assert cm.capital_paper_model(n, p, m) == pytest.approx(
+            45 / 8 * cm.confchox_paper_model(n, p, m))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cm.conflux_paper_model(0, 4, 10)
+        with pytest.raises(ValueError):
+            cm.candmc_paper_model(10, 4, -1)
+
+    def test_grouped_accessors(self):
+        lu = cm.lu_models(16384, 1024, 2.0 ** 21)
+        assert set(lu) == {"conflux", "mkl", "slate", "candmc"}
+        ch = cm.cholesky_models(16384, 1024, 2.0 ** 21)
+        assert set(ch) == {"confchox", "mkl-chol", "slate-chol", "capital"}
+        assert min(lu, key=lu.get) == "conflux"
+        assert min(ch, key=ch.get) == "confchox"
+
+
+class TestCrossoverStructure:
+    """The motivating observation of Section 1: CANDMC's constant is so
+    high that it only beats 2D beyond ~15,000 processors, while
+    COnfLUX's crossover is immediate."""
+
+    def test_candmc_crossover_is_large(self):
+        n = 16384
+        crossover = None
+        for p in (2 ** k for k in range(2, 22)):
+            m = min(n * n / p ** (2 / 3), 4e9)
+            if m < n * n / p:
+                continue
+            if cm.candmc_paper_model(n, p, m) < cm.mkl_lu_paper_model(n, p):
+                crossover = p
+                break
+        assert crossover is not None and crossover > 4000
+
+    def test_conflux_crossover_is_small(self):
+        n = 16384
+        for p in (16, 64, 256):
+            m = n * n / p ** (2 / 3)
+            assert cm.conflux_paper_model(n, p, m) < \
+                cm.mkl_lu_paper_model(n, p)
+
+    def test_25d_weak_scaling_flat(self):
+        """Under N = 3200 * cbrt(P) with max replication, the 2.5D
+        per-rank volume stays constant while 2D grows as P^(1/6)."""
+        def vols(p):
+            n = 3200 * p ** (1 / 3)
+            m = n * n / p ** (2 / 3)
+            return (cm.conflux_paper_model(n, p, m),
+                    cm.mkl_lu_paper_model(n, p))
+
+        c8, d8 = vols(8)
+        c512, d512 = vols(512)
+        assert c512 == pytest.approx(c8, rel=1e-6)   # flat
+        assert d512 / d8 == pytest.approx((512 / 8) ** (1 / 6), rel=1e-6)
+
+
+class TestFullModels:
+    def test_conflux_full_exceeds_leading(self):
+        n, p, c, v = 16384, 1024, 8, 32
+        m = c * float(n) * n / p
+        assert cm.conflux_full_model(n, p, c, v) > \
+            cm.conflux_paper_model(n, p, m)
+
+    def test_full_model_approaches_leading_for_small_c(self):
+        n, p, c, v = 131072, 1024, 2, 32
+        m = c * float(n) * n / p
+        full = cm.conflux_full_model(n, p, c, v)
+        lead = cm.conflux_paper_model(n, p, m)
+        # Residual gap: O(M) reductions, O(N^2/P) scatters, and the
+        # 16x32 (non-square) layer grid vs the model's sqrt(P c).
+        assert full == pytest.approx(lead, rel=0.2)
+
+    def test_mkl_full_close_to_paper(self):
+        n, p = 32768, 1024
+        full = cm.mkl_lu_full_model(n, p, 128)
+        paper = cm.mkl_lu_paper_model(n, p)
+        assert full == pytest.approx(paper, rel=0.35)
+
+    def test_rebroadcast_costs_more(self):
+        n, p = 16384, 1024
+        assert cm.mkl_lu_full_model(n, p, 128) > \
+            cm.slate_lu_full_model(n, p, 128)
+
+    def test_grid_dims(self):
+        assert cm.grid_2d_dims(1024) == (32, 32)
+        assert cm.grid_25d_dims(1024, 8) == (8, 16, 8)
+        with pytest.raises(ValueError):
+            cm.grid_25d_dims(1024, 7)
+
+    def test_monotone_in_n(self):
+        p, c, v = 256, 4, 32
+        vols = [cm.conflux_full_model(n, p, c, v)
+                for n in (4096, 8192, 16384)]
+        assert vols[0] < vols[1] < vols[2]
+
+    def test_monotone_decreasing_in_p(self):
+        n, c, v = 16384, 4, 32
+        vols = [cm.conflux_full_model(n, p, c, v) for p in (64, 256, 1024)]
+        assert vols[0] > vols[1] > vols[2]

@@ -1,0 +1,145 @@
+"""Unit tests for the DAAP program representation (Section 2.2)."""
+
+import pytest
+
+from repro.lowerbounds import (
+    ArrayAccess,
+    DAAPError,
+    Program,
+    Statement,
+    cholesky_program,
+    lu_program,
+    matmul_program,
+)
+
+
+class TestArrayAccess:
+    def test_access_dimension_distinct_vars(self):
+        acc = ArrayAccess("A", ("i", "k"))
+        assert acc.access_dimension(("k", "i")) == 2
+
+    def test_access_dimension_repeated_var(self):
+        # A[k, k] has dimension 1 (the paper's S1 example).
+        acc = ArrayAccess("A", ("k", "k"))
+        assert acc.access_dimension(("k", "i")) == 1
+
+    def test_variables_in_loop_order(self):
+        acc = ArrayAccess("A", ("j", "i"))
+        assert acc.variables_in(("i", "j", "k")) == ("i", "j")
+
+    def test_affine_expressions(self):
+        # Non-trivial subscripts still resolve their variables.
+        acc = ArrayAccess("A", ("i+1", "2*k"))
+        assert acc.variables_in(("k", "i")) == ("k", "i")
+
+    def test_unknown_vars_ignored(self):
+        acc = ArrayAccess("A", ("q",))
+        assert acc.variables_in(("i", "j")) == ()
+
+
+class TestStatement:
+    def make(self, **kw):
+        defaults = dict(
+            name="S",
+            loop_vars=("i", "j"),
+            output=ArrayAccess("C", ("i", "j")),
+            inputs=(ArrayAccess("A", ("i",)), ArrayAccess("B", ("j",))),
+            num_vertices=lambda n: n * n,
+        )
+        defaults.update(kw)
+        return Statement(**defaults)
+
+    def test_depth(self):
+        assert self.make().depth == 2
+
+    def test_input_variable_groups(self):
+        s = self.make()
+        assert s.input_variable_groups() == (("i",), ("j",))
+
+    def test_duplicate_loop_vars_rejected(self):
+        with pytest.raises(DAAPError):
+            self.make(loop_vars=("i", "i"))
+
+    def test_disjoint_access_violation(self):
+        with pytest.raises(DAAPError):
+            self.make(inputs=(ArrayAccess("A", ("i",)),
+                              ArrayAccess("A", ("i",))))
+
+    def test_output_pattern_as_input_allowed(self):
+        # Reading the previous version of the output element is legal.
+        s = self.make(inputs=(ArrayAccess("C", ("i", "j")),
+                              ArrayAccess("A", ("i",))))
+        assert s.depth == 2
+
+    def test_access_without_variables_rejected(self):
+        with pytest.raises(DAAPError):
+            self.make(inputs=(ArrayAccess("A", ("0",)),))
+
+    def test_trivially_no_reuse(self):
+        s = self.make(inputs=(ArrayAccess("A", ("i", "j")),
+                              ArrayAccess("B", ("j", "i"))))
+        assert s.trivially_no_reuse()
+        assert not self.make().trivially_no_reuse()
+
+
+class TestPrograms:
+    def test_lu_statement_structure(self):
+        prog = lu_program()
+        s1, s2 = prog.statements
+        assert s1.depth == 2 and s2.depth == 3
+        # S1's pivot access A[k,k] has access dimension 1.
+        assert s1.inputs[1].access_dimension(s1.loop_vars) == 1
+        assert s1.min_unique_inputs == 1
+
+    def test_lu_vertex_counts(self):
+        prog = lu_program()
+        n = 10
+        assert prog.statement("S1").num_vertices(n) == 45       # n(n-1)/2
+        assert prog.statement("S2").num_vertices(n) == 240      # n(n-1)(n-2)/3
+        # Cross-check against the explicit sums of Section 6.1.  The
+        # paper counts |V2| = N(N-1)(N-2)/3 = sum_k (N-k-1)(N-k-2) — a
+        # valid (slightly conservative) count of the Schur vertices.
+        s1_sum = sum(n - k - 1 for k in range(n))
+        s2_sum = sum((n - k - 1) * (n - k - 2) for k in range(n))
+        assert prog.statement("S1").num_vertices(n) == s1_sum
+        assert prog.statement("S2").num_vertices(n) == s2_sum
+
+    def test_cholesky_vertex_counts(self):
+        prog = cholesky_program()
+        n = 10
+        assert prog.statement("S1").num_vertices(n) == n
+        assert prog.statement("S2").num_vertices(n) == n * (n - 1) / 2
+        s3_sum = sum(i - k - 1 for k in range(n) for i in range(k + 1, n))
+        assert prog.statement("S3").num_vertices(n) == s3_sum
+
+    def test_matmul_includes_accumulator(self):
+        prog = matmul_program()
+        arrays = [a.array for a in prog.statements[0].inputs]
+        assert "C" in arrays
+
+    def test_shared_input_arrays(self):
+        prog = lu_program()
+        shared = prog.shared_input_arrays()
+        assert "A" in shared
+        assert set(shared["A"]) == {"S1", "S2"}
+
+    def test_producer_consumer_pairs(self):
+        prog = lu_program()
+        pairs = prog.producer_consumer_pairs()
+        assert ("S1", "S2", "A") in pairs
+        assert ("S2", "S1", "A") in pairs
+
+    def test_total_vertices(self):
+        prog = cholesky_program()
+        n = 8
+        expected = sum(s.num_vertices(n) for s in prog.statements)
+        assert prog.total_vertices(n) == expected
+
+    def test_duplicate_statement_names_rejected(self):
+        s = lu_program().statement("S1")
+        with pytest.raises(DAAPError):
+            Program("bad", (s, s))
+
+    def test_unknown_statement(self):
+        with pytest.raises(KeyError):
+            lu_program().statement("S9")

@@ -1,0 +1,48 @@
+"""Smoke tests: every example script must run cleanly end to end."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES / name
+    assert path.exists(), f"missing example {name}"
+    runpy.run_path(str(path), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "COnfLUX" in out and "residual" in out
+        # Residuals printed in scientific notation near machine eps.
+        assert "e-1" in out
+
+    def test_lower_bound_pipeline(self, capsys):
+        out = run_example("lower_bound_pipeline.py", capsys)
+        assert "rho_S2" in out
+        assert "Red-blue pebbling" in out
+
+    def test_dft_workload(self, capsys):
+        out = run_example("dft_workload.py", capsys)
+        assert "overlap matrix" in out
+        assert "reduction" in out
+
+    def test_custom_kernel_bound(self, capsys):
+        out = run_example("custom_kernel_bound.py", capsys)
+        assert "Custom kernel" in out
+        assert "rejected as expected" in out
+
+    def test_exascale_projection(self, capsys):
+        out = run_example("exascale_projection.py", capsys)
+        assert "262144" in out
+
+    @pytest.mark.slow
+    def test_tournament_pivoting_stability(self, capsys):
+        out = run_example("tournament_pivoting_stability.py", capsys)
+        assert "wilkinson" in out

@@ -1,0 +1,155 @@
+"""Tests for the X-partition intensity optimization (Section 3).
+
+These verify the paper's closed forms: the Schur statements of LU and
+Cholesky have chi(X) = (X/3)^{3/2}, X_0 = 3M and rho = sqrt(M)/2; the
+panel statements have rho = 1 (out-degree-one cap, Lemma 6).
+"""
+
+import math
+
+import pytest
+
+from repro.lowerbounds import (
+    cholesky_program,
+    chi_function,
+    lemma6_intensity_cap,
+    lu_program,
+    matmul_program,
+    max_subcomputation,
+    minimize_rho,
+    statement_intensity,
+)
+
+
+class TestMaxSubcomputation:
+    def test_matmul_closed_form(self):
+        """max IJK s.t. IJ + IK + KJ <= X  ->  chi = (X/3)^{3/2}."""
+        for x in (300.0, 3000.0, 30000.0):
+            sol = max_subcomputation(
+                ("i", "j", "k"),
+                [("i", "j"), ("i", "k"), ("k", "j")], x)
+            assert sol.chi == pytest.approx((x / 3) ** 1.5, rel=1e-6)
+            # Balanced optimum: all domains equal sqrt(X/3).
+            for d in sol.domain_sizes.values():
+                assert d == pytest.approx(math.sqrt(x / 3), rel=1e-5)
+
+    def test_boundary_optimum_lu_s1(self):
+        """max IK s.t. IK + K <= X has its optimum on the K=1 face."""
+        x = 1000.0
+        sol = max_subcomputation(("k", "i"), [("k", "i"), ("k",)], x)
+        assert sol.chi == pytest.approx(x - 1, rel=1e-9)
+        assert sol.domain_sizes["k"] == pytest.approx(1.0, abs=1e-9)
+
+    def test_single_variable(self):
+        sol = max_subcomputation(("k",), [("k",)], 50.0)
+        assert sol.chi == pytest.approx(50.0, rel=1e-9)
+
+    def test_dominator_never_exceeds_x(self):
+        for x in (10.0, 100.0, 5000.0):
+            sol = max_subcomputation(
+                ("i", "j", "k"),
+                [("i", "j"), ("i", "k"), ("k", "j")], x)
+            assert sol.dominator_size() <= x * (1 + 1e-9)
+
+    def test_weights_shrink_chi(self):
+        x = 3000.0
+        groups = [("i", "j"), ("i", "k"), ("k", "j")]
+        plain = max_subcomputation(("i", "j", "k"), groups, x).chi
+        weighted = max_subcomputation(("i", "j", "k"), groups, x,
+                                      weights=[2.0, 2.0, 2.0]).chi
+        assert weighted < plain
+        # Doubling all weights is like halving X: chi scales by 2^{-3/2}.
+        assert weighted == pytest.approx(plain / 2 ** 1.5, rel=1e-5)
+
+    def test_rejects_uncovered_variable(self):
+        with pytest.raises(ValueError):
+            max_subcomputation(("i", "j"), [("i",)], 100.0)
+
+    def test_rejects_tiny_x(self):
+        with pytest.raises(ValueError):
+            max_subcomputation(("i",), [("i",)], 0.5)
+
+    def test_rejects_empty_groups(self):
+        with pytest.raises(ValueError):
+            max_subcomputation(("i",), [], 10.0)
+        with pytest.raises(ValueError):
+            max_subcomputation(("i",), [()], 10.0)
+
+    def test_domains_at_least_one(self):
+        sol = max_subcomputation(("i", "j", "k"),
+                                 [("i", "j"), ("i", "k"), ("k", "j")], 12.0)
+        for d in sol.domain_sizes.values():
+            assert d >= 1.0 - 1e-9
+
+
+class TestMinimizeRho:
+    def test_schur_statement_x0_is_3m(self):
+        """d/dX [(X/3)^{3/2}/(X-M)] = 0  ->  X_0 = 3M, rho = sqrt(M)/2."""
+        m = 256.0
+        chi = chi_function(("i", "j", "k"),
+                           [("i", "j"), ("i", "k"), ("k", "j")])
+        rho, x0, chi_x0 = minimize_rho(chi, m)
+        assert x0 == pytest.approx(3 * m, rel=1e-3)
+        assert rho == pytest.approx(math.sqrt(m) / 2, rel=1e-3)
+        assert chi_x0 == pytest.approx(m ** 1.5, rel=1e-2)
+
+    def test_asymptotic_statement_detected(self):
+        """chi(X) = X - 1 gives rho -> 1 as X -> inf (no interior min)."""
+        chi = chi_function(("k", "i"), [("k", "i"), ("k",)])
+        rho, x0, _ = minimize_rho(chi, 64.0)
+        assert math.isinf(x0)
+        assert rho == pytest.approx(1.0, rel=1e-3)
+
+    def test_invalid_memory(self):
+        with pytest.raises(ValueError):
+            minimize_rho(lambda x: x, 0.0)
+
+
+class TestLemma6:
+    def test_cap_values(self):
+        assert lemma6_intensity_cap(0) == math.inf
+        assert lemma6_intensity_cap(1) == 1.0
+        assert lemma6_intensity_cap(2) == 0.5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            lemma6_intensity_cap(-1)
+
+
+class TestStatementIntensity:
+    @pytest.mark.parametrize("m", [64.0, 1024.0, 2.0 ** 16])
+    def test_lu_s2_intensity(self, m):
+        res = statement_intensity(lu_program().statement("S2"), m)
+        assert res.rho == pytest.approx(math.sqrt(m) / 2, rel=1e-3)
+        assert res.x0 == pytest.approx(3 * m, rel=1e-2)
+        assert res.limited_by == "x-partition"
+
+    def test_lu_s1_intensity_capped_at_one(self):
+        res = statement_intensity(lu_program().statement("S1"), 1024.0)
+        assert res.rho == 1.0
+        assert res.limited_by == "out-degree-one"
+
+    def test_cholesky_statements(self):
+        m = 1024.0
+        prog = cholesky_program()
+        assert statement_intensity(prog.statement("S1"), m).rho == 1.0
+        assert statement_intensity(prog.statement("S2"), m).rho == 1.0
+        s3 = statement_intensity(prog.statement("S3"), m)
+        assert s3.rho == pytest.approx(math.sqrt(m) / 2, rel=1e-3)
+
+    def test_matmul_intensity(self):
+        m = 4096.0
+        res = statement_intensity(matmul_program().statement("S1"), m)
+        assert res.rho == pytest.approx(math.sqrt(m) / 2, rel=1e-3)
+
+    def test_solution_attached_for_interior_optimum(self):
+        res = statement_intensity(lu_program().statement("S2"), 256.0)
+        assert res.solution is not None
+        # At X_0 = 3M the three access sets are each of size M.
+        for size in res.solution.access_sizes:
+            assert size == pytest.approx(256.0, rel=1e-2)
+
+    def test_intensity_grows_with_memory(self):
+        s2 = lu_program().statement("S2")
+        rhos = [statement_intensity(s2, m).rho for m in (64, 256, 1024)]
+        assert rhos[0] < rhos[1] < rhos[2]

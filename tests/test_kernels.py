@@ -1,0 +1,209 @@
+"""Unit tests for the local kernels (repro.kernels)."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.kernels import (
+    KernelError,
+    SingularMatrixError,
+    cholesky_flops,
+    gemm,
+    gemm_flops,
+    gemmt,
+    gemmt_flops,
+    getrf,
+    getrf_flops,
+    laswp,
+    lu_flops,
+    pivots_to_permutation,
+    potrf,
+    potrf_flops,
+    trsm,
+    trsm_flops,
+)
+
+
+class TestGemm:
+    def test_product(self, rng):
+        a = rng.standard_normal((3, 4))
+        b = rng.standard_normal((4, 5))
+        out, fl = gemm(a, b)
+        assert np.allclose(out, a @ b)
+        assert fl == gemm_flops(3, 5, 4) == 120
+
+    def test_accumulate(self, rng):
+        a = rng.standard_normal((3, 3))
+        b = rng.standard_normal((3, 3))
+        c = rng.standard_normal((3, 3))
+        out, _ = gemm(a, b, c, alpha=2.0, beta=-1.0)
+        assert np.allclose(out, 2 * a @ b - c)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(KernelError):
+            gemm(np.zeros((2, 3)), np.zeros((2, 3)))
+        with pytest.raises(KernelError):
+            gemm(np.zeros((2, 3)), np.zeros((3, 2)), c=np.zeros((3, 3)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(KernelError):
+            gemm(np.zeros(3), np.zeros((3, 2)))
+
+
+class TestGemmt:
+    def test_lower_triangle_only(self, rng):
+        a = rng.standard_normal((4, 3))
+        b = rng.standard_normal((3, 4))
+        out, fl = gemmt(a, b)
+        full = a @ b
+        assert np.allclose(out, np.tril(full))
+        assert np.allclose(np.triu(out, 1), 0)
+        assert fl == gemmt_flops(4, 3)
+
+    def test_half_of_gemm_flops(self):
+        # gemmt is ~half a square gemm (Table 1's compute saving).
+        assert gemmt_flops(100, 50) == pytest.approx(
+            gemm_flops(100, 100, 50) / 2, rel=0.02)
+
+    def test_nonsquare_output_rejected(self):
+        with pytest.raises(KernelError):
+            gemmt(np.zeros((3, 2)), np.zeros((2, 4)))
+
+
+class TestTrsm:
+    def test_left_lower(self, rng):
+        tri = np.tril(rng.standard_normal((4, 4))) + 4 * np.eye(4)
+        rhs = rng.standard_normal((4, 3))
+        x, fl = trsm(tri, rhs, side="left", lower=True)
+        assert np.allclose(tri @ x, rhs)
+        assert fl == trsm_flops(4, 3)
+
+    def test_right_upper(self, rng):
+        tri = np.triu(rng.standard_normal((4, 4))) + 4 * np.eye(4)
+        rhs = rng.standard_normal((5, 4))
+        x, _ = trsm(tri, rhs, side="right", lower=False)
+        assert np.allclose(x @ tri, rhs)
+
+    def test_unit_diagonal(self, rng):
+        tri = np.tril(rng.standard_normal((4, 4)), -1) + np.eye(4)
+        rhs = rng.standard_normal((4, 2))
+        x, _ = trsm(tri, rhs, side="left", lower=True, unit_diagonal=True)
+        assert np.allclose(tri @ x, rhs)
+
+    def test_singular_detected(self):
+        tri = np.diag([1.0, 0.0, 2.0])
+        with pytest.raises(SingularMatrixError):
+            trsm(tri, np.ones((3, 1)))
+
+    def test_bad_side(self):
+        with pytest.raises(KernelError):
+            trsm(np.eye(2), np.ones((2, 2)), side="top")
+
+    def test_shape_checks(self):
+        with pytest.raises(KernelError):
+            trsm(np.eye(3), np.ones((4, 2)), side="left")
+        with pytest.raises(KernelError):
+            trsm(np.ones((2, 3)), np.ones((3, 2)))
+
+
+class TestGetrf:
+    def test_factorization(self, rng):
+        a = rng.standard_normal((6, 6))
+        lu, piv, fl = getrf(a)
+        l = np.tril(lu, -1) + np.eye(6)
+        u = np.triu(lu)
+        perm = pivots_to_permutation(piv, 6)
+        assert np.allclose(a[perm], l @ u)
+        assert fl == getrf_flops(6, 6)
+
+    def test_rectangular_panel(self, rng):
+        a = rng.standard_normal((8, 3))
+        lu, piv, _ = getrf(a)
+        l = np.tril(lu[:, :3], -1) + np.vstack(
+            [np.eye(3), np.zeros((5, 3))])
+        l = np.tril(lu, -1)
+        np.fill_diagonal(l, 1.0)
+        u = np.triu(lu[:3])
+        perm = pivots_to_permutation(piv, 8)
+        assert np.allclose(a[perm], l @ u)
+
+    def test_no_pivot_mode(self, rng):
+        a = rng.standard_normal((5, 5)) + 5 * np.eye(5)
+        lu, piv, _ = getrf(a, pivot=False)
+        assert np.array_equal(piv, np.arange(5))
+        l = np.tril(lu, -1) + np.eye(5)
+        u = np.triu(lu)
+        assert np.allclose(a, l @ u)
+
+    def test_pivot_picks_largest(self):
+        a = np.array([[1.0, 0.0], [10.0, 1.0]])
+        _, piv, _ = getrf(a)
+        assert piv[0] == 1
+
+    def test_singular_raises(self):
+        with pytest.raises(SingularMatrixError):
+            getrf(np.zeros((3, 3)))
+
+    def test_matches_scipy(self, rng):
+        a = rng.standard_normal((7, 7))
+        lu, piv, _ = getrf(a)
+        lu_sp, piv_sp = scipy.linalg.lu_factor(a)
+        assert np.allclose(lu, lu_sp)
+        assert np.array_equal(piv, piv_sp)
+
+
+class TestPotrf:
+    def test_factorization(self, spd_matrix):
+        l, fl = potrf(spd_matrix)
+        assert np.allclose(l @ l.T, spd_matrix)
+        assert np.allclose(np.triu(l, 1), 0)
+        assert fl == potrf_flops(64)
+
+    def test_not_spd_raises(self):
+        with pytest.raises(KernelError):
+            potrf(-np.eye(3))
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(KernelError):
+            potrf(np.zeros((2, 3)))
+
+
+class TestLaswp:
+    def test_applies_swaps(self):
+        a = np.arange(12.0).reshape(4, 3)
+        piv = np.array([2, 1, 3, 3])
+        out = laswp(a, piv)
+        lu_like = a.copy()
+        for i, p in enumerate(piv):
+            lu_like[[i, p]] = lu_like[[p, i]]
+        assert np.allclose(out, lu_like)
+
+    def test_consistent_with_permutation(self, rng):
+        a = rng.standard_normal((6, 4))
+        piv = np.array([3, 1, 5, 4, 4, 5])
+        assert np.allclose(laswp(a, piv),
+                           a[pivots_to_permutation(piv, 6)])
+
+    def test_out_of_range_pivot(self):
+        with pytest.raises(KernelError):
+            laswp(np.zeros((3, 2)), np.array([5]))
+
+
+class TestFlopFormulas:
+    def test_lu_leading_term(self):
+        n = 1000
+        assert lu_flops(n) == pytest.approx(2 * n ** 3 / 3, rel=0.01)
+
+    def test_cholesky_leading_term(self):
+        n = 1000
+        assert cholesky_flops(n) == pytest.approx(n ** 3 / 3, rel=0.01)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gemm_flops(-1, 2, 3)
+        with pytest.raises(ValueError):
+            trsm_flops(2, -3)
+
+    def test_getrf_symmetric_in_orientation(self):
+        # LAPACK count depends only on {m, n} extents for m>=n vs n>=m.
+        assert getrf_flops(10, 4) == getrf_flops(4, 10)

@@ -1,0 +1,197 @@
+"""Unit tests for the simulated machine (stores + communicator)."""
+
+import numpy as np
+import pytest
+
+from repro.machine import (
+    CommunicationError,
+    Machine,
+    MemoryLimitError,
+    RankError,
+    RankStore,
+)
+
+
+class TestRankStore:
+    def test_put_get_roundtrip(self):
+        s = RankStore(0)
+        s.put("a", np.arange(6).reshape(2, 3))
+        assert np.array_equal(s.get("a"), np.arange(6).reshape(2, 3))
+
+    def test_word_counting(self):
+        s = RankStore(0)
+        s.put("a", np.zeros((4, 4)))
+        assert s.words == 16
+        s.put("a", np.zeros(4))  # replace shrinks
+        assert s.words == 4
+        s.pop("a")
+        assert s.words == 0
+
+    def test_peak_tracking(self):
+        s = RankStore(0)
+        s.put("a", np.zeros(10))
+        s.pop("a")
+        s.put("b", np.zeros(3))
+        assert s.peak_words == 10
+
+    def test_capacity_enforced(self):
+        s = RankStore(0, capacity_words=10)
+        s.put("a", np.zeros(8))
+        with pytest.raises(MemoryLimitError):
+            s.put("b", np.zeros(4))
+        # Replacing within budget is fine.
+        s.put("a", np.zeros(10))
+
+    def test_missing_key(self):
+        s = RankStore(0)
+        with pytest.raises(CommunicationError):
+            s.get("nope")
+
+    def test_discard_is_idempotent(self):
+        s = RankStore(0)
+        s.put("a", np.zeros(2))
+        s.discard("a")
+        s.discard("a")
+        assert "a" not in s
+
+
+class TestMachineP2P:
+    def test_send_moves_data_and_counts(self):
+        m = Machine(2)
+        m.store(0).put("x", np.ones((3, 3)))
+        m.send(0, 1, "x")
+        assert np.array_equal(m.store(1).get("x"), np.ones((3, 3)))
+        assert m.stats.recv_words[1] == 9
+        assert m.stats.sent_words[0] == 9
+
+    def test_send_is_a_copy(self):
+        m = Machine(2)
+        m.store(0).put("x", np.ones(4))
+        m.send(0, 1, "x")
+        m.store(1).get("x")[0] = 99
+        assert m.store(0).get("x")[0] == 1
+
+    def test_local_send_free(self):
+        m = Machine(2)
+        m.store(0).put("x", np.ones(4))
+        m.send(0, 0, "x", dest_key="y")
+        assert m.stats.total_recv_words == 0
+        assert "y" in m.store(0)
+
+    def test_bad_rank(self):
+        m = Machine(2)
+        with pytest.raises(RankError):
+            m.store(5)
+
+
+class TestMachineCollectives:
+    def test_bcast_delivers_everywhere(self):
+        m = Machine(4)
+        m.store(1).put("k", np.full((2, 2), 7.0))
+        m.bcast(1, [0, 1, 2, 3], "k")
+        for r in range(4):
+            assert np.array_equal(m.store(r).get("k"), np.full((2, 2), 7.0))
+        # Each non-root received 4 words; total sent equals total received.
+        assert m.stats.recv_words[1] == 0
+        assert all(m.stats.recv_words[r] == 4 for r in (0, 2, 3))
+        assert float(m.stats.sent_words.sum()) == 12
+
+    def test_bcast_root_not_in_group(self):
+        m = Machine(3)
+        m.store(0).put("k", np.ones(1))
+        with pytest.raises(CommunicationError):
+            m.bcast(0, [1, 2], "k")
+
+    def test_reduce_sums(self):
+        m = Machine(3)
+        for r in range(3):
+            m.store(r).put("k", np.full(4, float(r + 1)))
+        out = m.reduce(0, [0, 1, 2], "k")
+        assert np.array_equal(out, np.full(4, 6.0))
+        # Root receives (g-1)*n = 8 words.
+        assert m.stats.recv_words[0] == 8
+
+    def test_reduce_max(self):
+        m = Machine(2)
+        m.store(0).put("k", np.array([1.0, 9.0]))
+        m.store(1).put("k", np.array([5.0, 2.0]))
+        out = m.reduce(0, [0, 1], "k", op="max")
+        assert np.array_equal(out, np.array([5.0, 9.0]))
+
+    def test_reduce_shape_mismatch(self):
+        m = Machine(2)
+        m.store(0).put("k", np.zeros(2))
+        m.store(1).put("k", np.zeros(3))
+        with pytest.raises(CommunicationError):
+            m.reduce(0, [0, 1], "k")
+
+    def test_allreduce(self):
+        m = Machine(3)
+        for r in range(3):
+            m.store(r).put("k", np.full(2, 1.0))
+        m.allreduce([0, 1, 2], "k")
+        for r in range(3):
+            assert np.array_equal(m.store(r).get("k"), np.full(2, 3.0))
+
+    def test_reduce_scatter(self):
+        m = Machine(2)
+        for r in range(2):
+            m.store(r).put(("p", 0), np.full(3, float(r + 1)))
+            m.store(r).put(("p", 1), np.full(3, float(10 * (r + 1))))
+        m.reduce_scatter([0, 1], [("p", 0), ("p", 1)])
+        assert np.array_equal(m.store(0).get(("p", 0)), np.full(3, 3.0))
+        assert np.array_equal(m.store(1).get(("p", 1)), np.full(3, 30.0))
+        # Each rank received one remote partial: 3 words.
+        assert m.stats.recv_words[0] == 3
+        assert m.stats.recv_words[1] == 3
+        # Foreign partials dropped.
+        assert ("p", 1) not in m.store(0)
+
+    def test_scatter_gather_roundtrip(self):
+        m = Machine(3)
+        for i in range(3):
+            m.store(0).put(("blk", i), np.full(2, float(i)))
+        m.scatter(0, [0, 1, 2], [("blk", 0), ("blk", 1), ("blk", 2)])
+        assert np.array_equal(m.store(2).get(("blk", 2)), np.full(2, 2.0))
+        m2 = Machine(3)
+        for i in range(3):
+            m2.store(i).put(("blk", i), np.full(2, float(i)))
+        m2.gather(0, [0, 1, 2], [("blk", 0), ("blk", 1), ("blk", 2)])
+        assert np.array_equal(m2.store(0).get(("blk", 1)), np.full(2, 1.0))
+
+    def test_allgather(self):
+        m = Machine(2)
+        m.store(0).put("a", np.zeros(2))
+        m.store(1).put("b", np.ones(2))
+        m.allgather([0, 1], ["a", "b"])
+        assert np.array_equal(m.store(0).get("b"), np.ones(2))
+        assert np.array_equal(m.store(1).get("a"), np.zeros(2))
+        assert m.stats.recv_words[0] == 2
+        assert m.stats.recv_words[1] == 2
+
+    def test_group_validation(self):
+        m = Machine(3)
+        m.store(0).put("k", np.ones(1))
+        with pytest.raises(CommunicationError):
+            m.bcast(0, [0, 0, 1], "k")
+        with pytest.raises(CommunicationError):
+            m.scatter(0, [0, 1], ["k"])
+
+    def test_memory_enforcement_through_comm(self):
+        m = Machine(2, mem_words=4, enforce_memory=True)
+        m.store(0).put("x", np.ones(3))
+        m.store(1).put("y", np.ones(3))
+        # Receiving 3 more words would exceed rank 1's capacity of 4.
+        with pytest.raises(MemoryLimitError):
+            m.send(0, 1, "x")
+
+    def test_memory_not_enforced_by_default(self):
+        m = Machine(2, mem_words=4)
+        m.store(0).put("x", np.ones(100))  # over "M" but not enforced
+        assert m.mem_words == 4
+
+    def test_compute_attribution(self):
+        m = Machine(2)
+        m.compute(1, 1000)
+        assert m.stats.flops[1] == 1000
+        assert m.stats.flops[0] == 0

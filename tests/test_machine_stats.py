@@ -1,0 +1,152 @@
+"""Unit tests for per-rank counters (repro.machine.stats)."""
+
+import numpy as np
+import pytest
+
+from repro.machine import CommStats, RankError
+from repro.machine.stats import StepRecord
+
+
+class TestCommStatsBasics:
+    def test_initial_counters_zero(self):
+        s = CommStats(4)
+        assert s.max_recv_words == 0
+        assert s.total_recv_words == 0
+        assert s.total_flops == 0
+
+    def test_invalid_rank_count(self):
+        with pytest.raises(RankError):
+            CommStats(0)
+
+    def test_record_send_recv(self):
+        s = CommStats(3)
+        s.record_send(0, 10)
+        s.record_recv(1, 10)
+        assert s.sent_words[0] == 10
+        assert s.recv_words[1] == 10
+        assert s.recv_words[0] == 0
+
+    def test_record_transfer_counts_both_sides(self):
+        s = CommStats(2)
+        s.record_transfer(0, 1, 7)
+        assert s.sent_words[0] == 7
+        assert s.recv_words[1] == 7
+
+    def test_self_transfer_is_free(self):
+        s = CommStats(2)
+        s.record_transfer(1, 1, 100)
+        assert s.total_recv_words == 0
+        assert float(s.sent_words.sum()) == 0
+
+    def test_rank_out_of_range(self):
+        s = CommStats(2)
+        with pytest.raises(RankError):
+            s.record_recv(2, 1)
+        with pytest.raises(RankError):
+            s.record_send(-1, 1)
+
+    def test_negative_words_rejected(self):
+        s = CommStats(2)
+        with pytest.raises(ValueError):
+            s.record_recv(0, -1)
+
+    def test_flops_accumulate(self):
+        s = CommStats(2)
+        s.record_flops(0, 100)
+        s.record_flops(0, 50)
+        assert s.flops[0] == 150
+        assert s.total_flops == 150
+        assert s.max_flops == 150
+
+    def test_mean_recv_words(self):
+        s = CommStats(4)
+        s.record_recv(0, 8)
+        assert s.mean_recv_words == 2.0
+        assert s.max_recv_words == 8.0
+
+    def test_reset(self):
+        s = CommStats(2)
+        s.record_recv(0, 5)
+        s.record_flops(1, 9)
+        s.begin_step("a")
+        s.end_step()
+        s.reset()
+        assert s.total_recv_words == 0
+        assert s.total_flops == 0
+        assert len(s.steps) == 0
+
+
+class TestVectorizedRecording:
+    def test_add_recv_array(self):
+        s = CommStats(3)
+        s.add_recv_array(np.array([1.0, 2.0, 3.0]))
+        assert s.max_recv_words == 3.0
+        assert s.total_recv_words == 6.0
+
+    def test_add_recv_array_shape_check(self):
+        s = CommStats(3)
+        with pytest.raises(ValueError):
+            s.add_recv_array(np.zeros(4))
+
+    def test_add_recv_array_negative_rejected(self):
+        s = CommStats(2)
+        with pytest.raises(ValueError):
+            s.add_recv_array(np.array([1.0, -1.0]))
+
+    def test_add_flops_array(self):
+        s = CommStats(2)
+        s.add_flops_array(np.array([5.0, 7.0]))
+        assert s.max_flops == 7.0
+
+    def test_zero_words_no_message_count(self):
+        s = CommStats(2)
+        s.add_recv_array(np.array([0.0, 4.0]))
+        assert s.recv_msgs[0] == 0
+        assert s.recv_msgs[1] == 1
+
+
+class TestSteps:
+    def test_step_record_captures_deltas(self):
+        s = CommStats(2)
+        s.record_recv(0, 3)  # before the step: excluded
+        s.begin_step("phase")
+        s.record_recv(0, 10)
+        s.record_recv(1, 20)
+        s.record_flops(0, 5)
+        rec = s.end_step()
+        assert rec.label == "phase"
+        assert rec.recv_words_max == 20
+        assert rec.recv_words_total == 30
+        assert rec.flops_max == 5
+
+    def test_nested_steps_rejected(self):
+        s = CommStats(1)
+        s.begin_step("a")
+        with pytest.raises(RuntimeError):
+            s.begin_step("b")
+
+    def test_end_without_begin_rejected(self):
+        s = CommStats(1)
+        with pytest.raises(RuntimeError):
+            s.end_step()
+
+    def test_step_log_total(self):
+        s = CommStats(1)
+        for i in range(3):
+            s.begin_step(f"s{i}")
+            s.record_recv(0, 10)
+            s.end_step()
+        assert s.steps.total("recv_words_max") == 30
+        assert len(s.steps) == 3
+        assert s.steps[1].label == "s1"
+
+    def test_step_record_merged(self):
+        a = StepRecord("a", flops_max=10, flops_total=20, recv_words_max=5,
+                       recv_words_total=9)
+        b = StepRecord("b", flops_max=4, flops_total=4, recv_words_max=8,
+                       recv_words_total=8)
+        m = a.merged(b)
+        assert m.flops_max == 10
+        assert m.flops_total == 24
+        assert m.recv_words_max == 8
+        assert m.recv_words_total == 17

@@ -1,0 +1,188 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import blas
+from repro.layouts import BlockCyclicLayout, global_to_local, local_to_global, numroc
+from repro.lowerbounds import lu_io_lower_bound, max_subcomputation
+from repro.machine import (
+    ProcessorGrid2D,
+    ProcessorGrid3D,
+    balanced_block_count,
+    largest_square_divisor,
+)
+from repro.machine.stats import CommStats
+from repro.pebbles import PebbleGame, greedy_schedule, matmul_cdag
+
+
+class TestGridProperties:
+    @given(p=st.integers(1, 10000))
+    def test_square_divisor_invariants(self, p):
+        a, b = largest_square_divisor(p)
+        assert a * b == p and 1 <= a <= b
+
+    @given(rows=st.integers(1, 12), cols=st.integers(1, 12),
+           layers=st.integers(1, 6))
+    def test_grid3d_rank_bijective(self, rows, cols, layers):
+        g = ProcessorGrid3D(rows, cols, layers)
+        ranks = {g.rank(pi, pj, pk) for (pi, pj, pk) in g}
+        assert ranks == set(range(g.size))
+
+    @given(nb=st.integers(0, 200), p=st.integers(1, 20),
+           first=st.integers(0, 200))
+    def test_balanced_block_count_partitions(self, nb, p, first):
+        total = sum(balanced_block_count(nb, p, q, first) for q in range(p))
+        assert total == max(0, nb - first)
+
+    @given(nb=st.integers(1, 100), p=st.integers(1, 16),
+           first=st.integers(0, 100))
+    def test_balanced_block_count_balanced(self, nb, p, first):
+        counts = [balanced_block_count(nb, p, q, first) for q in range(p)]
+        assert max(counts) - min(counts) <= 1
+
+
+class TestLayoutProperties:
+    @given(n=st.integers(1, 300), nb=st.integers(1, 40),
+           p=st.integers(1, 12))
+    def test_numroc_partitions(self, n, nb, p):
+        assert sum(numroc(n, nb, q, 0, p) for q in range(p)) == n
+
+    @given(ig=st.integers(0, 1000), nb=st.integers(1, 40),
+           p=st.integers(1, 12))
+    def test_index_map_roundtrip(self, ig, nb, p):
+        owner, il = global_to_local(ig, nb, p)
+        assert 0 <= owner < p
+        assert local_to_global(il, nb, owner, 0, p) == ig
+
+    @given(m=st.integers(1, 60), n=st.integers(1, 60),
+           mb=st.integers(1, 17), nb=st.integers(1, 17),
+           pr=st.integers(1, 4), pc=st.integers(1, 4))
+    @settings(max_examples=50)
+    def test_block_cyclic_words_partition(self, m, n, mb, nb, pr, pc):
+        lay = BlockCyclicLayout(m, n, mb, nb, ProcessorGrid2D(pr, pc))
+        assert int(lay.words_per_rank().sum()) == m * n
+
+
+class TestStatsProperties:
+    @given(st.lists(st.tuples(st.integers(0, 7), st.floats(0, 1e6)),
+                    max_size=30))
+    def test_totals_match_sum_of_events(self, events):
+        s = CommStats(8)
+        for rank, words in events:
+            s.record_recv(rank, words)
+        assert s.total_recv_words == pytest.approx(
+            sum(w for _, w in events))
+        assert s.max_recv_words <= s.total_recv_words + 1e-9
+
+
+class TestIntensityProperties:
+    @given(x=st.floats(10.0, 1e7))
+    @settings(max_examples=30, deadline=None)
+    def test_matmul_chi_closed_form(self, x):
+        sol = max_subcomputation(("i", "j", "k"),
+                                 [("i", "j"), ("i", "k"), ("k", "j")], x)
+        assert sol.chi == pytest.approx((x / 3) ** 1.5, rel=1e-4)
+
+    @given(x1=st.floats(10.0, 1e5), x2=st.floats(10.0, 1e5))
+    @settings(max_examples=30, deadline=None)
+    def test_chi_monotone_in_x(self, x1, x2):
+        assume(x1 < x2)
+        groups = [("i", "j"), ("i", "k"), ("k", "j")]
+        c1 = max_subcomputation(("i", "j", "k"), groups, x1).chi
+        c2 = max_subcomputation(("i", "j", "k"), groups, x2).chi
+        assert c2 >= c1 * (1 - 1e-9)
+
+
+class TestBoundProperties:
+    @given(n=st.floats(2, 1e6), p=st.floats(1, 1e6),
+           m=st.floats(4, 1e12))
+    def test_lu_bound_positive_and_monotone_in_n(self, n, p, m):
+        q = lu_io_lower_bound(n, p, m)
+        assert q >= 0
+        assert lu_io_lower_bound(n * 2, p, m) >= q
+
+
+class TestKernelProperties:
+    @given(st.integers(2, 12), st.integers(0, 2 ** 32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_getrf_reconstructs(self, n, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((n, n)) + n * np.eye(n)
+        lu, piv, _ = blas.getrf(a)
+        l = np.tril(lu, -1) + np.eye(n)
+        u = np.triu(lu)
+        perm = blas.pivots_to_permutation(piv, n)
+        assert np.allclose(a[perm], l @ u, atol=1e-8)
+
+    @given(st.integers(2, 12), st.integers(0, 2 ** 32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_potrf_reconstructs(self, n, seed):
+        rng = np.random.default_rng(seed)
+        g = rng.standard_normal((n, n))
+        a = g @ g.T + n * np.eye(n)
+        l, _ = blas.potrf(a)
+        assert np.allclose(l @ l.T, a, atol=1e-8)
+
+    @given(st.integers(1, 10), st.integers(1, 10),
+           st.integers(0, 2 ** 32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_trsm_solves(self, t, nrhs, seed):
+        rng = np.random.default_rng(seed)
+        tri = np.tril(rng.standard_normal((t, t))) + t * np.eye(t)
+        rhs = rng.standard_normal((t, nrhs))
+        x, _ = blas.trsm(tri, rhs)
+        assert np.allclose(tri @ x, rhs, atol=1e-8)
+
+
+class TestPebbleGameProperties:
+    @given(n=st.integers(2, 4), extra=st.integers(0, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_greedy_always_valid_and_within_memory(self, n, extra):
+        g = matmul_cdag(n)
+        m = 4 + extra
+        game = PebbleGame(g, m)
+        game.run(greedy_schedule(g, m))
+        assert game.max_red <= m
+        assert game.finished()
+
+    @given(n=st.integers(2, 4), m1=st.integers(5, 15),
+           m2=st.integers(16, 120))
+    @settings(max_examples=15, deadline=None)
+    def test_io_monotone_in_memory(self, n, m1, m2):
+        g = matmul_cdag(n)
+        game1 = PebbleGame(g, m1)
+        game1.run(greedy_schedule(g, m1))
+        game2 = PebbleGame(g, m2)
+        game2.run(greedy_schedule(g, m2))
+        assert game2.io_cost <= game1.io_cost
+
+
+class TestFactorizationProperties:
+    @given(seed=st.integers(0, 2 ** 32 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_conflux_residual_random_matrices(self, seed):
+        from repro.factorizations import conflux_lu
+
+        rng = np.random.default_rng(seed)
+        n = 32
+        a = rng.standard_normal((n, n)) + n * np.eye(n)
+        res = conflux_lu(n, 4, v=8, c=2, a=a)
+        err = np.linalg.norm(a[res.perm] - res.lower @ res.upper)
+        assert err / np.linalg.norm(a) < 1e-10
+
+    @given(seed=st.integers(0, 2 ** 32 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_tournament_winners_distinct_and_valid(self, seed):
+        from repro.factorizations.pivoting import tournament_pivot
+
+        rng = np.random.default_rng(seed)
+        panel = rng.standard_normal((40, 4))
+        res = tournament_pivot(panel, 4, parts=5)
+        winners = res.winners.tolist()
+        assert len(set(winners)) == 4
+        assert all(0 <= w < 40 for w in winners)

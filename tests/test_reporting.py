@@ -1,0 +1,32 @@
+"""Tests for the one-shot reproduction report."""
+
+import pytest
+
+from repro.analysis.reporting import full_report
+
+
+class TestFullReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        # Small reference point keeps this fast; class-scoped so the
+        # content checks share one run.
+        return full_report(n_ref=8192, p_ref=256, quick=True)
+
+    def test_all_sections_present(self, report):
+        for section in ("Lower bounds", "Communication volumes",
+                        "Model validation", "Communication reduction",
+                        "Time-to-solution", "Near-optimality", "Ablations"):
+            assert section in report
+
+    def test_all_implementations_reported(self, report):
+        for name in ("conflux", "confchox", "mkl", "slate", "candmc",
+                     "capital"):
+            assert name in report
+
+    def test_reduction_row_present(self, report):
+        assert "predicted" in report
+        assert "measured" in report
+
+    def test_report_is_plain_text(self, report):
+        assert isinstance(report, str)
+        assert len(report.splitlines()) > 40
