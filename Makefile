@@ -1,0 +1,25 @@
+# Repo entry points.  Tier-1 verification is `make test`.
+
+PY ?= python
+
+.PHONY: test lint bench-smoke
+
+## Run the tier-1 test suite (what CI and the PR driver gate on).
+test:
+	PYTHONPATH=src $(PY) -m pytest -x -q
+
+## Static checks (configuration in ruff.toml).  The container image may
+## not ship ruff; installing dependencies is out of scope here, so the
+## target degrades to a notice instead of failing.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples scripts; \
+	elif $(PY) -c "import ruff" 2>/dev/null; then \
+		$(PY) -m ruff check src tests benchmarks examples scripts; \
+	else \
+		echo "ruff not installed; skipping lint (config committed in ruff.toml)"; \
+	fi
+
+## Fast trace-sweep perf snapshot; writes BENCH_engine.json at the root.
+bench-smoke:
+	$(PY) scripts/bench_smoke.py

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Fast perf snapshot of the trace-mode sweep (``make bench-smoke``).
+
+Runs the paper-style ``(impl, N, P)`` sweep that dominates figure
+regeneration through :func:`repro.analysis.harness.sweep_traces`, times
+it, sanity-checks the volume checksum, and writes ``BENCH_engine.json``
+at the repo root so successive PRs accumulate a performance trajectory.
+
+The ``seed`` block records the same workload measured on the pre-engine
+code base (per-step Python accounting loops); ``checksum`` must never
+drift — the engine vectorizes the accounting, it does not change it.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.analysis.harness import sweep_traces  # noqa: E402
+from repro.engine import accounting  # noqa: E402
+
+#: The bench-smoke workload: three paper-scale corners of the (N, P)
+#: evaluation plane, four implementations each (LU + Cholesky, 2.5D +
+#: 2D baseline).
+CASES = [(65536, 1024), (65536, 4096), (131072, 4096)]
+
+#: The same workload on the seed code base (per-step accounting loops),
+#: measured on the container this snapshot was introduced on.  The
+#: checksum (sum of mean received words over all traced runs) was
+#: verified equal between the seed loops and the vectorized engine.
+SEED_BASELINE = {"sweep_s": 6.43, "checksum": 1428577584.0}
+
+REPS = 3
+
+
+def run() -> dict:
+    times = []
+    checksum = 0.0
+    for _ in range(REPS):
+        t0 = time.perf_counter()
+        results = sweep_traces(CASES)
+        times.append(time.perf_counter() - t0)
+        checksum = sum(r.mean_recv_words for r in results)
+    best = min(times)
+    return {
+        "workload": {
+            "cases": CASES,
+            "lu_impls": ["conflux", "mkl"],
+            "chol_impls": ["confchox", "mkl-chol"],
+        },
+        "engine": {
+            "sweep_s": round(best, 3),
+            "all_reps_s": [round(t, 3) for t in times],
+            "checksum": checksum,
+            "chunk_target": accounting._CHUNK_TARGET,
+        },
+        "seed": SEED_BASELINE,
+        "speedup_vs_seed": round(SEED_BASELINE["sweep_s"] / best, 2),
+        "checksum_matches_seed": abs(checksum - SEED_BASELINE["checksum"])
+        / SEED_BASELINE["checksum"] < 1e-6,
+        "python": platform.python_version(),
+    }
+
+
+def main() -> int:
+    snapshot = run()
+    out = pathlib.Path(__file__).resolve().parents[1] / "BENCH_engine.json"
+    out.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(json.dumps(snapshot, indent=2))
+    print(f"[saved to {out}]")
+    if not snapshot["checksum_matches_seed"]:
+        print("ERROR: trace checksum drifted from the seed accounting",
+              file=sys.stderr)
+        return 1
+    if snapshot["speedup_vs_seed"] < 1.0:
+        print("ERROR: trace sweep slower than the seed baseline",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,7 +31,7 @@ __all__ = [
     "LU_IMPLEMENTATIONS", "CHOLESKY_IMPLEMENTATIONS",
     "NODE_MEM_WORDS", "RANKS_PER_NODE",
     "max_replication", "feasible", "best_conflux_config",
-    "trace_lu", "trace_cholesky",
+    "trace_lu", "trace_cholesky", "sweep_traces",
     "estimate_time", "TimedRun", "format_table",
 ]
 
@@ -166,6 +166,27 @@ def trace_cholesky(name: str, n: int, p: int,
     if c is None:
         c = max_replication(p, n)
     return CHOLESKY_IMPLEMENTATIONS[name](n, p, c)
+
+
+def sweep_traces(cases: list[tuple[int, int]],
+                 lu_impls: tuple[str, ...] = ("conflux", "mkl"),
+                 chol_impls: tuple[str, ...] = ("confchox", "mkl-chol"),
+                 ) -> list[FactorizationResult]:
+    """Trace every ``(impl, N, P)`` combination of the sweep.
+
+    This is the paper-style evaluation loop the figure benchmarks and
+    the ``bench-smoke`` perf snapshot share; each trace runs through the
+    engine's step-vectorized :class:`~repro.engine.backends.TraceBackend`,
+    so the sweep cost is dominated by NumPy array arithmetic rather than
+    per-step Python overhead.
+    """
+    results: list[FactorizationResult] = []
+    for n, p in cases:
+        for name in lu_impls:
+            results.append(trace_lu(name, n, p))
+        for name in chol_impls:
+            results.append(trace_cholesky(name, n, p))
+    return results
 
 
 @dataclasses.dataclass(frozen=True)

@@ -12,9 +12,12 @@ back.  This module reproduces that contract on the simulated machine:
 Each call takes a :class:`~repro.machine.comm.Machine` whose stores hold
 the distributed tiles under ``(name, bi, bj)`` keys, performs the counted
 COSTA redistribution into the algorithm's tile size, runs the
-factorization, and writes the factors back in the caller's layout.  The
-reshuffle costs O(N^2/P) per rank — asymptotically free, as the paper
-argues (Section 7.4).
+factorization *on the machine* through the engine's
+:class:`~repro.engine.backends.DistributedBackend` — every word the
+schedule moves is counted by the machine itself, not merged in from a
+separate accounting run — and writes the factors back in the caller's
+layout.  The reshuffle costs O(N^2/P) per rank — asymptotically free, as
+the paper argues (Section 7.4).
 """
 
 from __future__ import annotations
@@ -23,15 +26,17 @@ import dataclasses
 
 import numpy as np
 
-from .factorizations import confchox_cholesky, conflux_lu
+from .engine.backends import DistributedBackend
+from .factorizations import ConfchoxSchedule, ConfluxSchedule
+from .factorizations.common import FactorizationResult
 from .factorizations.solve import SolveResult, cholesky_solve, lu_solve
 from .layouts import (
     BlockCyclicLayout,
     ScaLAPACKDescriptor,
-    block_key,
     redistribute,
 )
 from .machine import Machine, ProcessorGrid2D
+from .machine.stats import CommStats
 
 __all__ = ["pdgetrf", "pdpotrf", "pdgetrs", "pdpotrs", "PDResult"]
 
@@ -41,14 +46,18 @@ class PDResult:
     """Result of a ScaLAPACK-style call.
 
     The factors live back in the machine's stores under ``out_name`` in
-    the caller's layout; this object carries the pivots, the counted
-    communication (including the COSTA reshuffles), and dense copies for
-    verification convenience.
+    the caller's layout; this object carries the pivots, the tile size
+    ``v`` the factorization actually ran with, its counted communication
+    (``comm`` — the factorization traffic only; ``reshuffle_words``
+    covers the COSTA reshuffles), and dense copies for verification
+    convenience.
     """
 
     out_name: str
     desc: ScaLAPACKDescriptor
     machine: Machine
+    v: int
+    comm: CommStats
     perm: np.ndarray | None
     lower: np.ndarray
     upper: np.ndarray | None
@@ -67,30 +76,31 @@ def _layout_from_desc(desc: ScaLAPACKDescriptor) -> BlockCyclicLayout:
 
 
 def _prepare(machine: Machine, name: str, desc: ScaLAPACKDescriptor,
-             v: int) -> tuple[np.ndarray, float, BlockCyclicLayout]:
-    """COSTA-reshuffle the caller's matrix into v x v tiles and return a
-    dense working copy plus the reshuffle volume."""
+             v: int, layer_grid: ProcessorGrid2D) -> float:
+    """COSTA-reshuffle the caller's matrix into ``v x v`` tiles on the
+    schedule's layer-0 grid; returns the reshuffle volume.
+
+    The native tiles land under ``(name + ":native", bi, bj)`` on the
+    2D ranks of ``layer_grid`` — which coincide with layer 0 of the
+    schedule's 3D grid, where :meth:`dist_init` adopts them.
+    """
     if desc.m != desc.n:
         raise ValueError(f"need a square matrix, got {desc.m}x{desc.n}")
     if desc.prows * desc.pcols > machine.nranks:
         raise ValueError("descriptor grid exceeds machine size")
     src = _layout_from_desc(desc)
-    native = BlockCyclicLayout(desc.n, desc.n, v, v,
-                               ProcessorGrid2D(desc.prows, desc.pcols))
+    native = BlockCyclicLayout(desc.n, desc.n, v, v, layer_grid)
     before = machine.stats.total_recv_words
     redistribute(machine, name, src, native, dst_name=name + ":native")
-    reshuffle = machine.stats.total_recv_words - before
-    dense = native.gather_to(machine, name + ":native")
-    return dense, reshuffle, native
+    return machine.stats.total_recv_words - before
 
 
 def _writeback(machine: Machine, out_name: str,
                desc: ScaLAPACKDescriptor, packed: np.ndarray,
-               v: int) -> float:
+               v: int, layer_grid: ProcessorGrid2D) -> float:
     """Scatter packed factors into native tiles, then COSTA back to the
     caller's layout; returns the reshuffle volume."""
-    native = BlockCyclicLayout(desc.n, desc.n, v, v,
-                               ProcessorGrid2D(desc.prows, desc.pcols))
+    native = BlockCyclicLayout(desc.n, desc.n, v, v, layer_grid)
     native.scatter_from(machine, out_name + ":native", packed)
     dst = _layout_from_desc(desc)
     before = machine.stats.total_recv_words
@@ -109,14 +119,14 @@ def pdgetrf(machine: Machine, name: str, desc: ScaLAPACKDescriptor,
     under ``out_name``; ``perm`` maps pivot order to original rows.
     """
     out_name = out_name or name + ":lu"
-    dense, resh_in, _ = _prepare(machine, name, desc, v)
-    res = conflux_lu(desc.n, machine.nranks, v=v, c=c, a=dense)
-    machine.stats.add_recv_array(res.comm.recv_words)
-    machine.stats.add_sent_array(res.comm.sent_words)
-    machine.stats.add_flops_array(res.comm.flops)
+    schedule = ConfluxSchedule(desc.n, machine.nranks, v=v, c=c)
+    layer_grid = schedule.grid.layer_grid()
+    resh_in = _prepare(machine, name, desc, v, layer_grid)
+    res = DistributedBackend(machine).run(schedule, in_name=name + ":native")
     packed = np.tril(res.lower, -1) + res.upper
-    resh_out = _writeback(machine, out_name, desc, packed, v)
+    resh_out = _writeback(machine, out_name, desc, packed, v, layer_grid)
     return PDResult(out_name=out_name, desc=desc, machine=machine,
+                    v=schedule.v, comm=res.comm,
                     perm=res.perm, lower=res.lower, upper=res.upper,
                     reshuffle_words=resh_in + resh_out,
                     factorization_words=res.comm.total_recv_words)
@@ -127,40 +137,36 @@ def pdpotrf(machine: Machine, name: str, desc: ScaLAPACKDescriptor,
             out_name: str | None = None) -> PDResult:
     """Cholesky factorization of a descriptor-distributed SPD matrix."""
     out_name = out_name or name + ":chol"
-    dense, resh_in, _ = _prepare(machine, name, desc, v)
-    res = confchox_cholesky(desc.n, machine.nranks, v=v, c=c, a=dense)
-    machine.stats.add_recv_array(res.comm.recv_words)
-    machine.stats.add_sent_array(res.comm.sent_words)
-    machine.stats.add_flops_array(res.comm.flops)
-    resh_out = _writeback(machine, out_name, desc, res.lower, v)
+    schedule = ConfchoxSchedule(desc.n, machine.nranks, v=v, c=c)
+    layer_grid = schedule.grid.layer_grid()
+    resh_in = _prepare(machine, name, desc, v, layer_grid)
+    res = DistributedBackend(machine).run(schedule, in_name=name + ":native")
+    resh_out = _writeback(machine, out_name, desc, res.lower, v, layer_grid)
     return PDResult(out_name=out_name, desc=desc, machine=machine,
+                    v=schedule.v, comm=res.comm,
                     perm=None, lower=res.lower, upper=None,
                     reshuffle_words=resh_in + resh_out,
                     factorization_words=res.comm.total_recv_words)
 
 
+def _as_factorization(result: PDResult, name: str) -> FactorizationResult:
+    """Rebuild the factorization view a solve needs from a PDResult.
+
+    Carries the tile size ``v`` the factorization actually ran with
+    (*not* the descriptor's blocking) and its real counted communication.
+    """
+    return FactorizationResult(
+        name=name, n=result.desc.n, nranks=result.machine.nranks,
+        mem_words=result.machine.mem_words, comm=result.comm,
+        params={"v": result.v}, lower=result.lower,
+        upper=result.upper, perm=result.perm)
+
+
 def pdgetrs(result: PDResult, b: np.ndarray) -> SolveResult:
     """Solve ``A x = b`` from a :func:`pdgetrf` result."""
-    from .factorizations.common import FactorizationResult
-    from .machine.stats import CommStats
-
-    fr = FactorizationResult(
-        name="pdgetrf", n=result.desc.n, nranks=result.machine.nranks,
-        mem_words=result.machine.mem_words, comm=CommStats(
-            result.machine.nranks),
-        params={"v": result.desc.nb}, lower=result.lower,
-        upper=result.upper, perm=result.perm)
-    return lu_solve(fr, b)
+    return lu_solve(_as_factorization(result, "pdgetrf"), b)
 
 
 def pdpotrs(result: PDResult, b: np.ndarray) -> SolveResult:
     """Solve ``A x = b`` from a :func:`pdpotrf` result."""
-    from .factorizations.common import FactorizationResult
-    from .machine.stats import CommStats
-
-    fr = FactorizationResult(
-        name="pdpotrf", n=result.desc.n, nranks=result.machine.nranks,
-        mem_words=result.machine.mem_words, comm=CommStats(
-            result.machine.nranks),
-        params={"v": result.desc.nb}, lower=result.lower)
-    return cholesky_solve(fr, b)
+    return cholesky_solve(_as_factorization(result, "pdpotrs"), b)

@@ -1,0 +1,28 @@
+"""Execution engine: algorithm schedules + pluggable backends.
+
+See ``ARCHITECTURE.md`` at the repo root for the layer diagram.  In
+short: a :class:`~repro.engine.schedule.Schedule` describes *what
+happens at step t* of an algorithm; a backend decides *how* the steps
+run — analytically counted (:class:`TraceBackend`), executed on global
+NumPy arrays (:class:`DenseBackend`), or executed through counted
+:class:`~repro.machine.comm.Machine` collectives on per-rank stores
+(:class:`DistributedBackend`).
+"""
+
+from .accounting import StepAccounting
+from .backends import (
+    DenseBackend,
+    DistributedBackend,
+    TraceBackend,
+    run_with,
+)
+from .schedule import Schedule
+
+__all__ = [
+    "Schedule",
+    "StepAccounting",
+    "TraceBackend",
+    "DenseBackend",
+    "DistributedBackend",
+    "run_with",
+]

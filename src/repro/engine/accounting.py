@@ -1,0 +1,189 @@
+"""Step-vectorized trace accounting.
+
+:class:`~repro.factorizations.common.RankAccountant` vectorizes the
+analytic accounting over *ranks*; a paper-scale trace still pays a Python
+loop over the ``N/v`` steps (thousands of small NumPy calls).
+:class:`StepAccounting` removes that loop: a schedule's
+:meth:`~repro.engine.schedule.Schedule.accounting` writes whole
+``(steps, ranks)`` matrices at once — the step index is a column vector,
+the grid coordinates are row vectors, and every per-step formula
+broadcasts.  Totals land in a :class:`~repro.machine.stats.CommStats`
+and the per-step maxima/totals become the same
+:class:`~repro.machine.stats.StepLog` the per-step loop would have
+produced, so the BSP performance model is unaffected.
+
+Two refinements keep paper-scale sweeps fast and memory-bounded:
+
+* contributions that are *rank-uniform* (a scalar or a ``(steps, 1)``
+  column — most of Algorithm 1's machine-wide reduce-scatter and 1D
+  scatter terms) are accumulated as per-step columns, never
+  materializing a ``(steps, ranks)`` matrix; folding them back into
+  per-rank totals and per-step maxima is exact because a uniform add
+  shifts every rank by the same amount;
+* the step axis is processed in chunks (``steps * P`` can exceed 10^8
+  at paper scale), so the schedule's accounting function is called once
+  per chunk with ``acct.t`` holding that chunk's step indices.
+  Formulas must therefore depend only on ``acct.t`` (and constants),
+  never on state mutated across calls — true of every analytic schedule
+  in this repo.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..machine.grid import ProcessorGrid2D, ProcessorGrid3D
+from ..machine.stats import CommStats, StepRecord
+
+__all__ = ["StepAccounting"]
+
+#: Target elements per (chunk, ranks) scratch matrix.  Sized so the
+#: handful of live accumulators stay cache-resident: large chunks turn
+#: the accounting memory-bandwidth-bound and end up *slower*.
+_CHUNK_TARGET = 131_072
+
+
+class StepAccounting:
+    """Accumulates per-(step, rank) trace costs for one chunk of steps.
+
+    The grid coordinate arrays ``pi``/``pj``/``pk`` are row vectors of
+    length ``P``; :attr:`t` is a ``(chunk, 1)`` column of step indices.
+    Any expression combining them broadcasts to ``(chunk, P)``.
+    """
+
+    def __init__(self, grid: ProcessorGrid3D | ProcessorGrid2D,
+                 nsteps: int) -> None:
+        if isinstance(grid, ProcessorGrid2D):
+            grid = ProcessorGrid3D(grid.rows, grid.cols, 1)
+        self.grid = grid
+        self.nsteps = int(nsteps)
+        pk, pi, pj = np.meshgrid(
+            np.arange(grid.layers), np.arange(grid.rows),
+            np.arange(grid.cols), indexing="ij")
+        # Flattening (pk, pi, pj) row-major matches ProcessorGrid3D.rank.
+        self.pi = pi.reshape(-1)
+        self.pj = pj.reshape(-1)
+        self.pk = pk.reshape(-1)
+        self.nranks = grid.size
+        self.t: np.ndarray = np.zeros((0, 1))
+        self._chunk = 0
+        self._uni: dict[str, np.ndarray] = {}
+        self._full: dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def tiles_owned(self, total_tiles: int, first: np.ndarray | int,
+                    coord: np.ndarray, nprocs: int) -> np.ndarray:
+        """Per-(step, rank) count of cyclic tile indices in
+        ``[first, total)`` owned by grid coordinate ``coord``.
+
+        ``first`` may be a ``(chunk, 1)`` column (e.g. ``t + 1``), making
+        the result a full ``(chunk, P)`` matrix.
+        """
+        remaining = np.maximum(0, total_tiles - np.asarray(first))
+        offset = (coord - np.asarray(first)) % nprocs
+        return np.maximum(0, (remaining - offset + nprocs - 1) // nprocs)
+
+    # ------------------------------------------------------------------
+    def _bump(self, words_key: str, msgs_key: str | None,
+              words: np.ndarray | float,
+              msgs: np.ndarray | float) -> None:
+        w = np.asarray(words, dtype=np.float64)
+        m = np.asarray(msgs, dtype=np.float64)
+        uniform = (w.ndim == 0 or (w.ndim == 2 and w.shape[1] == 1)) and \
+                  (m.ndim == 0 or (m.ndim == 2 and m.shape[1] == 1))
+        if uniform:
+            wc = w if w.ndim == 0 else w[:, 0]
+            mc = m if m.ndim == 0 else m[:, 0]
+            self._uni[words_key] += wc
+            if msgs_key is not None:
+                self._uni[msgs_key] += np.where(wc > 0, mc, 0.0)
+            return
+        full = self._full
+        if words_key not in full:
+            shape = (self._chunk, self.nranks)
+            full[words_key] = np.zeros(shape)
+            if msgs_key is not None:
+                full.setdefault(msgs_key, np.zeros(shape))
+        wb = np.broadcast_to(w, (self._chunk, self.nranks))
+        full[words_key] += wb
+        if msgs_key is not None:
+            if msgs_key not in full:
+                full[msgs_key] = np.zeros((self._chunk, self.nranks))
+            full[msgs_key] += np.where(
+                wb > 0, np.broadcast_to(m, wb.shape), 0.0)
+
+    def add_recv(self, words: np.ndarray | float,
+                 msgs: np.ndarray | float = 1.0) -> None:
+        self._bump("recv", "rmsgs", words, msgs)
+
+    def add_sent(self, words: np.ndarray | float,
+                 msgs: np.ndarray | float = 1.0) -> None:
+        self._bump("sent", "smsgs", words, msgs)
+
+    def add_flops(self, flops: np.ndarray | float) -> None:
+        self._bump("flops", None, flops, 0.0)
+
+    # ------------------------------------------------------------------
+    def run(self, accounting: Callable[["StepAccounting"], None],
+            stats: CommStats,
+            step_label: Callable[[int], str]) -> None:
+        """Evaluate ``accounting`` chunk by chunk, flushing into ``stats``.
+
+        ``stats`` receives the per-rank totals plus one
+        :class:`StepRecord` per step, exactly as the per-step
+        ``begin_step``/``end_step`` loop would have recorded.
+        """
+        chunk = max(1, min(self.nsteps, _CHUNK_TARGET // max(1, self.nranks)))
+        for s0 in range(0, self.nsteps, chunk):
+            s1 = min(self.nsteps, s0 + chunk)
+            self._chunk = s1 - s0
+            self.t = np.arange(s0, s1, dtype=np.float64)[:, None]
+            self._uni = {k: np.zeros(self._chunk)
+                         for k in ("recv", "sent", "flops", "rmsgs", "smsgs")}
+            self._full = {}
+            accounting(self)
+            self._flush(stats, step_label, s0)
+        self._uni = {}
+        self._full = {}
+
+    def _series(self, key: str) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(per-rank totals, per-step max, per-step total) of one counter.
+
+        A rank-uniform contribution adds the same amount to every rank,
+        so it shifts the per-step max by itself and the per-step total
+        by ``P`` times itself — folding the uniform column back in after
+        the full matrix is aggregated is exact.
+        """
+        uni = self._uni[key]
+        full = self._full.get(key)
+        if full is None:
+            per_rank = np.full(self.nranks, uni.sum())
+            return per_rank, uni.copy(), uni * self.nranks
+        return (full.sum(axis=0) + uni.sum(),
+                full.max(axis=1) + uni,
+                full.sum(axis=1) + uni * self.nranks)
+
+    def _flush(self, stats: CommStats, step_label: Callable[[int], str],
+               s0: int) -> None:
+        recv_r, recv_max, recv_tot = self._series("recv")
+        sent_r, sent_max, sent_tot = self._series("sent")
+        flops_r, flops_max, flops_tot = self._series("flops")
+        rmsgs_r, msgs_max, msgs_tot = self._series("rmsgs")
+        smsgs_r, _, _ = self._series("smsgs")
+        stats.recv_words += recv_r
+        stats.sent_words += sent_r
+        stats.flops += flops_r
+        stats.recv_msgs += rmsgs_r
+        stats.sent_msgs += smsgs_r
+        for i in range(self._chunk):
+            stats.steps.append(StepRecord(
+                label=step_label(s0 + i),
+                flops_max=float(flops_max[i]), flops_total=float(flops_tot[i]),
+                recv_words_max=float(recv_max[i]),
+                recv_words_total=float(recv_tot[i]),
+                sent_words_max=float(sent_max[i]),
+                sent_words_total=float(sent_tot[i]),
+                msgs_max=float(msgs_max[i]), msgs_total=float(msgs_tot[i]),
+            ))

@@ -1,0 +1,145 @@
+"""Execution backends: one schedule, three ways to run it.
+
+* :class:`TraceBackend` — analytic accounting only.  No matrix data is
+  touched, so paper-scale ``(impl, N, P)`` sweeps are cheap; the step
+  axis is vectorized (see :mod:`repro.engine.accounting`), which is what
+  makes the sweep harness fast.
+* :class:`DenseBackend` — the same accounting plus global-view NumPy
+  execution of every step, producing verifiable factors.  This is the
+  seed repo's ``execute=True`` mode: counters are analytic, numerics are
+  real.
+* :class:`DistributedBackend` — message-passing execution on a
+  :class:`~repro.machine.comm.Machine`: operands live in per-rank
+  stores and move only through counted collectives, so received-word
+  counts come from actual data movement rather than formulas.  The
+  parity tests check the two agree.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..machine.comm import Machine
+from ..machine.stats import CommStats
+from .schedule import Schedule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..factorizations.common import FactorizationResult
+
+__all__ = ["TraceBackend", "DenseBackend", "DistributedBackend", "run_with"]
+
+
+def _result_cls():
+    # Deferred: factorizations.common is a client of the engine's
+    # schedules, so importing it at module load would be circular.
+    from ..factorizations.common import FactorizationResult
+    return FactorizationResult
+
+
+class TraceBackend:
+    """Analytic accounting only — no numerics, any problem scale."""
+
+    def run(self, schedule: Schedule) -> "FactorizationResult":
+        stats = schedule.trace_stats()
+        return _result_cls()(
+            schedule.name, schedule.n, schedule.nranks, schedule.mem_words,
+            stats, schedule.params())
+
+
+class DenseBackend:
+    """Global-view NumPy execution with analytic per-rank accounting."""
+
+    def run(self, schedule: Schedule, a: np.ndarray | None = None,
+            rng: np.random.Generator | None = None) -> "FactorizationResult":
+        stats = schedule.trace_stats()
+        state = schedule.dense_init(a, rng)
+        for t in range(schedule.steps()):
+            schedule.dense_step(state, t)
+        outputs = schedule.dense_finalize(state)
+        return _result_cls()(
+            schedule.name, schedule.n, schedule.nranks, schedule.mem_words,
+            stats, schedule.params(), **outputs)
+
+
+class DistributedBackend:
+    """Message-passing execution on a simulated machine.
+
+    Parameters
+    ----------
+    machine:
+        The machine to run on; its stores must have (or will receive)
+        the input tiles and its :class:`CommStats` counts every word the
+        schedule moves.  If None, a fresh unbounded machine with
+        ``schedule.nranks`` ranks is created per run.
+    """
+
+    def __init__(self, machine: Machine | None = None) -> None:
+        self.machine = machine
+
+    def run(self, schedule: Schedule, a: np.ndarray | None = None,
+            rng: np.random.Generator | None = None,
+            in_name: str | None = None) -> "FactorizationResult":
+        """Run ``schedule`` through machine collectives.
+
+        The returned result's ``comm`` holds only this run's counters
+        (the machine's own stats keep accumulating, so a caller like
+        :mod:`repro.api` sees the factorization traffic alongside its
+        reshuffles).
+        """
+        if not schedule.supports_distributed:
+            raise NotImplementedError(
+                f"{type(schedule).__name__} has no distributed execution")
+        machine = self.machine or Machine(schedule.nranks)
+        if machine.nranks != schedule.nranks:
+            raise ValueError(
+                f"machine has {machine.nranks} ranks, schedule needs "
+                f"{schedule.nranks}")
+        run_stats = CommStats(schedule.nranks)
+        before = _snapshot(machine.stats)
+        state = schedule.dist_init(machine, a, rng, in_name=in_name)
+        for t in range(schedule.steps()):
+            machine.stats.begin_step(schedule.step_label(t))
+            schedule.dist_step(machine, state, t)
+            run_stats.steps.append(machine.stats.end_step())
+        outputs = schedule.dist_finalize(machine, state)
+        _apply_delta(run_stats, machine.stats, before)
+        return _result_cls()(
+            schedule.name, schedule.n, schedule.nranks, schedule.mem_words,
+            run_stats, schedule.params(), **outputs)
+
+
+def _snapshot(stats: CommStats) -> tuple[np.ndarray, ...]:
+    return (stats.recv_words.copy(), stats.sent_words.copy(),
+            stats.recv_msgs.copy(), stats.sent_msgs.copy(),
+            stats.flops.copy())
+
+
+def _apply_delta(dst: CommStats, stats: CommStats,
+                 before: tuple[np.ndarray, ...]) -> None:
+    recv, sent, rmsgs, smsgs, flops = before
+    dst.recv_words += stats.recv_words - recv
+    dst.sent_words += stats.sent_words - sent
+    dst.recv_msgs += stats.recv_msgs - rmsgs
+    dst.sent_msgs += stats.sent_msgs - smsgs
+    dst.flops += stats.flops - flops
+
+
+# Backwards-style convenience: how `execute=`-flagged wrappers pick a
+# backend.  Kept here so the wrapper classes stay one-liners.
+def run_with(schedule: Schedule, execute: bool,
+             a: np.ndarray | None = None,
+             rng: np.random.Generator | None = None) -> "FactorizationResult":
+    """Trace (``execute=False``) or dense (``execute=True``) run.
+
+    Trace mode takes no inputs: passing a matrix or a generator there is
+    an error (the run could not honour them).
+    """
+    if not execute:
+        if a is not None:
+            raise ValueError("trace mode takes no input matrix")
+        if rng is not None:
+            raise ValueError("trace mode takes no random generator")
+        return TraceBackend().run(schedule)
+    return DenseBackend().run(schedule, a=a, rng=rng)

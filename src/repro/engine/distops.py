@@ -1,0 +1,155 @@
+"""Helpers for message-passing schedule execution.
+
+The distributed view of a schedule keeps a strict discipline: *control*
+(step structure, pivot bookkeeping, who-needs-what plans) is global —
+the engine is a simulator and may orchestrate freely — but *matrix
+data* lives only in per-rank stores and crosses rank boundaries only
+through counted :class:`~repro.machine.comm.Machine` operations.  These
+helpers implement the recurring movement patterns of the 2.5D
+schedules:
+
+* :func:`ship` — materialize a sub-block at its owner and move it to a
+  destination rank (point-to-point, counted);
+* :func:`fiber_reduce_subset` — the layered reduction of Algorithm 1
+  steps 1 and 5: sum a row subset of one partial tile over the ``c``
+  layers onto a chosen layer's rank;
+* :func:`distribute_rows_1d` — the 1D panel scatter of steps 4 and 6:
+  spread panel rows contiguously over all ranks;
+* :func:`assemble_cols_1d` — the column-chunk counterpart used for the
+  A01 panel, where each destination needs *all* rows of its column
+  chunk gathered from several sources.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from ..machine.comm import Machine
+from ..machine.grid import ProcessorGrid3D
+
+__all__ = [
+    "ship",
+    "fiber_reduce_subset",
+    "distribute_rows_1d",
+    "assemble_cols_1d",
+]
+
+
+def ship(machine: Machine, src: int, dst: int, key: Hashable,
+         block: np.ndarray) -> None:
+    """Place ``block`` in ``src``'s store and move it to ``dst``.
+
+    Packing a sub-block at its owner is a local (free) operation; the
+    move is a counted point-to-point transfer.  After the call ``dst``
+    holds ``key``; the transient copy at ``src`` is dropped.
+    """
+    machine.store(src).put(key, np.ascontiguousarray(block))
+    if dst != src:
+        machine.send(src, dst, key)
+        machine.store(src).discard(key)
+
+
+def fiber_reduce_subset(machine: Machine, grid: ProcessorGrid3D,
+                        bi: int, bj: int, rows_local: np.ndarray,
+                        k_root: int, tile_key: Hashable,
+                        out_key: Hashable) -> int:
+    """Sum rows ``rows_local`` of partial tile ``(bi, bj)`` over layers.
+
+    Every layer's owner of tile ``(bi, bj)`` holds its partial
+    contribution under ``tile_key``; the reduced block lands on layer
+    ``k_root``'s owner under ``out_key`` (returned rank).  The root
+    receives ``(c-1) * len(rows_local) * width`` words — the flat
+    reduce accounting of Algorithm 1's layered reductions.
+    """
+    fiber = [grid.rank(bi % grid.rows, bj % grid.cols, k)
+             for k in range(grid.layers)]
+    root = fiber[k_root]
+    for r in fiber:
+        tile = machine.store(r).get(tile_key)
+        machine.store(r).put(out_key, tile[rows_local, :])
+    machine.reduce(root, fiber, out_key)
+    for r in fiber:
+        if r != root:
+            machine.store(r).discard(out_key)
+    return root
+
+
+def distribute_rows_1d(machine: Machine,
+                       pieces: Sequence[tuple[int, np.ndarray, np.ndarray]],
+                       nranks: int, key_tag: Hashable,
+                       ) -> list[tuple[np.ndarray, np.ndarray | None]]:
+    """1D-scatter panel rows contiguously over all ranks.
+
+    ``pieces`` is ``(owner_rank, global_row_ids, block)`` triples; the
+    union of rows, ordered by global id, is split into ``nranks``
+    contiguous chunks, chunk ``r`` assembled in rank ``r``'s store under
+    ``(key_tag, "1d")``.  Returns per-rank ``(row_ids, block)`` (block
+    None for empty chunks).  Only cross-rank pieces are counted.
+    """
+    src_of: dict[int, tuple[int, np.ndarray]] = {}
+    for owner, ids, block in pieces:
+        for i, g in enumerate(np.asarray(ids, dtype=int)):
+            src_of[int(g)] = (owner, block[i])
+    order = np.array(sorted(src_of), dtype=int)
+    out: list[tuple[np.ndarray, np.ndarray | None]] = []
+    for dst, chunk in enumerate(np.array_split(order, nranks)):
+        if chunk.size == 0:
+            out.append((chunk, None))
+            continue
+        by_src: dict[int, list[int]] = {}
+        for g in chunk:
+            by_src.setdefault(src_of[int(g)][0], []).append(int(g))
+        rows: dict[int, np.ndarray] = {}
+        for src, gids in by_src.items():
+            block = np.stack([src_of[g][1] for g in gids])
+            ship(machine, src, dst, (key_tag, "s", src), block)
+            arrived = machine.store(dst).get((key_tag, "s", src))
+            for g, row in zip(gids, arrived):
+                rows[g] = row
+            machine.store(dst).discard((key_tag, "s", src))
+        chunk_block = np.stack([rows[int(g)] for g in chunk])
+        machine.store(dst).put((key_tag, "1d"), chunk_block)
+        out.append((chunk, chunk_block))
+    return out
+
+
+def assemble_cols_1d(machine: Machine,
+                     pieces: Sequence[tuple[int, np.ndarray, np.ndarray,
+                                            np.ndarray]],
+                     row_order: np.ndarray, nranks: int,
+                     key_tag: Hashable,
+                     ) -> list[tuple[np.ndarray, np.ndarray | None]]:
+    """1D-scatter panel *columns* over all ranks, assembling full rows.
+
+    ``pieces`` is ``(owner_rank, row_ids, col_ids, block)``; every
+    destination needs all ``row_order`` rows of its contiguous column
+    chunk, so each source ships the intersection of its piece with the
+    chunk and the destination stitches them in ``row_order`` under
+    ``(key_tag, "1d")``.  Returns per-rank ``(col_ids, block)``.
+    """
+    row_pos = {int(g): i for i, g in enumerate(row_order)}
+    col_order = np.array(sorted({int(cg) for _, _, cids, _ in pieces
+                                 for cg in cids}), dtype=int)
+    out: list[tuple[np.ndarray, np.ndarray | None]] = []
+    for dst, chunk in enumerate(np.array_split(col_order, nranks)):
+        if chunk.size == 0:
+            out.append((chunk, None))
+            continue
+        col_pos = {int(cg): i for i, cg in enumerate(chunk)}
+        acc = np.zeros((len(row_order), chunk.size))
+        for idx, (src, rids, cids, block) in enumerate(pieces):
+            csel = [i for i, cg in enumerate(cids) if int(cg) in col_pos]
+            if not csel:
+                continue
+            sub = block[:, csel]
+            ship(machine, src, dst, (key_tag, "s", src, idx), sub)
+            arrived = machine.store(dst).get((key_tag, "s", src, idx))
+            ri = [row_pos[int(g)] for g in rids]
+            ci = [col_pos[int(cids[i])] for i in csel]
+            acc[np.ix_(ri, ci)] = arrived
+            machine.store(dst).discard((key_tag, "s", src, idx))
+        machine.store(dst).put((key_tag, "1d"), acc)
+        out.append((chunk, acc))
+    return out

@@ -1,0 +1,120 @@
+"""The schedule side of the execution engine.
+
+A :class:`Schedule` is one algorithm's *what happens at step t*: the
+11 sub-steps of COnfLUX's Algorithm 1, the ScaLAPACK right-looking
+loops, the SUMMA rounds.  It owns the problem parameters (``N``, ``P``,
+tile size, replication depth, processor grid) and exposes the same step
+sequence through three views, one per backend:
+
+* :meth:`accounting` — the analytic per-rank cost of every step,
+  written vectorized over ``(steps, ranks)`` via
+  :class:`~repro.engine.accounting.StepAccounting` (consumed by
+  ``TraceBackend`` and, for the counters, by ``DenseBackend``);
+* :meth:`dense_init` / :meth:`dense_step` / :meth:`dense_finalize` —
+  global-view NumPy execution producing verifiable factors;
+* :meth:`dist_init` / :meth:`dist_step` / :meth:`dist_finalize` —
+  message-passing execution on a :class:`~repro.machine.comm.Machine`,
+  where every operand a rank touches arrived through a counted
+  collective (optional; :attr:`supports_distributed` says whether a
+  schedule implements it).
+
+Backends in :mod:`repro.engine.backends` drive these views; schedules
+never count communication themselves in distributed mode — the
+:class:`Machine` does.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+import numpy as np
+
+from ..machine.comm import Machine
+from ..machine.grid import ProcessorGrid3D
+from ..machine.stats import CommStats
+from .accounting import StepAccounting
+
+__all__ = ["Schedule"]
+
+
+class Schedule(abc.ABC):
+    """One factorization/multiplication problem instance, backend-agnostic.
+
+    Concrete schedules set ``name``, ``n``, ``nranks``, ``mem_words``
+    and ``grid`` in their constructor and implement the step views.
+    """
+
+    name: str
+    n: int
+    nranks: int
+    mem_words: float
+    grid: ProcessorGrid3D
+
+    supports_distributed: bool = False
+
+    # ------------------------------------------------------------------
+    # Step structure
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def steps(self) -> int:
+        """Number of supersteps."""
+
+    def step_label(self, t: int) -> str:
+        return f"t={t}"
+
+    def params(self) -> dict[str, Any]:
+        """Algorithm parameters recorded on the result."""
+        return {}
+
+    # ------------------------------------------------------------------
+    # Trace view (vectorized analytic accounting)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def accounting(self, acct: StepAccounting) -> None:
+        """Record the analytic cost of the chunk of steps in ``acct.t``.
+
+        Called once per step chunk; expressions must broadcast
+        ``acct.t`` (a ``(chunk, 1)`` column) against the ``(P,)`` grid
+        coordinate rows ``acct.pi`` / ``acct.pj`` / ``acct.pk``.
+        """
+
+    def trace_stats(self) -> CommStats:
+        """Run the full accounting into a fresh :class:`CommStats`."""
+        stats = CommStats(self.nranks)
+        acct = StepAccounting(self.grid, self.steps())
+        acct.run(self.accounting, stats, self.step_label)
+        return stats
+
+    # ------------------------------------------------------------------
+    # Dense view (global NumPy arrays)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def dense_init(self, a: np.ndarray | None,
+                   rng: np.random.Generator | None) -> Any:
+        """Build the dense execution state (generating inputs if needed)."""
+
+    @abc.abstractmethod
+    def dense_step(self, state: Any, t: int) -> None:
+        """Execute step ``t`` on the global-view state."""
+
+    @abc.abstractmethod
+    def dense_finalize(self, state: Any) -> dict[str, Any]:
+        """Numeric outputs: ``lower`` / ``upper`` / ``perm`` (as applicable)."""
+
+    # ------------------------------------------------------------------
+    # Distributed view (per-rank stores, counted collectives)
+    # ------------------------------------------------------------------
+    def dist_init(self, machine: Machine, a: np.ndarray | None,
+                  rng: np.random.Generator | None,
+                  in_name: str | None = None) -> Any:
+        raise NotImplementedError(
+            f"{type(self).__name__} has no distributed execution")
+
+    def dist_step(self, machine: Machine, state: Any, t: int) -> None:
+        raise NotImplementedError(
+            f"{type(self).__name__} has no distributed execution")
+
+    def dist_finalize(self, machine: Machine, state: Any) -> dict[str, Any]:
+        raise NotImplementedError(
+            f"{type(self).__name__} has no distributed execution")

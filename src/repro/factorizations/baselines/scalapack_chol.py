@@ -11,88 +11,65 @@ Per step ``k`` on a ``Pr x Pc`` grid with panel width ``nb``:
 
 Volume per rank sums to ``~N^2/2 * (1/Pr + 1/Pc) ~ N^2/sqrt(P)``: the 2D
 model of Table 2, which weak-scales sub-optimally exactly like 2D LU.
+
+Implemented as an engine :class:`~repro.engine.schedule.Schedule`;
+:class:`ScalapackCholesky` is the wrapper (SLATE's flavour subclasses
+it with a different label).
 """
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
+from ...engine.accounting import StepAccounting
+from ...engine.backends import run_with
+from ...engine.schedule import Schedule
 from ...kernels import blas, flops
 from ...machine.grid import ProcessorGrid3D, choose_grid_2d
-from ...machine.stats import CommStats
-from ..common import FactorizationResult, RankAccountant, validate_problem
+from ..common import FactorizationResult, validate_problem
 
-__all__ = ["ScalapackCholesky", "scalapack_cholesky"]
+__all__ = ["ScalapackCholesky", "ScalapackCholeskySchedule",
+           "scalapack_cholesky"]
 
 
-class ScalapackCholesky:
-    """2D block-cyclic Cholesky (MKL/ScaLAPACK flavour)."""
+class ScalapackCholeskySchedule(Schedule):
+    """The right-looking 2D Cholesky loop for the engine."""
 
-    name = "mkl-chol"
+    supports_distributed = False
 
     def __init__(self, n: int, nranks: int, nb: int = 128,
-                 execute: bool = True,
-                 mem_words: float | None = None) -> None:
+                 mem_words: float | None = None,
+                 name: str = "mkl-chol") -> None:
         validate_problem(n, nb, nranks)
         grid2d = choose_grid_2d(nranks)
+        self.name = name
         self.n = n
         self.nranks = nranks
         self.nb = nb
         self.grid = ProcessorGrid3D(grid2d.rows, grid2d.cols, 1)
-        self.execute = execute
         self.mem_words = float(mem_words if mem_words is not None
                                else n * n / nranks)
-        self.stats = CommStats(nranks)
-        self.acct = RankAccountant(self.grid, self.stats)
 
-    def run(self, a: np.ndarray | None = None,
-            rng: np.random.Generator | None = None) -> FactorizationResult:
+    def steps(self) -> int:
+        return self.n // self.nb
+
+    def step_label(self, t: int) -> str:
+        return f"k={t}"
+
+    def params(self) -> dict[str, Any]:
+        return {"nb": self.nb, "grid": (self.grid.rows, self.grid.cols, 1),
+                "c": 1, "mem_words": self.mem_words}
+
+    # ------------------------------------------------------------------
+    def accounting(self, acct: StepAccounting) -> None:
         n, nb = self.n, self.nb
-        steps = n // nb
-
-        if self.execute:
-            if a is None:
-                rng = rng or np.random.default_rng(0)
-                g = rng.standard_normal((n, n))
-                a = g @ g.T + n * np.eye(n)
-            work = np.asarray(a, dtype=np.float64).copy()
-            if work.shape != (n, n):
-                raise ValueError(f"matrix shape {work.shape} != ({n},{n})")
-            if not np.allclose(work, work.T, atol=1e-10):
-                raise ValueError("input must be symmetric")
-        elif a is not None:
-            raise ValueError("trace mode takes no input matrix")
-
-        for k in range(steps):
-            nrem = n - k * nb
-            n11 = nrem - nb
-            self.stats.begin_step(f"k={k}")
-            self._account_step(k, nrem, n11)
-            if self.execute:
-                c0, c1 = k * nb, (k + 1) * nb
-                l00, _ = blas.potrf(work[c0:c1, c0:c1])
-                work[c0:c1, c0:c1] = l00
-                if n11 > 0:
-                    panel, _ = blas.trsm(l00.T, work[c1:, c0:c1],
-                                         side="right", lower=False)
-                    work[c1:, c0:c1] = panel
-                    work[c1:, c1:] -= panel @ panel.T
-            self.stats.end_step()
-
-        params = {"nb": nb, "grid": (self.grid.rows, self.grid.cols, 1),
-                  "c": 1, "mem_words": self.mem_words}
-        if not self.execute:
-            return FactorizationResult(self.name, n, self.nranks,
-                                       self.mem_words, self.stats, params)
-        return FactorizationResult(self.name, n, self.nranks,
-                                   self.mem_words, self.stats, params,
-                                   lower=np.tril(work))
-
-    def _account_step(self, k: int, nrem: int, n11: int) -> None:
-        acct = self.acct
-        nb = self.nb
         pr, pc = self.grid.rows, self.grid.cols
-        steps = self.n // nb
+        steps = self.steps()
+        k = acct.t
+        nrem = n - k * nb
+        n11 = nrem - nb
         on_qcol = (acct.pj == k % pc).astype(float)
         diag_owner = on_qcol * (acct.pi == k % pr)
         row_tiles = acct.tiles_owned(steps, k + 1, acct.pi, pr)
@@ -113,6 +90,58 @@ class ScalapackCholesky:
 
         # Local triangular trailing update (gemmt-like: half the tiles).
         acct.add_flops((row_tiles * nb) * (col_tiles * nb) * nb)
+
+    # ------------------------------------------------------------------
+    def dense_init(self, a: np.ndarray | None,
+                   rng: np.random.Generator | None) -> np.ndarray:
+        n = self.n
+        if a is None:
+            rng = rng or np.random.default_rng(0)
+            g = rng.standard_normal((n, n))
+            a = g @ g.T + n * np.eye(n)
+        work = np.asarray(a, dtype=np.float64).copy()
+        if work.shape != (n, n):
+            raise ValueError(f"matrix shape {work.shape} != ({n},{n})")
+        if not np.allclose(work, work.T, atol=1e-10):
+            raise ValueError("input must be symmetric")
+        return work
+
+    def dense_step(self, work: np.ndarray, k: int) -> None:
+        n, nb = self.n, self.nb
+        n11 = n - (k + 1) * nb
+        c0, c1 = k * nb, (k + 1) * nb
+        l00, _ = blas.potrf(work[c0:c1, c0:c1])
+        work[c0:c1, c0:c1] = l00
+        if n11 > 0:
+            panel, _ = blas.trsm(l00.T, work[c1:, c0:c1],
+                                 side="right", lower=False)
+            work[c1:, c0:c1] = panel
+            work[c1:, c1:] -= panel @ panel.T
+
+    def dense_finalize(self, work: np.ndarray) -> dict[str, Any]:
+        return {"lower": np.tril(work)}
+
+
+class ScalapackCholesky:
+    """2D block-cyclic Cholesky (MKL/ScaLAPACK flavour)."""
+
+    name = "mkl-chol"
+
+    def __init__(self, n: int, nranks: int, nb: int = 128,
+                 execute: bool = True,
+                 mem_words: float | None = None) -> None:
+        self.schedule = ScalapackCholeskySchedule(
+            n, nranks, nb=nb, mem_words=mem_words, name=type(self).name)
+        self.n = n
+        self.nranks = nranks
+        self.nb = nb
+        self.grid = self.schedule.grid
+        self.mem_words = self.schedule.mem_words
+        self.execute = execute
+
+    def run(self, a: np.ndarray | None = None,
+            rng: np.random.Generator | None = None) -> FactorizationResult:
+        return run_with(self.schedule, self.execute, a=a, rng=rng)
 
 
 def scalapack_cholesky(n: int, nranks: int, nb: int = 128,

@@ -21,110 +21,79 @@ by-column factorization (the behaviour the paper's measurements pick up
 as a slight disadvantage against SLATE); the ``panel_rebroadcast`` knob
 models it and is on for the MKL flavour, off for SLATE's tile algorithm
 (see :mod:`repro.factorizations.baselines.slate`).
+
+Implemented as an engine :class:`~repro.engine.schedule.Schedule` with
+trace and dense views; :class:`ScalapackLU` is the ``execute=``-style
+wrapper the harness and the SLATE subclass use.
 """
 
 from __future__ import annotations
 
 import math
+from typing import Any
 
 import numpy as np
 
+from ...engine.accounting import StepAccounting
+from ...engine.backends import run_with
+from ...engine.schedule import Schedule
 from ...kernels import blas, flops
 from ...machine.grid import ProcessorGrid3D, choose_grid_2d
-from ...machine.stats import CommStats
-from ..common import FactorizationResult, RankAccountant, validate_problem
+from ..common import FactorizationResult, validate_problem
 
-__all__ = ["ScalapackLU", "scalapack_lu"]
+__all__ = ["ScalapackLU", "ScalapackLUSchedule", "scalapack_lu"]
 
 
-class ScalapackLU:
-    """2D block-cyclic partial-pivoting LU (MKL/ScaLAPACK flavour)."""
+class _DenseState:
+    __slots__ = ("work", "piv_all")
 
-    name = "mkl"
+    def __init__(self, work: np.ndarray, n: int) -> None:
+        self.work = work
+        self.piv_all = np.zeros(n, dtype=int)
+
+
+class ScalapackLUSchedule(Schedule):
+    """The right-looking 2D partial-pivoting LU loop for the engine."""
+
+    supports_distributed = False
 
     def __init__(self, n: int, nranks: int, nb: int = 128,
-                 execute: bool = True, panel_rebroadcast: bool = True,
-                 mem_words: float | None = None) -> None:
+                 panel_rebroadcast: bool = True,
+                 mem_words: float | None = None,
+                 name: str = "mkl") -> None:
         validate_problem(n, nb, nranks)
         grid2d = choose_grid_2d(nranks)
+        self.name = name
         self.n = n
         self.nranks = nranks
         self.nb = nb
         self.grid = ProcessorGrid3D(grid2d.rows, grid2d.cols, 1)
-        self.execute = execute
         self.panel_rebroadcast = panel_rebroadcast
         # 2D algorithms need only one matrix copy: M = N^2/P unless told
         # otherwise (the value is reported, not enforced).
         self.mem_words = float(mem_words if mem_words is not None
                                else n * n / nranks)
-        self.stats = CommStats(nranks)
-        self.acct = RankAccountant(self.grid, self.stats)
+
+    def steps(self) -> int:
+        return self.n // self.nb
+
+    def step_label(self, t: int) -> str:
+        return f"k={t}"
+
+    def params(self) -> dict[str, Any]:
+        return {"nb": self.nb, "grid": (self.grid.rows, self.grid.cols, 1),
+                "c": 1, "mem_words": self.mem_words}
 
     # ------------------------------------------------------------------
-    def run(self, a: np.ndarray | None = None,
-            rng: np.random.Generator | None = None) -> FactorizationResult:
+    def accounting(self, acct: StepAccounting) -> None:
         n, nb = self.n, self.nb
-        steps = n // nb
         pr, pc = self.grid.rows, self.grid.cols
-
-        if self.execute:
-            if a is None:
-                rng = rng or np.random.default_rng(0)
-                a = rng.standard_normal((n, n)) + n * np.eye(n)
-            work = np.asarray(a, dtype=np.float64).copy()
-            if work.shape != (n, n):
-                raise ValueError(f"matrix shape {work.shape} != ({n},{n})")
-            piv_all = np.zeros(n, dtype=int)
-        elif a is not None:
-            raise ValueError("trace mode takes no input matrix")
-
-        for k in range(steps):
-            nrem = n - k * nb
-            n11 = nrem - nb
-            self.stats.begin_step(f"k={k}")
-            self._account_step(k, nrem, n11)
-            if self.execute:
-                c0, c1 = k * nb, (k + 1) * nb
-                # Panel factorization with partial pivoting.
-                lu_panel, piv, _ = blas.getrf(work[c0:, c0:c1])
-                # Apply the swaps across the whole trailing matrix.
-                for i, p in enumerate(piv):
-                    p = int(p)
-                    if p != i:
-                        work[[c0 + i, c0 + p], :] = work[[c0 + p, c0 + i], :]
-                    piv_all[c0 + i] = c0 + p
-                work[c0:, c0:c1] = lu_panel
-                if n11 > 0:
-                    l00 = np.tril(lu_panel[:nb], -1) + np.eye(nb)
-                    # U row panel via trsm, then the trailing update.
-                    u01, _ = blas.trsm(l00, work[c0:c1, c1:], side="left",
-                                       lower=True, unit_diagonal=True)
-                    work[c0:c1, c1:] = u01
-                    work[c1:, c1:] -= work[c1:, c0:c1] @ u01
-            self.stats.end_step()
-
-        params = {"nb": nb, "grid": (pr, pc, 1), "c": 1,
-                  "mem_words": self.mem_words}
-        if not self.execute:
-            return FactorizationResult(self.name, n, self.nranks,
-                                       self.mem_words, self.stats, params)
-        perm = blas.pivots_to_permutation(piv_all, n)
-        return FactorizationResult(
-            self.name, n, self.nranks, self.mem_words, self.stats, params,
-            lower=np.tril(work, -1) + np.eye(n), upper=np.triu(work),
-            perm=perm)
-
-    # ------------------------------------------------------------------
-    def _account_step(self, k: int, nrem: int, n11: int) -> None:
-        acct = self.acct
-        nb = self.nb
-        pr, pc = self.grid.rows, self.grid.cols
-        steps = self.n // nb
-        q_col = k % pc
-        q_row = k % pr
-        on_qcol = (acct.pj == q_col).astype(float)
-        on_qrow = (acct.pi == q_row).astype(float)
-        row_tiles = acct.tiles_owned(steps, k + 1, acct.pi, pr)
+        steps = self.steps()
+        k = acct.t
+        nrem = n - k * nb
+        n11 = nrem - nb
+        on_qcol = (acct.pj == k % pc).astype(float)
+        on_qrow = (acct.pi == k % pr).astype(float)
         col_tiles = acct.tiles_owned(steps, k + 1, acct.pj, pc)
         rows_per = nrem / pr
 
@@ -160,6 +129,71 @@ class ScalapackLU:
 
         # Trailing update (local gemm).
         acct.add_flops(2.0 * rows_per * (col_tiles * nb) * nb)
+
+    # ------------------------------------------------------------------
+    def dense_init(self, a: np.ndarray | None,
+                   rng: np.random.Generator | None) -> _DenseState:
+        n = self.n
+        if a is None:
+            rng = rng or np.random.default_rng(0)
+            a = rng.standard_normal((n, n)) + n * np.eye(n)
+        work = np.asarray(a, dtype=np.float64).copy()
+        if work.shape != (n, n):
+            raise ValueError(f"matrix shape {work.shape} != ({n},{n})")
+        return _DenseState(work, n)
+
+    def dense_step(self, state: _DenseState, k: int) -> None:
+        n, nb = self.n, self.nb
+        work, piv_all = state.work, state.piv_all
+        n11 = n - (k + 1) * nb
+        c0, c1 = k * nb, (k + 1) * nb
+        # Panel factorization with partial pivoting.
+        lu_panel, piv, _ = blas.getrf(work[c0:, c0:c1])
+        # Apply the swaps across the whole trailing matrix.
+        for i, p in enumerate(piv):
+            p = int(p)
+            if p != i:
+                work[[c0 + i, c0 + p], :] = work[[c0 + p, c0 + i], :]
+            piv_all[c0 + i] = c0 + p
+        work[c0:, c0:c1] = lu_panel
+        if n11 > 0:
+            l00 = np.tril(lu_panel[:nb], -1) + np.eye(nb)
+            # U row panel via trsm, then the trailing update.
+            u01, _ = blas.trsm(l00, work[c0:c1, c1:], side="left",
+                               lower=True, unit_diagonal=True)
+            work[c0:c1, c1:] = u01
+            work[c1:, c1:] -= work[c1:, c0:c1] @ u01
+
+    def dense_finalize(self, state: _DenseState) -> dict[str, Any]:
+        n = self.n
+        work = state.work
+        perm = blas.pivots_to_permutation(state.piv_all, n)
+        return {"lower": np.tril(work, -1) + np.eye(n),
+                "upper": np.triu(work), "perm": perm}
+
+
+class ScalapackLU:
+    """2D block-cyclic partial-pivoting LU (MKL/ScaLAPACK flavour)."""
+
+    name = "mkl"
+
+    def __init__(self, n: int, nranks: int, nb: int = 128,
+                 execute: bool = True, panel_rebroadcast: bool = True,
+                 mem_words: float | None = None) -> None:
+        self.schedule = ScalapackLUSchedule(
+            n, nranks, nb=nb, panel_rebroadcast=panel_rebroadcast,
+            mem_words=mem_words, name=type(self).name)
+        self.n = n
+        self.nranks = nranks
+        self.nb = nb
+        self.grid = self.schedule.grid
+        self.panel_rebroadcast = panel_rebroadcast
+        self.mem_words = self.schedule.mem_words
+        self.execute = execute
+
+    def run(self, a: np.ndarray | None = None,
+            rng: np.random.Generator | None = None) -> FactorizationResult:
+        return run_with(self.schedule, self.execute, a=a, rng=rng)
 
 
 def scalapack_lu(n: int, nranks: int, nb: int = 128, execute: bool = True,

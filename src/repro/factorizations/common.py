@@ -1,19 +1,18 @@
-"""Shared infrastructure of the distributed factorization schedules.
+"""Shared result/accounting types of the factorization schedules.
 
-All schedules (COnfLUX, COnfCHOX, and the baselines) follow the same
-pattern: a step loop that *always* performs exact per-rank communication
-and flop accounting (vectorized over ranks), and *optionally* executes the
-real numerics on global NumPy arrays.  ``execute=False`` is *trace mode*:
-the same accounting code runs for paper-scale ``N`` and ``P`` without
-touching matrix data — this is what regenerates the communication-volume
-figures; ``execute=True`` additionally produces (and lets tests verify)
-the actual factors.
+Every algorithm is an engine schedule (see ``ARCHITECTURE.md``) whose
+trace, dense, and distributed runs all produce a
+:class:`FactorizationResult`: per-rank counters plus (outside trace
+mode) verifiable factors.  :class:`RankAccountant` is the rank-
+vectorized accounting helper the remaining per-step model baselines
+(CANDMC, CAPITAL) use; the ported schedules account through the
+step-vectorized :class:`~repro.engine.accounting.StepAccounting`
+instead.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import math
 from typing import Any
 
 import numpy as np

@@ -17,128 +17,82 @@ differences (Table 1):
 
 Total I/O per rank: ``N^3/(P sqrt(M)) + O(M)`` against the lower bound
 ``N^3/(3 P sqrt(M))``.
+
+Like COnfLUX, the algorithm is a :class:`~repro.engine.schedule.Schedule`
+with trace, dense, and distributed views; the distributed view keeps
+only the lower tiles (``bi >= bj``) resident — the schedule never reads
+the strictly-upper half.
 """
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
+from ..engine.accounting import StepAccounting
+from ..engine.backends import run_with
+from ..engine.distops import distribute_rows_1d, fiber_reduce_subset, ship
+from ..engine.schedule import Schedule
 from ..kernels import blas, flops
-from ..machine.grid import ProcessorGrid3D, choose_grid_25d, replication_factor
-from ..machine.stats import CommStats
-from .common import FactorizationResult, RankAccountant, validate_problem
-from .conflux import default_block_size
+from ..machine.comm import Machine
+from ..machine.grid import ProcessorGrid3D
+from .common import FactorizationResult
+from .conflux import resolve_25d
 
-__all__ = ["ConfchoxCholesky", "confchox_cholesky"]
+__all__ = ["ConfchoxCholesky", "ConfchoxSchedule", "confchox_cholesky"]
 
 
-class ConfchoxCholesky:
-    """One COnfCHOX factorization problem instance."""
+class _DenseState:
+    __slots__ = ("partials", "lower")
+
+    def __init__(self, a: np.ndarray, n: int, c: int) -> None:
+        self.partials = np.zeros((c, n, n))
+        self.partials[0] = a
+        self.lower = np.zeros((n, n))
+
+
+class ConfchoxSchedule(Schedule):
+    """COnfCHOX's step sequence (COnfLUX minus pivoting) for the engine."""
+
+    name = "confchox"
+    supports_distributed = True
 
     def __init__(self, n: int, nranks: int, v: int | None = None,
                  c: int | None = None, mem_words: float | None = None,
-                 execute: bool = True,
                  grid: ProcessorGrid3D | None = None) -> None:
-        if mem_words is None and c is None:
-            c = max(1, int(round(nranks ** (1.0 / 3.0))))
-            while nranks % c != 0:
-                c -= 1
-        if c is None:
-            c = replication_factor(nranks, n, mem_words)
-        if grid is None:
-            grid = choose_grid_25d(nranks, n, mem_words or c * n * n / nranks,
-                                   c=c)
-        if grid.layers != c or grid.size != nranks:
-            raise ValueError(f"grid {grid} inconsistent with P={nranks}, c={c}")
-        if mem_words is None:
-            mem_words = c * float(n) * n / nranks
-        if v is None:
-            v = default_block_size(n, nranks, c)
-        validate_problem(n, v, nranks)
-        if v % c != 0:
-            raise ValueError(f"v={v} must be a multiple of c={c}")
+        v, c, mem_words, grid = resolve_25d(n, nranks, v, c, mem_words, grid)
         self.n = n
         self.nranks = nranks
         self.v = v
         self.c = c
-        self.mem_words = float(mem_words)
+        self.mem_words = mem_words
         self.grid = grid
-        self.execute = execute
-        self.stats = CommStats(nranks)
-        self.acct = RankAccountant(grid, self.stats)
+
+    def steps(self) -> int:
+        return self.n // self.v
+
+    def params(self) -> dict[str, Any]:
+        return {"v": self.v, "c": self.c,
+                "grid": (self.grid.rows, self.grid.cols, self.c),
+                "mem_words": self.mem_words}
 
     # ------------------------------------------------------------------
-    def run(self, a: np.ndarray | None = None,
-            rng: np.random.Generator | None = None) -> FactorizationResult:
-        """Factor an SPD matrix (random well-conditioned one by default)."""
-        n, v, c = self.n, self.v, self.c
-        steps = n // v
-
-        if self.execute:
-            if a is None:
-                rng = rng or np.random.default_rng(0)
-                g = rng.standard_normal((n, n))
-                a = g @ g.T + n * np.eye(n)
-            a = np.asarray(a, dtype=np.float64)
-            if a.shape != (n, n):
-                raise ValueError(f"matrix shape {a.shape} != ({n},{n})")
-            if not np.allclose(a, a.T, atol=1e-10):
-                raise ValueError("input must be symmetric")
-            partials = np.zeros((c, n, n))
-            partials[0] = a
-            lower = np.zeros((n, n))
-        elif a is not None:
-            raise ValueError("trace mode takes no input matrix")
-
-        for t in range(steps):
-            nrem = n - t * v
-            n11 = nrem - v
-            self.stats.begin_step(f"t={t}")
-            self._account_step(t, nrem, n11)
-            if self.execute:
-                col0, col1 = t * v, (t + 1) * v
-                # Reduce the block column (diagonal block + below) over
-                # the c layers.
-                colpanel = partials[:, col0:, col0:col1].sum(axis=0)
-                # Local potrf of the diagonal block.
-                l00, _ = blas.potrf(colpanel[:v])
-                lower[col0:col1, col0:col1] = l00
-                if n11 > 0:
-                    # A10 <- A10 * L00^{-T} (trsm with the transposed
-                    # Cholesky factor on the right).
-                    a10, _ = blas.trsm(l00.T, colpanel[v:], side="right",
-                                       lower=False)
-                    lower[col1:, col0:col1] = a10
-                    # Deferred symmetric update: each layer applies its
-                    # v/c planes of -A10 A10^T to its accumulator.
-                    planes = v // c
-                    for k in range(c):
-                        sl = slice(k * planes, (k + 1) * planes)
-                        partials[k][col1:, col1:] -= a10[:, sl] @ a10[:, sl].T
-            self.stats.end_step()
-
-        params = {"v": v, "c": c,
-                  "grid": (self.grid.rows, self.grid.cols, c),
-                  "mem_words": self.mem_words}
-        if not self.execute:
-            return FactorizationResult("confchox", n, self.nranks,
-                                       self.mem_words, self.stats, params)
-        return FactorizationResult("confchox", n, self.nranks,
-                                   self.mem_words, self.stats, params,
-                                   lower=lower)
-
+    # Trace view
     # ------------------------------------------------------------------
-    def _account_step(self, t: int, nrem: int, n11: int) -> None:
+    def accounting(self, acct: StepAccounting) -> None:
         """Per-rank accounting, mirroring COnfLUX minus pivoting.
 
         Cholesky has no masking, so trailing *rows* are tile-aligned too
         and counted exactly via cyclic ownership.
         """
-        acct = self.acct
+        n, v, c = self.n, self.v, self.c
         grid = self.grid
-        v, c = self.v, self.c
         pr, pc = grid.rows, grid.cols
-        steps = self.n // v
+        steps = self.steps()
+        t = acct.t
+        nrem = n - t * v
+        n11 = nrem - v
         row_tiles = acct.tiles_owned(steps, t + 1, acct.pi, pr)
         col_tiles = acct.tiles_owned(steps, t + 1, acct.pj, pc)
         diag_owner = ((acct.pi == t % pr) & (acct.pj == t % pc)
@@ -170,6 +124,224 @@ class ConfchoxCholesky:
         # rank updates only its lower-triangular share, so roughly half
         # its tile products contribute.
         acct.add_flops((row_tiles * v) * (col_tiles * v) * planes)
+
+    # ------------------------------------------------------------------
+    # Dense view
+    # ------------------------------------------------------------------
+    def dense_init(self, a: np.ndarray | None,
+                   rng: np.random.Generator | None) -> _DenseState:
+        n = self.n
+        if a is None:
+            rng = rng or np.random.default_rng(0)
+            g = rng.standard_normal((n, n))
+            a = g @ g.T + n * np.eye(n)
+        a = np.asarray(a, dtype=np.float64)
+        if a.shape != (n, n):
+            raise ValueError(f"matrix shape {a.shape} != ({n},{n})")
+        if not np.allclose(a, a.T, atol=1e-10):
+            raise ValueError("input must be symmetric")
+        return _DenseState(a, n, self.c)
+
+    def dense_step(self, state: _DenseState, t: int) -> None:
+        n, v, c = self.n, self.v, self.c
+        nrem = n - t * v
+        n11 = nrem - v
+        partials = state.partials
+        col0, col1 = t * v, (t + 1) * v
+        # Reduce the block column (diagonal block + below) over the c
+        # layers.
+        colpanel = partials[:, col0:, col0:col1].sum(axis=0)
+        # Local potrf of the diagonal block.
+        l00, _ = blas.potrf(colpanel[:v])
+        state.lower[col0:col1, col0:col1] = l00
+        if n11 > 0:
+            # A10 <- A10 * L00^{-T} (trsm with the transposed
+            # Cholesky factor on the right).
+            a10, _ = blas.trsm(l00.T, colpanel[v:], side="right",
+                               lower=False)
+            state.lower[col1:, col0:col1] = a10
+            # Deferred symmetric update: each layer applies its
+            # v/c planes of -A10 A10^T to its accumulator.
+            planes = v // c
+            for k in range(c):
+                sl = slice(k * planes, (k + 1) * planes)
+                partials[k][col1:, col1:] -= a10[:, sl] @ a10[:, sl].T
+
+    def dense_finalize(self, state: _DenseState) -> dict[str, Any]:
+        return {"lower": state.lower}
+
+    # ------------------------------------------------------------------
+    # Distributed view
+    # ------------------------------------------------------------------
+    def dist_init(self, machine: Machine, a: np.ndarray | None,
+                  rng: np.random.Generator | None,
+                  in_name: str | None = None) -> "_DistState":
+        """Lay out the lower tiles (``bi >= bj``) of the per-layer
+        partials in the rank stores; the strictly-upper half is never
+        read by the schedule (symmetry), so it is not stored."""
+        n, v, c = self.n, self.v, self.c
+        grid = self.grid
+        pr, pc = grid.rows, grid.cols
+        nb = n // v
+        if in_name is None:
+            if a is None:
+                rng = rng or np.random.default_rng(0)
+                g = rng.standard_normal((n, n))
+                a = g @ g.T + n * np.eye(n)
+            a = np.asarray(a, dtype=np.float64)
+            if a.shape != (n, n):
+                raise ValueError(f"matrix shape {a.shape} != ({n},{n})")
+            if not np.allclose(a, a.T, atol=1e-10):
+                raise ValueError("input must be symmetric")
+        for bi in range(nb):
+            for bj in range(bi + 1):
+                r0 = grid.rank(bi % pr, bj % pc, 0)
+                if in_name is not None:
+                    tile = np.array(machine.store(r0).get((in_name, bi, bj)),
+                                    dtype=np.float64)
+                else:
+                    tile = a[bi * v:(bi + 1) * v, bj * v:(bj + 1) * v].copy()
+                machine.store(r0).put(("P", bi, bj), tile)
+                for k in range(1, c):
+                    machine.store(grid.rank(bi % pr, bj % pc, k)).put(
+                        ("P", bi, bj), np.zeros((v, v)))
+        return _DistState(n)
+
+    def dist_step(self, machine: Machine, st: "_DistState", t: int) -> None:
+        n, v, c = self.n, self.v, self.c
+        grid = self.grid
+        pr, pc = grid.rows, grid.cols
+        P = self.nranks
+        nb = n // v
+        k_t = t % c
+        col0, col1 = t * v, (t + 1) * v
+        n11 = n - col1
+        all_rows = np.arange(v)
+        all_ranks = list(range(P))
+
+        # Reduce the block column (tiles bi >= t of column t) over the
+        # layers onto layer t%c — Algorithm 1 step 1 sans masking.
+        panel: dict[int, int] = {}
+        for bi in range(t, nb):
+            panel[bi] = fiber_reduce_subset(machine, grid, bi, t, all_rows,
+                                            k_t, ("P", bi, t), ("cr", t, bi))
+
+        # Local potrf of the diagonal block at its owner, then
+        # broadcast of the factor to every rank (Table 1: v^2 words).
+        diag_root = panel[t]
+        l00, fl = blas.potrf(machine.store(diag_root).get(("cr", t, t)))
+        machine.compute(diag_root, fl)
+        machine.store(diag_root).put(("l00", t), l00)
+        machine.bcast(diag_root, all_ranks, ("l00", t))
+        st.lower[col0:col1, col0:col1] = l00
+
+        if n11 > 0:
+            # Scatter A10 1D over all ranks + local trsm against each
+            # rank's broadcast L00 copy.
+            pieces = []
+            for bi in range(t + 1, nb):
+                ids = np.arange(bi * v, (bi + 1) * v)
+                pieces.append((panel[bi], ids,
+                               machine.store(panel[bi]).get(("cr", t, bi))))
+            a10_chunks = distribute_rows_1d(machine, pieces, P, ("a10", t))
+            for dst, (ids, blk) in enumerate(a10_chunks):
+                if blk is None:
+                    continue
+                l00_local = machine.store(dst).get(("l00", t))
+                sol, fl = blas.trsm(l00_local.T, blk, side="right",
+                                    lower=False)
+                machine.compute(dst, fl)
+                machine.store(dst).put((("a10", t), "1d"), sol)
+                a10_chunks[dst] = (ids, sol)
+                st.lower[ids, col0:col1] = sol
+
+            # Distribute the A10 pieces each rank's trailing tiles need
+            # (row tiles for the left factor, column tiles for the
+            # transposed right factor, its layer's v/c planes) and apply
+            # the deferred symmetric update to the lower tiles.
+            planes = v // c
+            for dst in all_ranks:
+                pi_d, pj_d, pk_d = grid.coords(dst)
+                sl = slice(pk_d * planes, (pk_d + 1) * planes)
+                rows_map: dict[int, np.ndarray] = {}
+                cols_map: dict[int, np.ndarray] = {}
+                for src, (ids, blk) in enumerate(a10_chunks):
+                    if blk is None:
+                        continue
+                    rsel = [i for i, g in enumerate(ids)
+                            if (int(g) // v) % pr == pi_d]
+                    if rsel:
+                        ship(machine, src, dst, ("a10r", t, src),
+                             blk[rsel, sl])
+                        arrived = machine.store(dst).get(("a10r", t, src))
+                        for i, row in zip(rsel, arrived):
+                            rows_map[int(ids[i])] = row
+                        machine.store(dst).discard(("a10r", t, src))
+                    csel = [i for i, g in enumerate(ids)
+                            if (int(g) // v) % pc == pj_d]
+                    if csel:
+                        ship(machine, src, dst, ("a10c", t, src),
+                             blk[csel, sl])
+                        arrived = machine.store(dst).get(("a10c", t, src))
+                        for i, row in zip(csel, arrived):
+                            cols_map[int(ids[i])] = row
+                        machine.store(dst).discard(("a10c", t, src))
+                if not rows_map or not cols_map:
+                    continue
+                for bi in range(t + 1, nb):
+                    if bi % pr != pi_d:
+                        continue
+                    a10_bi = np.stack([rows_map[g] for g in
+                                       range(bi * v, (bi + 1) * v)])
+                    for bj in range(t + 1, bi + 1):
+                        if bj % pc != pj_d:
+                            continue
+                        a10_bj = np.stack([cols_map[g] for g in
+                                           range(bj * v, (bj + 1) * v)])
+                        tile = machine.store(dst).get(("P", bi, bj))
+                        tile -= a10_bi @ a10_bj.T
+                        machine.compute(
+                            dst, flops.gemm_flops(v, v, planes))
+
+        for bi in range(t, nb):
+            machine.store(panel[bi]).discard(("cr", t, bi))
+        for r in all_ranks:
+            machine.store(r).discard(("l00", t))
+            machine.store(r).discard((("a10", t), "1d"))
+
+    def dist_finalize(self, machine: Machine,
+                      st: "_DistState") -> dict[str, Any]:
+        return {"lower": st.lower}
+
+
+class _DistState:
+    __slots__ = ("lower",)
+
+    def __init__(self, n: int) -> None:
+        self.lower = np.zeros((n, n))
+
+
+class ConfchoxCholesky:
+    """One COnfCHOX factorization problem instance (engine wrapper)."""
+
+    def __init__(self, n: int, nranks: int, v: int | None = None,
+                 c: int | None = None, mem_words: float | None = None,
+                 execute: bool = True,
+                 grid: ProcessorGrid3D | None = None) -> None:
+        self.schedule = ConfchoxSchedule(n, nranks, v=v, c=c,
+                                         mem_words=mem_words, grid=grid)
+        self.n = n
+        self.nranks = nranks
+        self.v = self.schedule.v
+        self.c = self.schedule.c
+        self.mem_words = self.schedule.mem_words
+        self.grid = self.schedule.grid
+        self.execute = execute
+
+    def run(self, a: np.ndarray | None = None,
+            rng: np.random.Generator | None = None) -> FactorizationResult:
+        """Factor an SPD matrix (random well-conditioned one by default)."""
+        return run_with(self.schedule, self.execute, a=a, rng=rng)
 
 
 def confchox_cholesky(n: int, nranks: int, v: int | None = None,

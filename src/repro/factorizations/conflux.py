@@ -22,25 +22,40 @@ replicated layout would double the leading-order communication.
 Per-processor I/O cost (Lemma 10): ``N^3/(P sqrt(M)) + O(M)`` — a factor
 1.5 over the lower bound ``2N^3/(3 P sqrt(M))``.
 
-Modes: ``execute=True`` performs the real factorization on NumPy arrays
-(global-view; per-rank attribution through the accounting layer) and
-returns verifiable ``L``, ``U``, ``perm``; ``execute=False`` (trace mode)
-runs only the exact accounting, enabling paper-scale parameter sweeps.
+:class:`ConfluxSchedule` expresses the step sequence for the execution
+engine (:mod:`repro.engine`): the *trace* view is the exact per-rank
+accounting above, vectorized over all steps at once; the *dense* view
+executes the factorization on global NumPy arrays; the *distributed*
+view runs the same eleven sub-steps through counted
+:class:`~repro.machine.comm.Machine` collectives on per-rank tile
+stores, so received words come from actual data movement.
+:class:`ConfluxLU` is the stable ``execute=True/False`` entry point on
+top of the trace and dense backends.
 """
 
 from __future__ import annotations
 
 import math
+from typing import Any
 
 import numpy as np
 
+from ..engine.accounting import StepAccounting
+from ..engine.backends import run_with
+from ..engine.distops import (
+    assemble_cols_1d,
+    distribute_rows_1d,
+    fiber_reduce_subset,
+    ship,
+)
+from ..engine.schedule import Schedule
 from ..kernels import blas, flops
+from ..machine.comm import Machine
 from ..machine.grid import ProcessorGrid3D, choose_grid_25d, replication_factor
-from ..machine.stats import CommStats
-from .common import FactorizationResult, RankAccountant, validate_problem
-from .pivoting import tournament_pivot, tournament_rounds
+from .common import FactorizationResult, validate_problem
+from .pivoting import _select_candidates, tournament_rounds
 
-__all__ = ["ConfluxLU", "conflux_lu", "default_block_size"]
+__all__ = ["ConfluxLU", "ConfluxSchedule", "conflux_lu", "default_block_size"]
 
 
 def default_block_size(n: int, nranks: int, c: int, a: int = 4,
@@ -68,166 +83,127 @@ def default_block_size(n: int, nranks: int, c: int, a: int = 4,
     return candidates[-1]
 
 
-class ConfluxLU:
-    """One COnfLUX factorization problem instance."""
+def resolve_25d(n: int, nranks: int, v: int | None, c: int | None,
+                mem_words: float | None,
+                grid: ProcessorGrid3D | None,
+                ) -> tuple[int, int, float, ProcessorGrid3D]:
+    """Resolve the shared 2.5D parameter defaults of COnfLUX/COnfCHOX.
+
+    Returns ``(v, c, mem_words, grid)`` after applying the paper's
+    policies: ``c ~ P^(1/3)`` (clamped to a divisor of ``P``) when
+    nothing is given, ``M = c N^2 / P`` for one replica per layer, and
+    the tuned tile size of :func:`default_block_size`.
+    """
+    if mem_words is None and c is None:
+        c = max(1, int(round(nranks ** (1.0 / 3.0))))
+        while nranks % c != 0:
+            c -= 1
+    if c is None:
+        c = replication_factor(nranks, n, mem_words)
+    if grid is None:
+        grid = choose_grid_25d(nranks, n, mem_words or c * n * n / nranks,
+                               c=c)
+    if grid.layers != c or grid.size != nranks:
+        raise ValueError(f"grid {grid} inconsistent with P={nranks}, c={c}")
+    if mem_words is None:
+        # One replicated copy per layer: M = c N^2 / P.
+        mem_words = c * float(n) * n / nranks
+    if v is None:
+        v = default_block_size(n, nranks, c)
+    validate_problem(n, v, nranks)
+    if v % c != 0:
+        raise ValueError(f"v={v} must be a multiple of c={c}")
+    return v, c, float(mem_words), grid
+
+
+class _DenseState:
+    """Global-view execution state (one replicated partial per layer)."""
+
+    __slots__ = ("partials", "rows_left", "lower", "upper", "perm")
+
+    def __init__(self, a: np.ndarray, n: int, c: int) -> None:
+        self.partials = np.zeros((c, n, n))
+        self.partials[0] = a
+        self.rows_left = np.arange(n)
+        self.lower = np.zeros((n, n))
+        self.upper = np.zeros((n, n))
+        self.perm: list[int] = []
+
+
+class _DistState:
+    """Distributed execution bookkeeping (data lives in rank stores)."""
+
+    __slots__ = ("rows_left", "lower", "upper", "perm")
+
+    def __init__(self, n: int) -> None:
+        self.rows_left = np.arange(n)
+        self.lower = np.zeros((n, n))
+        self.upper = np.zeros((n, n))
+        self.perm: list[int] = []
+
+
+class ConfluxSchedule(Schedule):
+    """The eleven sub-steps of Algorithm 1 as an engine schedule."""
+
+    name = "conflux"
+    supports_distributed = True
 
     def __init__(self, n: int, nranks: int, v: int | None = None,
                  c: int | None = None, mem_words: float | None = None,
-                 execute: bool = True,
                  grid: ProcessorGrid3D | None = None) -> None:
-        if mem_words is None and c is None:
-            c = max(1, int(round(nranks ** (1.0 / 3.0))))
-            while nranks % c != 0:
-                c -= 1
-        if c is None:
-            c = replication_factor(nranks, n, mem_words)
-        if grid is None:
-            grid = choose_grid_25d(nranks, n, mem_words or c * n * n / nranks,
-                                   c=c)
-        if grid.layers != c or grid.size != nranks:
-            raise ValueError(f"grid {grid} inconsistent with P={nranks}, c={c}")
-        if mem_words is None:
-            # One replicated copy per layer: M = c N^2 / P.
-            mem_words = c * float(n) * n / nranks
-        if v is None:
-            v = default_block_size(n, nranks, c)
-        validate_problem(n, v, nranks)
-        if v % c != 0:
-            raise ValueError(f"v={v} must be a multiple of c={c}")
+        v, c, mem_words, grid = resolve_25d(n, nranks, v, c, mem_words, grid)
         self.n = n
         self.nranks = nranks
         self.v = v
         self.c = c
-        self.mem_words = float(mem_words)
+        self.mem_words = mem_words
         self.grid = grid
-        self.execute = execute
-        self.stats = CommStats(nranks)
-        self.acct = RankAccountant(grid, self.stats)
+
+    def steps(self) -> int:
+        return self.n // self.v
+
+    def params(self) -> dict[str, Any]:
+        return {"v": self.v, "c": self.c,
+                "grid": (self.grid.rows, self.grid.cols, self.c),
+                "mem_words": self.mem_words}
 
     # ------------------------------------------------------------------
-    def run(self, a: np.ndarray | None = None,
-            rng: np.random.Generator | None = None) -> FactorizationResult:
-        """Factorize.  In execution mode ``a`` (or a random well-conditioned
-        matrix) is factorized; in trace mode ``a`` must be None."""
-        n, v, c = self.n, self.v, self.c
-        grid = self.grid
-        steps = n // v
-        pr, pc = grid.rows, grid.cols
-        acct = self.acct
-
-        if self.execute:
-            if a is None:
-                rng = rng or np.random.default_rng(0)
-                a = rng.standard_normal((n, n)) + n * np.eye(n)
-            a = np.asarray(a, dtype=np.float64)
-            if a.shape != (n, n):
-                raise ValueError(f"matrix shape {a.shape} != ({n},{n})")
-            # partials[k] = layer k's accumulated contribution; the current
-            # Schur complement of any untouched entry is sum over layers.
-            partials = np.zeros((c, n, n))
-            partials[0] = a
-            rows_left = np.arange(n)
-            lower = np.zeros((n, n))
-            upper = np.zeros((n, n))
-            perm: list[int] = []
-        elif a is not None:
-            raise ValueError("trace mode takes no input matrix")
-
-        rounds = tournament_rounds(pr)
-        for t in range(steps):
-            nrem = n - t * v          # unfactored rows (and columns)
-            n11 = nrem - v            # trailing extent after this panel
-            self.stats.begin_step(f"t={t}")
-            self._account_step(t, nrem, n11, rounds)
-            if self.execute:
-                col0, col1 = t * v, (t + 1) * v
-                # Step 1: reduce the block column over layers.
-                colpanel = partials[:, rows_left, col0:col1].sum(axis=0)
-                # Step 2: tournament pivoting + A00 factorization.
-                tres = tournament_pivot(colpanel, v, parts=pr)
-                piv_local = tres.winners
-                piv_global = rows_left[piv_local]
-                l00 = np.tril(tres.lu00, -1) + np.eye(v)
-                u00 = np.triu(tres.lu00)
-                mask = np.ones(rows_left.size, dtype=bool)
-                mask[piv_local] = False
-                nonpiv_global = rows_left[mask]
-                # Step 5: reduce the pivot rows' trailing part over layers.
-                rowpanel = partials[:, piv_global, col1:].sum(axis=0)
-                # Step 7: A10 <- A10 * U00^{-1} (the L entries).
-                if nonpiv_global.size:
-                    a10, _ = blas.trsm(u00, colpanel[mask], side="right",
-                                       lower=False)
-                else:
-                    a10 = np.zeros((0, v))
-                # Step 9: A01 <- L00^{-1} * A01 (the U entries).
-                if n11 > 0:
-                    a01, _ = blas.trsm(l00, rowpanel, side="left", lower=True,
-                                       unit_diagonal=True)
-                else:
-                    a01 = np.zeros((v, 0))
-                # Step 11: layered Schur update — each layer applies its
-                # v/c reduction planes to its private accumulator.
-                if n11 > 0 and nonpiv_global.size:
-                    planes = v // c
-                    cols = np.arange(col1, n)
-                    for k in range(c):
-                        sl = slice(k * planes, (k + 1) * planes)
-                        partials[k][np.ix_(nonpiv_global, cols)] -= (
-                            a10[:, sl] @ a01[sl, :])
-                # Assemble factors (pivot rows keep their global ids;
-                # the permutation orders them at the end — row masking).
-                lower[piv_global, col0:col1] = l00
-                if nonpiv_global.size:
-                    lower[nonpiv_global, col0:col1] = a10
-                upper[col0:col1, col0:col1] = u00
-                upper[col0:col1, col1:] = a01
-                perm.extend(int(r) for r in piv_global)
-                rows_left = nonpiv_global
-            self.stats.end_step()
-
-        params = {"v": v, "c": c, "grid": (pr, pc, c),
-                  "mem_words": self.mem_words}
-        if not self.execute:
-            return FactorizationResult("conflux", n, self.nranks,
-                                       self.mem_words, self.stats, params)
-        perm_arr = np.asarray(perm)
-        return FactorizationResult(
-            "conflux", n, self.nranks, self.mem_words, self.stats, params,
-            lower=lower[perm_arr], upper=upper, perm=perm_arr)
-
+    # Trace view: exact per-rank accounting, vectorized over all steps
     # ------------------------------------------------------------------
-    def _account_step(self, t: int, nrem: int, n11: int,
-                      rounds: int) -> None:
-        """Exact per-rank accounting of the 11 sub-steps of Algorithm 1.
+    def accounting(self, acct: StepAccounting) -> None:
+        """Analytic cost of the 11 sub-steps for every step at once.
 
         Masked (not yet pivoted) rows are spread uniformly over the grid
         rows — the paper's "with high probability, pivots are evenly
         distributed" assumption; columns are tile-aligned and counted
-        exactly via cyclic tile ownership.
+        exactly via cyclic tile ownership.  ``acct.t`` is a column of
+        step indices, so every expression below is a ``(steps, ranks)``
+        matrix.
         """
-        acct = self.acct
+        n, v, c = self.n, self.v, self.c
         grid = self.grid
-        v, c = self.v, self.c
         pr, pc = grid.rows, grid.cols
         p1 = pr * pc
-        steps = self.n // self.v
-        q_col = t % pc               # grid column owning panel column t
-        k_piv = t % c                # layer hosting the tournament
-        on_qcol = (acct.pj == q_col).astype(float)
-        on_piv_layer = on_qcol * (acct.pk == k_piv)
-        # Trailing column tiles owned per rank (exact cyclic counts).
+        steps = self.steps()
+        t = acct.t
+        nrem = n - t * v          # unfactored rows (and columns)
+        n11 = nrem - v            # trailing extent after each panel
+        rounds = tournament_rounds(pr)
         col_tiles = acct.tiles_owned(steps, t + 1, acct.pj, pc)
         rows_per_gridrow = nrem / pr          # masked rows, uniform split
 
         if self.nranks == 1:
             # A single rank communicates nothing; only the compute terms
             # below apply.
-            acct.add_flops(flops.getrf_flops(max(rows_per_gridrow, v), v))
+            acct.add_flops(flops.getrf_flops(np.maximum(rows_per_gridrow, v),
+                                             v))
             acct.add_flops(flops.trsm_flops(v, n11) * 2.0)
             acct.add_flops(2.0 * rows_per_gridrow * (col_tiles * v)
                            * (v / c))
             return
+
+        on_qcol = (acct.pj == t % pc).astype(float)
+        on_piv_layer = on_qcol * (acct.pk == t % c)
 
         # Step 1: reduce the block column (nrem x v) over layers.  The
         # fine-grained block-cyclic layout spreads the panel over the
@@ -242,7 +218,7 @@ class ConfluxLU:
         # local candidate-selection LU and the playoff LUs.
         acct.add_recv(on_piv_layer * v * v * rounds, msgs=rounds)
         acct.add_sent(on_piv_layer * v * v * rounds, msgs=rounds)
-        local_lu = flops.getrf_flops(max(rows_per_gridrow, v), v)
+        local_lu = flops.getrf_flops(np.maximum(rows_per_gridrow, v), v)
         playoff = rounds * flops.getrf_flops(2 * v, v)
         acct.add_flops(on_piv_layer * (local_lu + playoff))
 
@@ -252,8 +228,7 @@ class ConfluxLU:
                       msgs=math.ceil(math.log2(max(2, p1 * c))))
 
         # Step 4: scatter A10 ((nrem - v) x v) 1D over all P ranks.
-        share_a10 = n11 * v / self.nranks
-        acct.add_recv(share_a10)
+        acct.add_recv(n11 * v / self.nranks)
 
         # Step 5: reduce the v pivot rows (v x n11) over layers — same
         # machine-wide reduce-scatter convention as step 1 (pivot rows
@@ -277,6 +252,393 @@ class ConfluxLU:
 
         # Step 11: local Schur update (gemm, 2mnk flops), no communication.
         acct.add_flops(2.0 * rows_per_gridrow * (col_tiles * v) * planes)
+
+    # ------------------------------------------------------------------
+    # Dense view: global-view numerics
+    # ------------------------------------------------------------------
+    def dense_init(self, a: np.ndarray | None,
+                   rng: np.random.Generator | None) -> _DenseState:
+        n = self.n
+        if a is None:
+            rng = rng or np.random.default_rng(0)
+            a = rng.standard_normal((n, n)) + n * np.eye(n)
+        a = np.asarray(a, dtype=np.float64)
+        if a.shape != (n, n):
+            raise ValueError(f"matrix shape {a.shape} != ({n},{n})")
+        # partials[k] = layer k's accumulated contribution; the current
+        # Schur complement of any untouched entry is sum over layers.
+        return _DenseState(a, n, self.c)
+
+    def dense_step(self, state: _DenseState, t: int) -> None:
+        from .pivoting import tournament_pivot
+
+        n, v, c = self.n, self.v, self.c
+        pr = self.grid.rows
+        nrem = n - t * v
+        n11 = nrem - v
+        partials, rows_left = state.partials, state.rows_left
+        col0, col1 = t * v, (t + 1) * v
+        # Step 1: reduce the block column over layers.
+        colpanel = partials[:, rows_left, col0:col1].sum(axis=0)
+        # Step 2: tournament pivoting + A00 factorization.
+        tres = tournament_pivot(colpanel, v, parts=pr)
+        piv_local = tres.winners
+        piv_global = rows_left[piv_local]
+        l00 = np.tril(tres.lu00, -1) + np.eye(v)
+        u00 = np.triu(tres.lu00)
+        mask = np.ones(rows_left.size, dtype=bool)
+        mask[piv_local] = False
+        nonpiv_global = rows_left[mask]
+        # Step 5: reduce the pivot rows' trailing part over layers.
+        rowpanel = partials[:, piv_global, col1:].sum(axis=0)
+        # Step 7: A10 <- A10 * U00^{-1} (the L entries).
+        if nonpiv_global.size:
+            a10, _ = blas.trsm(u00, colpanel[mask], side="right",
+                               lower=False)
+        else:
+            a10 = np.zeros((0, v))
+        # Step 9: A01 <- L00^{-1} * A01 (the U entries).
+        if n11 > 0:
+            a01, _ = blas.trsm(l00, rowpanel, side="left", lower=True,
+                               unit_diagonal=True)
+        else:
+            a01 = np.zeros((v, 0))
+        # Step 11: layered Schur update — each layer applies its
+        # v/c reduction planes to its private accumulator.
+        if n11 > 0 and nonpiv_global.size:
+            planes = v // c
+            cols = np.arange(col1, n)
+            for k in range(c):
+                sl = slice(k * planes, (k + 1) * planes)
+                partials[k][np.ix_(nonpiv_global, cols)] -= (
+                    a10[:, sl] @ a01[sl, :])
+        # Assemble factors (pivot rows keep their global ids;
+        # the permutation orders them at the end — row masking).
+        state.lower[piv_global, col0:col1] = l00
+        if nonpiv_global.size:
+            state.lower[nonpiv_global, col0:col1] = a10
+        state.upper[col0:col1, col0:col1] = u00
+        state.upper[col0:col1, col1:] = a01
+        state.perm.extend(int(r) for r in piv_global)
+        state.rows_left = nonpiv_global
+
+    def dense_finalize(self, state: _DenseState) -> dict[str, Any]:
+        perm = np.asarray(state.perm)
+        return {"lower": state.lower[perm], "upper": state.upper,
+                "perm": perm}
+
+    # ------------------------------------------------------------------
+    # Distributed view: the same sub-steps through Machine collectives
+    # ------------------------------------------------------------------
+    def dist_init(self, machine: Machine, a: np.ndarray | None,
+                  rng: np.random.Generator | None,
+                  in_name: str | None = None) -> _DistState:
+        """Lay out the per-layer partials as v x v tiles in rank stores.
+
+        Layer 0 holds the input (either scattered from a dense ``a`` or
+        adopted from existing ``(in_name, bi, bj)`` tiles, e.g. after a
+        COSTA reshuffle); layers 1..c-1 start from zero partials.
+        Initial placement is free — the paper assumes the input already
+        resides in the algorithm's layout (Section 7.4).
+        """
+        n, v, c = self.n, self.v, self.c
+        grid = self.grid
+        pr, pc = grid.rows, grid.cols
+        nb = n // v
+        for bi in range(nb):
+            for bj in range(nb):
+                r0 = grid.rank(bi % pr, bj % pc, 0)
+                if in_name is not None:
+                    tile = machine.store(r0).get((in_name, bi, bj))
+                    machine.store(r0).put(("P", bi, bj),
+                                          np.array(tile, dtype=np.float64))
+                for k in range(1, c):
+                    machine.store(grid.rank(bi % pr, bj % pc, k)).put(
+                        ("P", bi, bj), np.zeros((v, v)))
+        if in_name is None:
+            if a is None:
+                rng = rng or np.random.default_rng(0)
+                a = rng.standard_normal((n, n)) + n * np.eye(n)
+            a = np.asarray(a, dtype=np.float64)
+            if a.shape != (n, n):
+                raise ValueError(f"matrix shape {a.shape} != ({n},{n})")
+            for bi in range(nb):
+                for bj in range(nb):
+                    machine.store(grid.rank(bi % pr, bj % pc, 0)).put(
+                        ("P", bi, bj),
+                        a[bi * v:(bi + 1) * v, bj * v:(bj + 1) * v].copy())
+        return _DistState(n)
+
+    def dist_step(self, machine: Machine, st: _DistState, t: int) -> None:
+        n, v, c = self.n, self.v, self.c
+        grid = self.grid
+        pr, pc = grid.rows, grid.cols
+        P = self.nranks
+        nb = n // v
+        k_piv = t % c
+        col0, col1 = t * v, (t + 1) * v
+        n11 = n - col1
+        active = st.rows_left
+        all_ranks = list(range(P))
+
+        # Step 1: reduce the block column's active rows over the layers
+        # onto the pivot layer's panel-column ranks.
+        panel: dict[int, tuple[np.ndarray, int]] = {}
+        for bi in range(nb):
+            ids = active[(active >= bi * v) & (active < (bi + 1) * v)]
+            if ids.size == 0:
+                continue
+            root = fiber_reduce_subset(machine, grid, bi, t, ids - bi * v,
+                                       k_piv, ("P", bi, t), ("cr", t, bi))
+            panel[bi] = (ids, root)
+
+        # Step 2: tournament pivoting among the panel-column ranks.
+        by_rank: dict[int, list[int]] = {}
+        for bi in sorted(panel):
+            by_rank.setdefault(panel[bi][1], []).append(bi)
+        parts: list[tuple[int, np.ndarray, np.ndarray]] = []
+        for root in sorted(by_rank):
+            ids = np.concatenate([panel[bi][0] for bi in by_rank[root]])
+            block = np.vstack([machine.store(root).get(("cr", t, bi))
+                               for bi in by_rank[root]])
+            parts.append((root, ids, block))
+        winners, lu00, tour_root = self._dist_tournament(machine, parts, t)
+        l00 = np.tril(lu00, -1) + np.eye(v)
+
+        # Step 3: broadcast the factored A00 and the pivot ids to all.
+        machine.store(tour_root).put(("a00", t), lu00)
+        machine.bcast(tour_root, all_ranks, ("a00", t))
+        machine.store(tour_root).put(("piv", t), winners.astype(np.float64))
+        machine.bcast(tour_root, all_ranks, ("piv", t))
+
+        piv_set = {int(g) for g in winners}
+        nonpiv = np.array([g for g in active if int(g) not in piv_set],
+                          dtype=int)
+        st.lower[winners, col0:col1] = l00
+        st.upper[col0:col1, col0:col1] = np.triu(lu00)
+        st.perm.extend(int(g) for g in winners)
+
+        # Steps 4 + 7: scatter A10 1D over all ranks, then local trsm
+        # against each rank's broadcast A00 copy.
+        a10_chunks: list[tuple[np.ndarray, np.ndarray | None]] = []
+        if nonpiv.size:
+            pieces4: list[tuple[int, np.ndarray, np.ndarray]] = []
+            for bi, (ids, root) in panel.items():
+                blk = machine.store(root).get(("cr", t, bi))
+                sel = [i for i, g in enumerate(ids) if int(g) not in piv_set]
+                if sel:
+                    pieces4.append((root, ids[sel], blk[sel, :]))
+            a10_chunks = distribute_rows_1d(machine, pieces4, P, ("a10", t))
+            for dst, (ids, blk) in enumerate(a10_chunks):
+                if blk is None:
+                    continue
+                u00_local = np.triu(machine.store(dst).get(("a00", t)))
+                sol, fl = blas.trsm(u00_local, blk, side="right", lower=False)
+                machine.compute(dst, fl)
+                machine.store(dst).put((("a10", t), "1d"), sol)
+                a10_chunks[dst] = (ids, sol)
+                st.lower[ids, col0:col1] = sol
+        for bi, (ids, root) in panel.items():
+            machine.store(root).discard(("cr", t, bi))
+
+        # Steps 5 + 6 + 9: reduce the pivot rows over layers, scatter
+        # the A01 panel 1D by columns, local trsm.
+        a01_chunks: list[tuple[np.ndarray, np.ndarray | None]] = []
+        rr_keys: list[tuple[int, tuple]] = []
+        if n11 > 0:
+            piv_by_tile: dict[int, list[int]] = {}
+            for g in winners:
+                piv_by_tile.setdefault(int(g) // v, []).append(int(g))
+            pieces6: list[tuple[int, np.ndarray, np.ndarray, np.ndarray]] = []
+            for bj in range(t + 1, nb):
+                cols = np.arange(bj * v, (bj + 1) * v)
+                for bi, gids in sorted(piv_by_tile.items()):
+                    loc = np.asarray(gids, dtype=int) - bi * v
+                    root = fiber_reduce_subset(
+                        machine, grid, bi, bj, loc, k_piv,
+                        ("P", bi, bj), ("rr", t, bi, bj))
+                    rr_keys.append((root, ("rr", t, bi, bj)))
+                    pieces6.append((root, np.asarray(gids, dtype=int), cols,
+                                    machine.store(root).get(("rr", t, bi, bj))))
+            a01_chunks = assemble_cols_1d(machine, pieces6, winners, P,
+                                          ("a01", t))
+            for root, key in rr_keys:
+                machine.store(root).discard(key)
+            for dst, (cids, blk) in enumerate(a01_chunks):
+                if blk is None:
+                    continue
+                lu00_local = machine.store(dst).get(("a00", t))
+                l00_local = np.tril(lu00_local, -1) + np.eye(v)
+                sol, fl = blas.trsm(l00_local, blk, side="left", lower=True,
+                                    unit_diagonal=True)
+                machine.compute(dst, fl)
+                machine.store(dst).put((("a01", t), "1d"), sol)
+                a01_chunks[dst] = (cids, sol)
+                st.upper[np.ix_(np.arange(col0, col1), cids)] = sol
+
+        # Steps 8 + 10 + 11: distribute the panel pieces each rank's
+        # trailing tiles need (its grid row's A10 rows, its grid
+        # column's A01 columns, its layer's v/c planes) and apply the
+        # local Schur update.
+        if n11 > 0 and nonpiv.size:
+            planes = v // c
+            nonpiv_by_tile: dict[int, np.ndarray] = {}
+            for bi in range(nb):
+                sel = nonpiv[(nonpiv >= bi * v) & (nonpiv < (bi + 1) * v)]
+                if sel.size:
+                    nonpiv_by_tile[bi] = sel
+            for dst in all_ranks:
+                pi_d, pj_d, pk_d = grid.coords(dst)
+                sl = slice(pk_d * planes, (pk_d + 1) * planes)
+                # Step 8: A10 rows living on this rank's grid row.
+                rows_map: dict[int, np.ndarray] = {}
+                for src, (ids, blk) in enumerate(a10_chunks):
+                    if blk is None:
+                        continue
+                    sel = [i for i, g in enumerate(ids)
+                           if (int(g) // v) % pr == pi_d]
+                    if not sel:
+                        continue
+                    ship(machine, src, dst, ("a10d", t, src), blk[sel, sl])
+                    arrived = machine.store(dst).get(("a10d", t, src))
+                    for i, row in zip(sel, arrived):
+                        rows_map[int(ids[i])] = row
+                    machine.store(dst).discard(("a10d", t, src))
+                # Step 10: A01 columns living on this rank's grid column.
+                cols_map: dict[int, np.ndarray] = {}
+                for src, (cids, blk) in enumerate(a01_chunks):
+                    if blk is None:
+                        continue
+                    sel = [i for i, cg in enumerate(cids)
+                           if (int(cg) // v) % pc == pj_d]
+                    if not sel:
+                        continue
+                    ship(machine, src, dst, ("a01d", t, src), blk[sl, :][:, sel])
+                    arrived = machine.store(dst).get(("a01d", t, src))
+                    for i, j in enumerate(sel):
+                        cols_map[int(cids[j])] = arrived[:, i]
+                    machine.store(dst).discard(("a01d", t, src))
+                # Step 11: local update of this rank's trailing tiles.
+                if not rows_map or not cols_map:
+                    continue
+                for bi, gids in nonpiv_by_tile.items():
+                    if bi % pr != pi_d:
+                        continue
+                    a10_blk = np.stack([rows_map[int(g)] for g in gids])
+                    loc = gids - bi * v
+                    for bj in range(t + 1, nb):
+                        if bj % pc != pj_d:
+                            continue
+                        cols = range(bj * v, (bj + 1) * v)
+                        a01_blk = np.stack([cols_map[cg] for cg in cols],
+                                           axis=1)
+                        tile = machine.store(dst).get(("P", bi, bj))
+                        tile[loc, :] -= a10_blk @ a01_blk
+                        machine.compute(
+                            dst, flops.gemm_flops(len(gids), v, planes))
+
+        for r in all_ranks:
+            machine.store(r).discard(("a00", t))
+            machine.store(r).discard(("piv", t))
+            machine.store(r).discard((("a10", t), "1d"))
+            machine.store(r).discard((("a01", t), "1d"))
+        st.rows_left = nonpiv
+
+    def _dist_tournament(self, machine: Machine,
+                         parts: list[tuple[int, np.ndarray, np.ndarray]],
+                         t: int) -> tuple[np.ndarray, np.ndarray, int]:
+        """Butterfly tournament over the panel-column ranks.
+
+        Each participant selects ``v`` local candidate rows, then
+        exchanges candidate blocks (rows + their global ids) with its
+        XOR partner for ``ceil(log2(parts))`` rounds; participant 0's
+        accumulated set is complete, so it plays the final LU and
+        becomes the broadcast root of step 3.
+        """
+        v = self.v
+        sets: list[tuple[int, np.ndarray, np.ndarray]] = []
+        for rank, ids, block in parts:
+            cand_ids = _select_candidates(block, ids, v)
+            pos = {int(g): i for i, g in enumerate(ids)}
+            cand_blk = block[[pos[int(g)] for g in cand_ids], :]
+            machine.compute(rank, flops.getrf_flops(block.shape[0], v))
+            sets.append((rank, cand_ids, cand_blk))
+        length = len(sets)
+        r = 0
+        while (1 << r) < length:
+            nxt = list(sets)
+            for i in range(length):
+                j = i ^ (1 << r)
+                if j >= length or j < i:
+                    continue
+                ri, ids_i, blk_i = sets[i]
+                rj, ids_j, blk_j = sets[j]
+                ship(machine, ri, rj, ("tp", t, r, i),
+                     np.hstack([blk_i, ids_i[:, None].astype(np.float64)]))
+                ship(machine, rj, ri, ("tp", t, r, j),
+                     np.hstack([blk_j, ids_j[:, None].astype(np.float64)]))
+                machine.store(ri).discard(("tp", t, r, j))
+                machine.store(rj).discard(("tp", t, r, i))
+                ids = np.concatenate([ids_i, ids_j])
+                blk = np.vstack([blk_i, blk_j])
+                m_ids = _select_candidates(blk, ids, v)
+                pos = {int(g): k for k, g in enumerate(ids)}
+                m_blk = blk[[pos[int(g)] for g in m_ids], :]
+                fl = flops.getrf_flops(blk.shape[0], v)
+                machine.compute(ri, fl)
+                machine.compute(rj, fl)
+                nxt[i] = (ri, m_ids, m_blk)
+                nxt[j] = (rj, m_ids, m_blk)
+            sets = nxt
+            r += 1
+        root, ids, blk = sets[0]
+        if ids.size < v:
+            raise ValueError(
+                f"tournament selected {ids.size} rows < v={v} "
+                "(rank-deficient panel)")
+        lu, piv, fl = blas.getrf(blk[:, :v], tolerant=True)
+        perm = blas.pivots_to_permutation(piv, ids.size)
+        winners = ids[perm[:v]]
+        lu00, _, fl2 = blas.getrf(blk[perm[:v], :v], pivot=False)
+        machine.compute(root, fl + fl2)
+        return winners, lu00, root
+
+    def dist_finalize(self, machine: Machine,
+                      st: _DistState) -> dict[str, Any]:
+        perm = np.asarray(st.perm)
+        return {"lower": st.lower[perm], "upper": st.upper, "perm": perm}
+
+
+class ConfluxLU:
+    """One COnfLUX factorization problem instance.
+
+    ``execute=True`` runs the dense backend (real factors, analytic
+    counters); ``execute=False`` runs the trace backend (counters only,
+    paper scale).  For message-passing execution build a
+    :class:`ConfluxSchedule` and hand it to
+    :class:`~repro.engine.backends.DistributedBackend`.
+    """
+
+    def __init__(self, n: int, nranks: int, v: int | None = None,
+                 c: int | None = None, mem_words: float | None = None,
+                 execute: bool = True,
+                 grid: ProcessorGrid3D | None = None) -> None:
+        self.schedule = ConfluxSchedule(n, nranks, v=v, c=c,
+                                        mem_words=mem_words, grid=grid)
+        self.n = n
+        self.nranks = nranks
+        self.v = self.schedule.v
+        self.c = self.schedule.c
+        self.mem_words = self.schedule.mem_words
+        self.grid = self.schedule.grid
+        self.execute = execute
+
+    def run(self, a: np.ndarray | None = None,
+            rng: np.random.Generator | None = None) -> FactorizationResult:
+        """Factorize.  In execution mode ``a`` (or a random well-conditioned
+        matrix) is factorized; in trace mode ``a`` and ``rng`` must be
+        None."""
+        return run_with(self.schedule, self.execute, a=a, rng=rng)
 
 
 def conflux_lu(n: int, nranks: int, v: int | None = None,

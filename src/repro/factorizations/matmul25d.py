@@ -16,25 +16,43 @@ share once:
     Q = N^2/(Pr c) * K/(...)  ~  2 N^3 / (P sqrt(M)) + O(N^2/P)
 
 — matching the SC19 bound's leading constant, which the tests check.
+
+The algorithm is an engine :class:`~repro.engine.schedule.Schedule`
+whose step sequence is the SUMMA rounds plus one final reduction step.
 """
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
-from ..machine.grid import ProcessorGrid3D, choose_grid_25d, replication_factor
-from ..machine.stats import CommStats
-from .common import FactorizationResult, RankAccountant, validate_problem
+from ..engine.accounting import StepAccounting
+from ..engine.backends import run_with
+from ..engine.schedule import Schedule
+from ..machine.grid import choose_grid_25d, replication_factor
+from .common import FactorizationResult, validate_problem
 
-__all__ = ["Matmul25D", "matmul_25d"]
+__all__ = ["Matmul25D", "Matmul25DSchedule", "matmul_25d"]
 
 
-class Matmul25D:
-    """Square 2.5D SUMMA with dual execution/trace accounting."""
+class _DenseState:
+    __slots__ = ("a", "b", "partials")
+
+    def __init__(self, a: np.ndarray, b: np.ndarray, n: int, c: int) -> None:
+        self.a = a
+        self.b = b
+        self.partials = np.zeros((c, n, n))
+
+
+class Matmul25DSchedule(Schedule):
+    """Square 2.5D SUMMA as an engine schedule."""
+
+    name = "matmul25d"
 
     def __init__(self, n: int, nranks: int, s: int | None = None,
-                 c: int | None = None, mem_words: float | None = None,
-                 execute: bool = True) -> None:
+                 c: int | None = None,
+                 mem_words: float | None = None) -> None:
         if mem_words is None and c is None:
             c = max(1, int(round(nranks ** (1.0 / 3.0))))
             while nranks % c != 0:
@@ -62,61 +80,89 @@ class Matmul25D:
         self.c = c
         self.grid = grid
         self.mem_words = float(mem_words)
-        self.execute = execute
-        self.stats = CommStats(nranks)
-        self.acct = RankAccountant(grid, self.stats)
+        self.rounds = (n // c) // s          # SUMMA rounds per layer
 
-    def run(self, a: np.ndarray | None = None, b: np.ndarray | None = None,
-            rng: np.random.Generator | None = None) -> FactorizationResult:
+    def steps(self) -> int:
+        return self.rounds + 1               # + the final layered reduce
+
+    def step_label(self, t: int) -> str:
+        return f"summa-{t}" if t < self.rounds else "reduce"
+
+    def params(self) -> dict[str, Any]:
+        return {"s": self.s, "c": self.c,
+                "grid": (self.grid.rows, self.grid.cols, self.c),
+                "mem_words": self.mem_words}
+
+    # ------------------------------------------------------------------
+    def accounting(self, acct: StepAccounting) -> None:
         n, s, c = self.n, self.s, self.c
         grid = self.grid
         pr, pc = grid.rows, grid.cols
-
-        if self.execute:
-            rng = rng or np.random.default_rng(0)
-            a = np.asarray(a if a is not None
-                           else rng.standard_normal((n, n)), dtype=float)
-            b = np.asarray(b if b is not None
-                           else rng.standard_normal((n, n)), dtype=float)
-            if a.shape != (n, n) or b.shape != (n, n):
-                raise ValueError("operands must be N x N")
-            partials = np.zeros((c, n, n))
-        elif a is not None or b is not None:
-            raise ValueError("trace mode takes no operands")
-
-        slice_len = n // c                     # reduction share per layer
-        rounds = slice_len // s                # SUMMA rounds per layer
         rows_local = n / pr
         cols_local = n / pc
-        for r in range(rounds):
-            self.stats.begin_step(f"summa-{r}")
-            # A panel broadcast along grid rows: every rank receives its
-            # rows_local x s piece; B panel along grid columns.
-            self.acct.add_recv(rows_local * s * (pc > 1 or c > 1))
-            self.acct.add_recv(cols_local * s * (pr > 1 or c > 1))
-            self.acct.add_flops(2.0 * rows_local * cols_local * s)
-            if self.execute:
-                for k in range(c):
-                    lo = k * slice_len + r * s
-                    partials[k] += a[:, lo:lo + s] @ b[lo:lo + s, :]
-            self.stats.end_step()
+        # Steps [0, rounds) are SUMMA rounds with identical cost; the
+        # last step is the machine-wide reduce-scatter of the C slices
+        # ((c-1) of the c copies move once, spread over all ranks).
+        in_round = (acct.t < self.rounds).astype(float)
+        acct.add_recv(in_round * rows_local * s * (pc > 1 or c > 1))
+        acct.add_recv(in_round * cols_local * s * (pr > 1 or c > 1))
+        acct.add_flops(in_round * 2.0 * rows_local * cols_local * s)
+        in_reduce = 1.0 - in_round
+        acct.add_recv(in_reduce * n * n * (c - 1.0) / self.nranks)
+        acct.add_sent(in_reduce * n * n * (c - 1.0) / self.nranks)
 
-        # Combine the layer slices: machine-wide reduce-scatter, (c-1)
-        # of the c copies move once, spread over all ranks.
-        self.stats.begin_step("reduce")
-        self.acct.add_recv(n * n * (c - 1.0) / self.nranks)
-        self.acct.add_sent(n * n * (c - 1.0) / self.nranks)
-        self.stats.end_step()
+    # ------------------------------------------------------------------
+    def dense_init(self, a: np.ndarray | tuple | None,
+                   rng: np.random.Generator | None) -> _DenseState:
+        """``a`` may be None (random operands), a single array (random
+        right operand), or an ``(a, b)`` pair."""
+        n = self.n
+        rng = rng or np.random.default_rng(0)
+        a, b = a if isinstance(a, tuple) else (a, None)
+        a = np.asarray(a if a is not None
+                       else rng.standard_normal((n, n)), dtype=float)
+        b = np.asarray(b if b is not None
+                       else rng.standard_normal((n, n)), dtype=float)
+        if a.shape != (n, n) or b.shape != (n, n):
+            raise ValueError("operands must be N x N")
+        return _DenseState(a, b, n, self.c)
 
-        params = {"s": s, "c": c, "grid": (pr, pc, c),
-                  "mem_words": self.mem_words}
-        if not self.execute:
-            return FactorizationResult("matmul25d", n, self.nranks,
-                                       self.mem_words, self.stats, params)
-        product = partials.sum(axis=0)
-        return FactorizationResult("matmul25d", n, self.nranks,
-                                   self.mem_words, self.stats, params,
-                                   lower=product, upper=np.eye(n))
+    def dense_step(self, state: _DenseState, t: int) -> None:
+        if t >= self.rounds:
+            return                          # the reduce moves data only
+        n, s, c = self.n, self.s, self.c
+        slice_len = n // c
+        for k in range(c):
+            lo = k * slice_len + t * s
+            state.partials[k] += state.a[:, lo:lo + s] @ state.b[lo:lo + s, :]
+
+    def dense_finalize(self, state: _DenseState) -> dict[str, Any]:
+        return {"lower": state.partials.sum(axis=0),
+                "upper": np.eye(self.n)}
+
+
+class Matmul25D:
+    """Square 2.5D SUMMA with dual execution/trace accounting."""
+
+    def __init__(self, n: int, nranks: int, s: int | None = None,
+                 c: int | None = None, mem_words: float | None = None,
+                 execute: bool = True) -> None:
+        self.schedule = Matmul25DSchedule(n, nranks, s=s, c=c,
+                                          mem_words=mem_words)
+        self.n = n
+        self.nranks = nranks
+        self.s = self.schedule.s
+        self.c = self.schedule.c
+        self.grid = self.schedule.grid
+        self.mem_words = self.schedule.mem_words
+        self.execute = execute
+
+    def run(self, a: np.ndarray | None = None, b: np.ndarray | None = None,
+            rng: np.random.Generator | None = None) -> FactorizationResult:
+        if not self.execute and (a is not None or b is not None):
+            raise ValueError("trace mode takes no operands")
+        operands = (a, b) if b is not None else a
+        return run_with(self.schedule, self.execute, a=operands, rng=rng)
 
 
 def matmul_25d(n: int, nranks: int, s: int | None = None,

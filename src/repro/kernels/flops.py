@@ -4,9 +4,15 @@ These are the standard LAPACK working-note counts; the factorization
 schedules use them to attribute computation to ranks (the gamma term of
 the performance model) and the benchmarks use them to convert time into
 achieved flop/s.
+
+All formulas accept NumPy arrays as well as scalars (broadcasting
+elementwise), so the step-vectorized trace accounting in
+:mod:`repro.engine.accounting` can evaluate them for every step at once.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 __all__ = [
     "gemm_flops",
@@ -21,7 +27,7 @@ __all__ = [
 
 def _check_nonneg(**kwargs: float) -> None:
     for name, value in kwargs.items():
-        if value < 0:
+        if np.any(np.asarray(value) < 0):
             raise ValueError(f"{name} must be non-negative, got {value}")
 
 
@@ -50,9 +56,15 @@ def trsm_flops(m: float, n: float) -> float:
 def getrf_flops(m: float, n: float) -> float:
     """LU of an ``m x n`` panel (LAPACK dgetrf count)."""
     _check_nonneg(m=m, n=n)
-    if m >= n:
-        return m * n * n - n ** 3 / 3.0 - n * n / 2.0 + 5.0 * n / 6.0
-    return n * m * m - m ** 3 / 3.0 - m * m / 2.0 + 5.0 * m / 6.0
+    if np.isscalar(m) and np.isscalar(n):
+        if m >= n:
+            return m * n * n - n ** 3 / 3.0 - n * n / 2.0 + 5.0 * n / 6.0
+        return n * m * m - m ** 3 / 3.0 - m * m / 2.0 + 5.0 * m / 6.0
+    m = np.asarray(m, dtype=float)
+    n = np.asarray(n, dtype=float)
+    tall = m * n * n - n ** 3 / 3.0 - n * n / 2.0 + 5.0 * n / 6.0
+    wide = n * m * m - m ** 3 / 3.0 - m * m / 2.0 + 5.0 * m / 6.0
+    return np.where(m >= n, tall, wide)
 
 
 def potrf_flops(n: float) -> float:

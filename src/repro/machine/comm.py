@@ -6,23 +6,16 @@ communication operations the factorization schedules need: point-to-point
 moves plus the collectives of Algorithm 1 (broadcast, reduce,
 reduce-scatter, scatter, gather, allgather, allreduce).
 
-Counting conventions (see ``stats.py`` for the rationale):
-
-* the primary volume metric is **words received per rank**;
-* a broadcast of ``n`` words to a group of size ``g`` costs every non-root
-  rank ``n`` received words (tree topology changes only *sent*
-  attribution, which we model as a binomial tree: total sent equals total
-  received, split over the internal tree nodes);
-* a reduce of per-rank contributions of ``n`` words costs the root
-  ``(g-1) * n`` received words — each remote partial must reach the
-  combining rank, exactly the accounting used for steps 1 and 5 of
-  Algorithm 1 in the paper;
-* a reduce-scatter spreads that cost over the group:
-  each rank receives ``(g-1) * n/g``.
+The per-collective counting conventions (receive-centric, flat reduce
+accounting, binomial-tree sent attribution) are documented in
+``ARCHITECTURE.md`` at the repo root, alongside the engine layering that
+consumes them; ``stats.py`` holds the metric rationale.
 
 All data-moving methods actually move ``numpy`` blocks between stores, so
 algorithms built on :class:`Machine` are *executable* and numerically
-checkable, not just counted.
+checkable, not just counted — the engine's
+:class:`~repro.engine.backends.DistributedBackend` runs whole
+factorization schedules this way.
 """
 
 from __future__ import annotations
@@ -37,6 +30,25 @@ from .stats import CommStats
 from .store import RankStore
 
 __all__ = ["Machine"]
+
+
+#: Reduction operators shared by reduce / allreduce / reduce_scatter.
+#: Each combines a contribution into the accumulator in place.
+_REDUCE_OPS = {
+    "sum": lambda acc, contrib: np.add(acc, contrib, out=acc),
+    "max": lambda acc, contrib: np.maximum(acc, contrib, out=acc),
+}
+
+
+def _combine(op: str, acc: np.ndarray, contrib: np.ndarray) -> None:
+    """Apply reduction operator ``op`` in place; rejects unknown names."""
+    try:
+        combine = _REDUCE_OPS[op]
+    except KeyError:
+        raise CommunicationError(
+            f"unknown reduce op {op!r}; have {sorted(_REDUCE_OPS)}"
+        ) from None
+    combine(acc, contrib)
 
 
 def _tree_sent_attribution(group: Sequence[int], root: int,
@@ -162,12 +174,7 @@ class Machine:
                 raise CommunicationError(
                     f"reduce shape mismatch: {contrib.shape} vs {acc.shape}")
             self.stats.record_transfer(r, root, contrib.size)
-            if op == "sum":
-                acc += contrib
-            elif op == "max":
-                np.maximum(acc, contrib, out=acc)
-            else:
-                raise CommunicationError(f"unknown reduce op {op!r}")
+            _combine(op, acc, contrib)
         self.stores[root].put(key, acc)
         return acc
 
@@ -190,6 +197,7 @@ class Machine:
         combined ``keys[i]`` and the other partial blocks are dropped.
         This is the collective behind the paper's layered reduction: per
         rank received words are ``(g-1) * n/g`` for total payload ``n``.
+        ``op`` accepts the same operator set as :meth:`reduce`.
         """
         group = self._check_group(group)
         if len(keys) != len(group):
@@ -201,10 +209,7 @@ class Machine:
                     continue
                 contrib = self.stores[r].get(key)
                 self.stats.record_transfer(r, dest, contrib.size)
-                if op == "sum":
-                    acc += contrib
-                else:
-                    raise CommunicationError(f"unknown reduce op {op!r}")
+                _combine(op, acc, contrib)
             self.stores[dest].put(key, acc)
         for dest, key in zip(group, keys):
             for r in group:

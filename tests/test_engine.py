@@ -1,0 +1,150 @@
+"""Tests for the execution engine (repro.engine)."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    DenseBackend,
+    DistributedBackend,
+    StepAccounting,
+    TraceBackend,
+    run_with,
+)
+from repro.factorizations import (
+    ConfchoxSchedule,
+    ConfluxSchedule,
+    Matmul25DSchedule,
+)
+from repro.factorizations.baselines.scalapack_lu import ScalapackLUSchedule
+from repro.machine import Machine
+from repro.machine.grid import ProcessorGrid3D
+from repro.machine.stats import CommStats
+
+
+class TestStepAccounting:
+    def test_uniform_and_full_paths_agree(self):
+        """A rank-uniform term recorded as a column equals the same term
+        materialized as a full (steps, ranks) matrix."""
+        grid = ProcessorGrid3D(2, 2, 2)
+        results = []
+        for expand in (False, True):
+            stats = CommStats(grid.size)
+            acct = StepAccounting(grid, 6)
+
+            def accounting(a, expand=expand):
+                w = 3.0 * (a.t + 1)                   # (chunk, 1)
+                if expand:
+                    w = w * np.ones(a.nranks)         # force full path
+                a.add_recv(w, msgs=2.0)
+                a.add_flops(w * (a.pi + 1))           # always full
+
+            acct.run(accounting, stats, lambda t: f"t={t}")
+            results.append(stats)
+        u, f = results
+        assert np.allclose(u.recv_words, f.recv_words)
+        assert np.allclose(u.recv_msgs, f.recv_msgs)
+        assert np.allclose(u.flops, f.flops)
+        for ru, rf in zip(u.steps, f.steps):
+            assert ru.recv_words_max == rf.recv_words_max
+            assert ru.recv_words_total == rf.recv_words_total
+            assert ru.msgs_max == rf.msgs_max
+
+    def test_chunking_invariant(self, monkeypatch):
+        """Totals and the step log must not depend on the chunk size."""
+        import repro.engine.accounting as accounting_mod
+
+        sched = ConfluxSchedule(128, 8, v=8, c=2)
+        base = TraceBackend().run(sched)
+        monkeypatch.setattr(accounting_mod, "_CHUNK_TARGET", 8)
+        small = TraceBackend().run(ConfluxSchedule(128, 8, v=8, c=2))
+        assert np.allclose(base.comm.recv_words, small.comm.recv_words)
+        assert len(base.step_log) == len(small.step_log)
+        for rb, rs in zip(base.step_log, small.step_log):
+            assert rb.recv_words_max == pytest.approx(rs.recv_words_max)
+            assert rb.label == rs.label
+
+    def test_step_labels(self):
+        res = TraceBackend().run(Matmul25DSchedule(64, 8, c=2))
+        labels = [r.label for r in res.step_log]
+        assert labels[-1] == "reduce"
+        assert labels[0] == "summa-0"
+
+
+class TestBackends:
+    def test_trace_equals_dense_counters(self, rng):
+        """Trace and dense backends run the same accounting."""
+        t = TraceBackend().run(ConfluxSchedule(64, 8, v=8, c=2))
+        e = DenseBackend().run(ConfluxSchedule(64, 8, v=8, c=2), rng=rng)
+        assert np.allclose(t.comm.recv_words, e.comm.recv_words)
+        assert np.allclose(t.comm.flops, e.comm.flops)
+
+    def test_run_with_rejects_inputs_in_trace_mode(self, rng):
+        sched = ConfluxSchedule(32, 4, v=8, c=1)
+        with pytest.raises(ValueError):
+            run_with(sched, execute=False, a=np.eye(32))
+        with pytest.raises(ValueError):
+            run_with(sched, execute=False, rng=rng)
+
+    def test_distributed_requires_support(self):
+        sched = ScalapackLUSchedule(64, 4, nb=16)
+        with pytest.raises(NotImplementedError):
+            DistributedBackend().run(sched)
+
+    def test_distributed_rank_mismatch(self):
+        sched = ConfluxSchedule(32, 4, v=8, c=1)
+        with pytest.raises(ValueError):
+            DistributedBackend(Machine(8)).run(sched)
+
+    def test_distributed_counts_on_the_machine(self, rng):
+        """The machine's own stats accumulate the schedule's traffic."""
+        machine = Machine(4)
+        sched = ConfluxSchedule(32, 4, v=8, c=1)
+        a = rng.standard_normal((32, 32)) + 32 * np.eye(32)
+        res = DistributedBackend(machine).run(sched, a=a)
+        assert res.comm.total_recv_words > 0
+        assert machine.stats.total_recv_words == pytest.approx(
+            res.comm.total_recv_words)
+
+    def test_distributed_lu_factors_correct(self, rng):
+        n = 64
+        a = rng.standard_normal((n, n)) + n * np.eye(n)
+        res = DistributedBackend().run(ConfluxSchedule(n, 8, v=8, c=2), a=a)
+        err = np.linalg.norm(a[res.perm] - res.lower @ res.upper)
+        assert err / np.linalg.norm(a) < 1e-12
+        assert sorted(res.perm.tolist()) == list(range(n))
+
+    def test_distributed_lu_general_matrix(self, rng):
+        """Tournament pivoting keeps non-dominant inputs stable."""
+        n = 64
+        a = rng.standard_normal((n, n))
+        res = DistributedBackend().run(ConfluxSchedule(n, 8, v=8, c=2), a=a)
+        err = np.linalg.norm(a[res.perm] - res.lower @ res.upper)
+        assert err / np.linalg.norm(a) < 1e-10
+
+    def test_distributed_cholesky_factors_correct(self, rng):
+        n = 64
+        g = rng.standard_normal((n, n))
+        a = g @ g.T + n * np.eye(n)
+        res = DistributedBackend().run(ConfchoxSchedule(n, 8, v=8, c=2), a=a)
+        err = np.linalg.norm(a - res.lower @ res.lower.T)
+        assert err / np.linalg.norm(a) < 1e-12
+        assert np.allclose(np.triu(res.lower, 1), 0.0)
+
+    def test_distributed_matches_dense_factors(self, rng):
+        """Dense and distributed execution produce the same factors (the
+        same arithmetic flows through both views)."""
+        n = 64
+        a = rng.standard_normal((n, n)) + n * np.eye(n)
+        dense = DenseBackend().run(ConfluxSchedule(n, 8, v=8, c=2), a=a.copy())
+        dist = DistributedBackend().run(ConfluxSchedule(n, 8, v=8, c=2),
+                                        a=a.copy())
+        assert np.allclose(dense.perm, dist.perm)
+        assert np.allclose(dense.lower, dist.lower, atol=1e-10)
+        assert np.allclose(dense.upper, dist.upper, atol=1e-10)
+
+    def test_single_rank_distributed_no_communication(self, rng):
+        a = rng.standard_normal((16, 16)) + 16 * np.eye(16)
+        res = DistributedBackend().run(ConfluxSchedule(16, 1, v=4, c=1), a=a)
+        assert res.comm.total_recv_words == 0
+        err = np.linalg.norm(a[res.perm] - res.lower @ res.upper)
+        assert err / np.linalg.norm(a) < 1e-12

@@ -147,6 +147,31 @@ class TestMachineCollectives:
         # Foreign partials dropped.
         assert ("p", 1) not in m.store(0)
 
+    def test_reduce_scatter_max_op(self):
+        """reduce_scatter shares reduce's operator set ("sum"/"max")."""
+        m = Machine(2)
+        for r in range(2):
+            m.store(r).put(("p", 0), np.array([float(r), 5.0 - r]))
+            m.store(r).put(("p", 1), np.array([2.0 * r, 1.0]))
+        m.reduce_scatter([0, 1], [("p", 0), ("p", 1)], op="max")
+        assert np.array_equal(m.store(0).get(("p", 0)), np.array([1.0, 5.0]))
+        assert np.array_equal(m.store(1).get(("p", 1)), np.array([2.0, 1.0]))
+
+    def test_reduce_scatter_unknown_op(self):
+        m = Machine(2)
+        for r in range(2):
+            m.store(r).put(("p", 0), np.ones(2))
+            m.store(r).put(("p", 1), np.ones(2))
+        with pytest.raises(CommunicationError):
+            m.reduce_scatter([0, 1], [("p", 0), ("p", 1)], op="min")
+
+    def test_reduce_unknown_op(self):
+        m = Machine(2)
+        for r in range(2):
+            m.store(r).put("x", np.ones(2))
+        with pytest.raises(CommunicationError):
+            m.reduce(0, [0, 1], "x", op="prod")
+
     def test_scatter_gather_roundtrip(self):
         m = Machine(3)
         for i in range(3):
