@@ -1,16 +1,18 @@
-# Repo entry points.  Tier-1 verification is `make test`.
+# Repo entry points.  Tier-1 verification is `make test`; CI
+# (.github/workflows/ci.yml) gates on test + lint + bench-check.
 
 PY ?= python
 
-.PHONY: test lint bench-smoke
+.PHONY: test lint bench-smoke bench-check
 
 ## Run the tier-1 test suite (what CI and the PR driver gate on).
 test:
 	PYTHONPATH=src $(PY) -m pytest -x -q
 
 ## Static checks (configuration in ruff.toml).  The container image may
-## not ship ruff; installing dependencies is out of scope here, so the
-## target degrades to a notice instead of failing.
+## not ship ruff; locally the target degrades to a notice instead of
+## failing — CI installs ruff and runs it directly, so the silent-skip
+## path never gates a merge.
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests benchmarks examples scripts; \
@@ -20,6 +22,13 @@ lint:
 		echo "ruff not installed; skipping lint (config committed in ruff.toml)"; \
 	fi
 
-## Fast trace-sweep perf snapshot; writes BENCH_engine.json at the root.
+## Fast trace-sweep perf snapshot; rewrites BENCH_engine.json at the
+## root (the committed baseline bench-check gates against).
 bench-smoke:
 	$(PY) scripts/bench_smoke.py
+
+## Gate a fresh sweep against the committed BENCH_engine.json: fails on
+## checksum drift or a >25% slowdown (see check_bench_regression.py
+## for the intentional-update procedure).
+bench-check:
+	$(PY) scripts/check_bench_regression.py

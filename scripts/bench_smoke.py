@@ -3,12 +3,19 @@
 
 Runs the paper-style ``(impl, N, P)`` sweep that dominates figure
 regeneration through :func:`repro.analysis.harness.sweep_traces`, times
-it, sanity-checks the volume checksum, and writes ``BENCH_engine.json``
-at the repo root so successive PRs accumulate a performance trajectory.
+it, and writes ``BENCH_engine.json`` at the repo root so successive PRs
+accumulate a performance trajectory.
 
 The ``seed`` block records the same workload measured on the pre-engine
-code base (per-step Python accounting loops); ``checksum`` must never
-drift — the engine vectorizes the accounting, it does not change it.
+code base (per-step Python accounting loops).  The volume ``checksum``
+guards the accounting semantics: ``scripts/check_bench_regression.py``
+(CI's ``bench-smoke`` job, ``make bench-check``) fails when a fresh run
+drifts from the *committed* snapshot, either in checksum (the
+accounting changed) or in time (>25% slower).  When an accounting
+change is intentional — e.g. the exact tournament participant counting
+that replaced the rounds-at-every-rank idealization — rerun this
+script and commit the refreshed ``BENCH_engine.json`` alongside the
+change (see ``check_bench_regression.py --update``).
 """
 
 from __future__ import annotations
@@ -30,12 +37,37 @@ from repro.engine import accounting  # noqa: E402
 CASES = [(65536, 1024), (65536, 4096), (131072, 4096)]
 
 #: The same workload on the seed code base (per-step accounting loops),
-#: measured on the container this snapshot was introduced on.  The
-#: checksum (sum of mean received words over all traced runs) was
-#: verified equal between the seed loops and the vectorized engine.
-SEED_BASELINE = {"sweep_s": 6.43, "checksum": 1428577584.0}
+#: measured on the container this snapshot was introduced on.  Timing
+#: only: the seed checksum predates the exact tournament accounting and
+#: is kept out of the comparison (the committed snapshot's checksum is
+#: the reference now).
+SEED_BASELINE = {"sweep_s": 6.43}
 
 REPS = 3
+
+
+def calibrate() -> float:
+    """Machine-speed probe: a fixed NumPy workload shaped like the
+    accounting hot path (broadcasted float arithmetic over
+    (steps, ranks)-sized scratch).
+
+    The regression checker divides sweep times by this, so the
+    committed baseline transfers across machines (a CI runner is
+    slower than a dev box in the same proportion on both numbers).
+    """
+    import numpy as np
+
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        t = np.arange(4096, dtype=np.float64)[:, None]
+        p = np.arange(512, dtype=np.float64)
+        acc = np.zeros((4096, 512))
+        for _ in range(8):
+            acc += (t * 3.0 + 1.0) * (p % 7.0) / (t + p + 1.0)
+        float(acc.sum())
+        best = min(best, time.perf_counter() - t0)
+    return best
 
 
 def run() -> dict:
@@ -56,13 +88,12 @@ def run() -> dict:
         "engine": {
             "sweep_s": round(best, 3),
             "all_reps_s": [round(t, 3) for t in times],
+            "calib_s": round(calibrate(), 4),
             "checksum": checksum,
             "chunk_target": accounting._CHUNK_TARGET,
         },
         "seed": SEED_BASELINE,
         "speedup_vs_seed": round(SEED_BASELINE["sweep_s"] / best, 2),
-        "checksum_matches_seed": abs(checksum - SEED_BASELINE["checksum"])
-        / SEED_BASELINE["checksum"] < 1e-6,
         "python": platform.python_version(),
     }
 
@@ -73,10 +104,6 @@ def main() -> int:
     out.write_text(json.dumps(snapshot, indent=2) + "\n")
     print(json.dumps(snapshot, indent=2))
     print(f"[saved to {out}]")
-    if not snapshot["checksum_matches_seed"]:
-        print("ERROR: trace checksum drifted from the seed accounting",
-              file=sys.stderr)
-        return 1
     if snapshot["speedup_vs_seed"] < 1.0:
         print("ERROR: trace sweep slower than the seed baseline",
               file=sys.stderr)

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Gate the trace-sweep performance against the committed baseline.
+
+Runs the ``bench_smoke`` workload fresh and compares it against the
+committed ``BENCH_engine.json``:
+
+* **checksum** — the sweep's total mean-received-words must equal the
+  committed value exactly (relative 1e-9): a drift means the accounting
+  *semantics* changed, which must never happen silently;
+* **time** — the fresh best-of-``REPS`` sweep must not be more than
+  ``MAX_SLOWDOWN`` (25%) slower than the committed ``sweep_s``, after
+  normalizing both by the machine-speed calibration probe
+  (``bench_smoke.calibrate``) recorded alongside each snapshot — so the
+  committed baseline transfers between the dev container and the CI
+  runner: a uniformly slower machine slows sweep and probe in the same
+  proportion, while a code regression slows only the sweep.
+
+Used by CI's ``bench-smoke`` job and ``make bench-check``.
+
+Updating the baseline intentionally
+-----------------------------------
+When an accounting change is deliberate (it alters trace volumes) or a
+perf trade-off is accepted, refresh the snapshot and commit it together
+with the code change::
+
+    python scripts/check_bench_regression.py --update
+    git add BENCH_engine.json
+
+(equivalently ``make bench-smoke``).  The commit message should say why
+the checksum or timing moved.  Note the committed ``sweep_s`` is
+machine-relative: refresh it too if the CI runner class changes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from bench_smoke import run  # noqa: E402
+
+BASELINE = pathlib.Path(__file__).resolve().parents[1] / "BENCH_engine.json"
+
+#: Maximum tolerated slowdown of the fresh sweep vs the committed one.
+MAX_SLOWDOWN = 1.25
+
+#: Relative tolerance for checksum equality (pure float-summation
+#: noise; any semantic change moves the checksum far more).
+CHECKSUM_RTOL = 1e-9
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite BENCH_engine.json from a fresh run "
+                             "instead of gating against it")
+    args = parser.parse_args(argv)
+
+    fresh = run()
+    if args.update:
+        BASELINE.write_text(json.dumps(fresh, indent=2) + "\n")
+        print(f"[baseline updated: {BASELINE}]")
+        return 0
+
+    baseline = json.loads(BASELINE.read_text())
+    base_engine = baseline["engine"]
+    fresh_engine = fresh["engine"]
+    # Normalize by the machine-speed probe when both snapshots carry
+    # one (older baselines fall back to raw wall clock).
+    base_calib = base_engine.get("calib_s")
+    fresh_calib = fresh_engine.get("calib_s")
+    normalize = base_calib and fresh_calib
+    base_t = base_engine["sweep_s"] / (base_calib if normalize else 1.0)
+    fresh_t = fresh_engine["sweep_s"] / (fresh_calib if normalize else 1.0)
+    unit = "sweep/calib" if normalize else "s"
+    print(f"baseline: sweep_s={base_engine['sweep_s']} "
+          f"calib_s={base_calib} checksum={base_engine['checksum']}")
+    print(f"fresh:    sweep_s={fresh_engine['sweep_s']} "
+          f"calib_s={fresh_calib} checksum={fresh_engine['checksum']}")
+
+    failures = []
+    base_sum, fresh_sum = base_engine["checksum"], fresh_engine["checksum"]
+    if abs(fresh_sum - base_sum) > CHECKSUM_RTOL * abs(base_sum):
+        failures.append(
+            f"checksum drifted: {fresh_sum} vs committed {base_sum} — the "
+            "accounting semantics changed; if intentional, rerun with "
+            "--update and commit BENCH_engine.json")
+    if fresh_t > MAX_SLOWDOWN * base_t:
+        failures.append(
+            f"sweep slowed: {fresh_t:.2f} vs committed {base_t:.2f} "
+            f"{unit} (> {MAX_SLOWDOWN:.0%})")
+    for f in failures:
+        print(f"ERROR: {f}", file=sys.stderr)
+    if not failures:
+        print("bench regression check OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,7 +16,6 @@ from ..models import costmodels as cm
 from .harness import (
     CHOLESKY_IMPLEMENTATIONS,
     LU_IMPLEMENTATIONS,
-    NODE_MEM_WORDS,
     RANKS_PER_NODE,
     estimate_time,
     feasible,

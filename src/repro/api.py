@@ -5,8 +5,12 @@ matrix distributed per a ScaLAPACK descriptor, and the library reshuffles
 it into COnfLUX's native layout with COSTA, factorizes, and reshuffles
 back.  This module reproduces that contract on the simulated machine:
 
-* :func:`pdgetrf` — LU with tournament pivoting, descriptor in/out;
-* :func:`pdpotrf` — Cholesky, descriptor in/out;
+* :func:`pdgetrf` — LU, descriptor in/out (COnfLUX tournament pivoting
+  by default, ``impl="scalapack"`` for the 2D partial-pivoting
+  baseline);
+* :func:`pdpotrf` — Cholesky, descriptor in/out (COnfCHOX or the 2D
+  baseline);
+* :func:`pdgemm` — 2.5D SUMMA matrix multiplication, descriptor in/out;
 * :func:`pdgetrs` / :func:`pdpotrs` — the corresponding solves.
 
 Each call takes a :class:`~repro.machine.comm.Machine` whose stores hold
@@ -27,7 +31,9 @@ import dataclasses
 import numpy as np
 
 from .engine.backends import DistributedBackend
-from .factorizations import ConfchoxSchedule, ConfluxSchedule
+from .factorizations import ConfchoxSchedule, ConfluxSchedule, Matmul25DSchedule
+from .factorizations.baselines.scalapack_chol import ScalapackCholeskySchedule
+from .factorizations.baselines.scalapack_lu import ScalapackLUSchedule
 from .factorizations.common import FactorizationResult
 from .factorizations.solve import SolveResult, cholesky_solve, lu_solve
 from .layouts import (
@@ -38,7 +44,7 @@ from .layouts import (
 from .machine import Machine, ProcessorGrid2D
 from .machine.stats import CommStats
 
-__all__ = ["pdgetrf", "pdpotrf", "pdgetrs", "pdpotrs", "PDResult"]
+__all__ = ["pdgetrf", "pdpotrf", "pdgemm", "pdgetrs", "pdpotrs", "PDResult"]
 
 
 @dataclasses.dataclass
@@ -76,20 +82,19 @@ def _layout_from_desc(desc: ScaLAPACKDescriptor) -> BlockCyclicLayout:
 
 
 def _prepare(machine: Machine, name: str, desc: ScaLAPACKDescriptor,
-             v: int, layer_grid: ProcessorGrid2D) -> float:
-    """COSTA-reshuffle the caller's matrix into ``v x v`` tiles on the
-    schedule's layer-0 grid; returns the reshuffle volume.
+             native: BlockCyclicLayout) -> float:
+    """COSTA-reshuffle the caller's matrix into the schedule's native
+    layout; returns the reshuffle volume.
 
     The native tiles land under ``(name + ":native", bi, bj)`` on the
-    2D ranks of ``layer_grid`` — which coincide with layer 0 of the
-    schedule's 3D grid, where :meth:`dist_init` adopts them.
+    2D ranks of the native layout's grid — which coincide with layer 0
+    of the schedule's 3D grid, where :meth:`dist_init` adopts them.
     """
     if desc.m != desc.n:
         raise ValueError(f"need a square matrix, got {desc.m}x{desc.n}")
     if desc.prows * desc.pcols > machine.nranks:
         raise ValueError("descriptor grid exceeds machine size")
     src = _layout_from_desc(desc)
-    native = BlockCyclicLayout(desc.n, desc.n, v, v, layer_grid)
     before = machine.stats.total_recv_words
     redistribute(machine, name, src, native, dst_name=name + ":native")
     return machine.stats.total_recv_words - before
@@ -97,10 +102,9 @@ def _prepare(machine: Machine, name: str, desc: ScaLAPACKDescriptor,
 
 def _writeback(machine: Machine, out_name: str,
                desc: ScaLAPACKDescriptor, packed: np.ndarray,
-               v: int, layer_grid: ProcessorGrid2D) -> float:
+               native: BlockCyclicLayout) -> float:
     """Scatter packed factors into native tiles, then COSTA back to the
     caller's layout; returns the reshuffle volume."""
-    native = BlockCyclicLayout(desc.n, desc.n, v, v, layer_grid)
     native.scatter_from(machine, out_name + ":native", packed)
     dst = _layout_from_desc(desc)
     before = machine.stats.total_recv_words
@@ -109,41 +113,115 @@ def _writeback(machine: Machine, out_name: str,
     return machine.stats.total_recv_words - before
 
 
+def _square_layout(desc: ScaLAPACKDescriptor, v: int,
+                   layer_grid: ProcessorGrid2D) -> BlockCyclicLayout:
+    return BlockCyclicLayout(desc.n, desc.n, v, v, layer_grid)
+
+
 def pdgetrf(machine: Machine, name: str, desc: ScaLAPACKDescriptor,
-            v: int = 16, c: int = 1,
-            out_name: str | None = None) -> PDResult:
+            v: int = 16, c: int = 1, out_name: str | None = None,
+            impl: str = "conflux") -> PDResult:
     """LU factorization of a descriptor-distributed matrix.
 
     The packed factors (L below the unit diagonal, U on/above — the
     LAPACK ``getrf`` convention, rows in *pivot order*) are stored back
     under ``out_name``; ``perm`` maps pivot order to original rows.
+    ``impl`` selects the schedule: ``"conflux"`` (2.5D tournament
+    pivoting, default) or ``"scalapack"`` (the 2D partial-pivoting
+    baseline, ``v`` as its panel width ``nb``; requires ``c == 1``) —
+    both run through :class:`DistributedBackend` on the caller's
+    machine, so the counted volumes are directly comparable.
     """
     out_name = out_name or name + ":lu"
-    schedule = ConfluxSchedule(desc.n, machine.nranks, v=v, c=c)
-    layer_grid = schedule.grid.layer_grid()
-    resh_in = _prepare(machine, name, desc, v, layer_grid)
+    if impl == "conflux":
+        schedule = ConfluxSchedule(desc.n, machine.nranks, v=v, c=c)
+    elif impl == "scalapack":
+        if c != 1:
+            raise ValueError("the 2D baseline has no replication (c must "
+                             "be 1)")
+        schedule = ScalapackLUSchedule(desc.n, machine.nranks, nb=v,
+                                       panel_rebroadcast=False)
+    else:
+        raise ValueError(f"unknown impl {impl!r}; have conflux, scalapack")
+    native = _square_layout(desc, v, schedule.grid.layer_grid())
+    resh_in = _prepare(machine, name, desc, native)
     res = DistributedBackend(machine).run(schedule, in_name=name + ":native")
     packed = np.tril(res.lower, -1) + res.upper
-    resh_out = _writeback(machine, out_name, desc, packed, v, layer_grid)
+    v_run = schedule.v if impl == "conflux" else schedule.nb
+    resh_out = _writeback(machine, out_name, desc, packed, native)
     return PDResult(out_name=out_name, desc=desc, machine=machine,
-                    v=schedule.v, comm=res.comm,
+                    v=v_run, comm=res.comm,
                     perm=res.perm, lower=res.lower, upper=res.upper,
                     reshuffle_words=resh_in + resh_out,
                     factorization_words=res.comm.total_recv_words)
 
 
 def pdpotrf(machine: Machine, name: str, desc: ScaLAPACKDescriptor,
-            v: int = 16, c: int = 1,
-            out_name: str | None = None) -> PDResult:
-    """Cholesky factorization of a descriptor-distributed SPD matrix."""
+            v: int = 16, c: int = 1, out_name: str | None = None,
+            impl: str = "confchox") -> PDResult:
+    """Cholesky factorization of a descriptor-distributed SPD matrix.
+
+    ``impl``: ``"confchox"`` (2.5D, default) or ``"scalapack"`` (the 2D
+    baseline; requires ``c == 1``).
+    """
     out_name = out_name or name + ":chol"
-    schedule = ConfchoxSchedule(desc.n, machine.nranks, v=v, c=c)
-    layer_grid = schedule.grid.layer_grid()
-    resh_in = _prepare(machine, name, desc, v, layer_grid)
+    if impl == "confchox":
+        schedule = ConfchoxSchedule(desc.n, machine.nranks, v=v, c=c)
+        v_run = schedule.v
+    elif impl == "scalapack":
+        if c != 1:
+            raise ValueError("the 2D baseline has no replication (c must "
+                             "be 1)")
+        schedule = ScalapackCholeskySchedule(desc.n, machine.nranks, nb=v)
+        v_run = schedule.nb
+    else:
+        raise ValueError(f"unknown impl {impl!r}; have confchox, scalapack")
+    native = _square_layout(desc, v, schedule.grid.layer_grid())
+    resh_in = _prepare(machine, name, desc, native)
     res = DistributedBackend(machine).run(schedule, in_name=name + ":native")
-    resh_out = _writeback(machine, out_name, desc, res.lower, v, layer_grid)
+    resh_out = _writeback(machine, out_name, desc, res.lower, native)
     return PDResult(out_name=out_name, desc=desc, machine=machine,
-                    v=schedule.v, comm=res.comm,
+                    v=v_run, comm=res.comm,
+                    perm=None, lower=res.lower, upper=None,
+                    reshuffle_words=resh_in + resh_out,
+                    factorization_words=res.comm.total_recv_words)
+
+
+def pdgemm(machine: Machine, a_name: str, desc_a: ScaLAPACKDescriptor,
+           b_name: str, desc_b: ScaLAPACKDescriptor,
+           out_name: str | None = None, s: int | None = None,
+           c: int = 1) -> PDResult:
+    """2.5D SUMMA product ``C = A @ B`` of descriptor-distributed
+    operands, routed through :class:`DistributedBackend` like the
+    factorizations: COSTA-reshuffle both operands into the schedule's
+    per-rank blocks (counted), run the SUMMA rounds and the layered
+    reduction through Machine collectives (counted by the machine),
+    COSTA the product back into ``desc_a``'s layout under ``out_name``.
+
+    The product is returned dense in ``lower`` for verification, with
+    ``upper``/``perm`` unset.
+    """
+    out_name = out_name or a_name + ":gemm"
+    if desc_a.m != desc_a.n or desc_b.m != desc_b.n:
+        raise ValueError("need square operands")
+    if desc_a.n != desc_b.n:
+        raise ValueError(
+            f"operand sizes differ: {desc_a.n} vs {desc_b.n}")
+    schedule = Matmul25DSchedule(desc_a.n, machine.nranks, s=s, c=c)
+    n = desc_a.n
+    pr, pc = schedule.grid.rows, schedule.grid.cols
+    if n % pr or n % pc:
+        raise ValueError(
+            f"distributed SUMMA needs the grid {pr}x{pc} to divide N={n}")
+    layer_grid = schedule.grid.layer_grid()
+    native = BlockCyclicLayout(n, n, n // pr, n // pc, layer_grid)
+    resh_in = (_prepare(machine, a_name, desc_a, native)
+               + _prepare(machine, b_name, desc_b, native))
+    res = DistributedBackend(machine).run(
+        schedule, in_name=(a_name + ":native", b_name + ":native"))
+    resh_out = _writeback(machine, out_name, desc_a, res.lower, native)
+    return PDResult(out_name=out_name, desc=desc_a, machine=machine,
+                    v=schedule.s, comm=res.comm,
                     perm=None, lower=res.lower, upper=None,
                     reshuffle_words=resh_in + resh_out,
                     factorization_words=res.comm.total_recv_words)

@@ -37,7 +37,33 @@ import numpy as np
 from ..machine.grid import ProcessorGrid2D, ProcessorGrid3D
 from ..machine.stats import CommStats, StepRecord
 
-__all__ = ["StepAccounting"]
+__all__ = ["StepAccounting", "butterfly_pair_exchanges"]
+
+
+def butterfly_pair_exchanges(m: np.ndarray | int) -> np.ndarray:
+    """One-way block transfers of an XOR-butterfly with ``m`` participants.
+
+    Round ``r`` pairs participant ``i`` with ``i ^ 2^r``; an exchange
+    happens only when both endpoints exist (``i ^ 2^r < m``), and each
+    exchange moves one candidate block *each way*, so round ``r``
+    contributes ``2 * #{i < m - 2^r : bit_r(i) = 0}`` transfers.  For a
+    power-of-two ``m`` the total is the classic ``m * log2(m)``; for
+    ragged ``m`` — the late factorization steps where fewer panel ranks
+    still hold active rows — it is strictly smaller, which is what the
+    exact tournament accounting of the 2.5D schedules charges
+    (vectorized over a step column of ``m`` values).
+    """
+    m_arr = np.asarray(m, dtype=np.int64)
+    total = np.zeros_like(m_arr)
+    q = 1
+    while q < int(m_arr.max(initial=0)):
+        rem = np.maximum(m_arr - q, 0)
+        # i < rem with bit log2(q) clear: full 2q-periods contribute q
+        # values each, the tail contributes min(q, rem mod 2q).
+        count0 = (rem // (2 * q)) * q + np.minimum(q, rem % (2 * q))
+        total += 2 * count0
+        q *= 2
+    return total
 
 #: Target elements per (chunk, ranks) scratch matrix.  Sized so the
 #: handful of live accumulators stay cache-resident: large chunks turn

@@ -80,8 +80,13 @@ class DistributedBackend:
 
     def run(self, schedule: Schedule, a: np.ndarray | None = None,
             rng: np.random.Generator | None = None,
-            in_name: str | None = None) -> "FactorizationResult":
+            in_name: str | tuple[str, str] | None = None,
+            ) -> "FactorizationResult":
         """Run ``schedule`` through machine collectives.
+
+        ``in_name`` names already-resident input tiles for
+        ``dist_init`` to adopt; multi-operand schedules (the 2.5D
+        matmul) take one name per operand as a tuple.
 
         The returned result's ``comm`` holds only this run's counters
         (the machine's own stats keep accumulating, so a caller like

@@ -17,12 +17,17 @@ schedules:
   spread panel rows contiguously over all ranks;
 * :func:`assemble_cols_1d` — the column-chunk counterpart used for the
   A01 panel, where each destination needs *all* rows of its column
-  chunk gathered from several sources.
+  chunk gathered from several sources;
+* :func:`bcast_copy`, :func:`swap_rows_2d`, :func:`maxloc_allreduce` —
+  the recurring patterns of the 2D block-cyclic schedules (panel/tile
+  broadcasts, cross-matrix pivot-row exchange, MAXLOC pivot search),
+  promoted here from the retired special-cased ``distributed2d`` module
+  so ScaLAPACK LU/Cholesky and the 2.5D SUMMA share them.
 """
 
 from __future__ import annotations
 
-from typing import Hashable, Sequence
+from typing import Hashable, Mapping, Sequence
 
 import numpy as np
 
@@ -34,6 +39,9 @@ __all__ = [
     "fiber_reduce_subset",
     "distribute_rows_1d",
     "assemble_cols_1d",
+    "bcast_copy",
+    "swap_rows_2d",
+    "maxloc_allreduce",
 ]
 
 
@@ -49,6 +57,77 @@ def ship(machine: Machine, src: int, dst: int, key: Hashable,
     if dst != src:
         machine.send(src, dst, key)
         machine.store(src).discard(key)
+
+
+def bcast_copy(machine: Machine, src: int, src_key: Hashable,
+               group: Sequence[int], key: Hashable) -> None:
+    """Broadcast the block stored under ``src_key`` at ``src`` to every
+    rank in ``group`` under the transient key ``key``.
+
+    Unlike a bare :meth:`Machine.bcast` this does not require the block
+    to already sit under the destination key, so a schedule can fan the
+    same tile out along several communicators (e.g. a Cholesky panel
+    tile along both its grid row and its grid column) without the
+    copies shadowing each other.  ``src`` must be in ``group``.
+    """
+    machine.store(src).put(key, machine.store(src).get(src_key))
+    machine.bcast(src, group, key)
+
+
+def swap_rows_2d(machine: Machine, lay, name: str, g1: int,
+                 g2: int) -> None:
+    """Exchange global rows ``g1`` and ``g2`` of block-cyclic matrix
+    ``name`` across every block column (the ``laswp`` of a pivoted 2D
+    schedule).
+
+    Per block column the two row segments either share an owner (a free
+    local swap) or travel between the two owners as counted
+    point-to-point messages — both directions move, matching the 2D
+    trace's ``2 * nb * width`` swap charge.
+    """
+    if g1 == g2:
+        return
+    bi1, i1 = divmod(g1, lay.mb)
+    bi2, i2 = divmod(g2, lay.mb)
+    for bj in range(lay.nblocks):
+        r1 = lay.owner_rank(bi1, bj)
+        r2 = lay.owner_rank(bi2, bj)
+        t1 = machine.store(r1).get((name, bi1, bj))
+        t2 = machine.store(r2).get((name, bi2, bj))
+        if r1 == r2:
+            row = t1[i1].copy()
+            t1[i1] = t2[i2]
+            t2[i2] = row
+            continue
+        ship(machine, r1, r2, ("swap", g1, bj), t1[i1].copy())
+        ship(machine, r2, r1, ("swap", g2, bj), t2[i2].copy())
+        t1[i1] = machine.store(r1).get(("swap", g2, bj))
+        t2[i2] = machine.store(r2).get(("swap", g1, bj))
+        machine.store(r1).discard(("swap", g2, bj))
+        machine.store(r2).discard(("swap", g1, bj))
+
+
+def maxloc_allreduce(machine: Machine, key: Hashable,
+                     entries: Mapping[int, tuple[float, int]],
+                     ) -> tuple[float, int]:
+    """Counted MAXLOC allreduce of per-rank ``(value, index)`` pairs.
+
+    Every participating rank contributes a 2-word ``(value, index)``
+    block — the ``MPI_MAXLOC`` payload of a distributed pivot search —
+    and the words move through a real :meth:`Machine.allreduce`.  The
+    winning pair itself is resolved here in control space (elementwise
+    max of heterogeneous pairs is not an argmax), matching the
+    simulator's discipline that *control* is global while *data
+    movement* is counted.  Ties resolve to the smallest index, the
+    first-occurrence convention of ``getrf``.
+    """
+    group = sorted(entries)
+    for r in group:
+        machine.store(r).put(key, np.asarray(entries[r], dtype=np.float64))
+    machine.allreduce(group, key, op="max")
+    for r in group:
+        machine.store(r).discard(key)
+    return max(entries.values(), key=lambda e: (e[0], -e[1]))
 
 
 def fiber_reduce_subset(machine: Machine, grid: ProcessorGrid3D,

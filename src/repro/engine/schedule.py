@@ -107,7 +107,7 @@ class Schedule(abc.ABC):
     # ------------------------------------------------------------------
     def dist_init(self, machine: Machine, a: np.ndarray | None,
                   rng: np.random.Generator | None,
-                  in_name: str | None = None) -> Any:
+                  in_name: str | tuple[str, str] | None = None) -> Any:
         raise NotImplementedError(
             f"{type(self).__name__} has no distributed execution")
 

@@ -31,10 +31,8 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
-
 from ...kernels import flops
-from ...machine.grid import ProcessorGrid3D, choose_grid_25d, replication_factor
+from ...machine.grid import choose_grid_25d, replication_factor
 from ...machine.stats import CommStats
 from ..common import FactorizationResult, RankAccountant, validate_problem
 from .. import pivoting

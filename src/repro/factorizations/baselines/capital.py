@@ -22,8 +22,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
-
 from ...kernels import flops
 from ...machine.grid import choose_grid_25d, replication_factor
 from ...machine.stats import CommStats

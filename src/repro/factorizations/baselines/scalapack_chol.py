@@ -12,9 +12,13 @@ Per step ``k`` on a ``Pr x Pc`` grid with panel width ``nb``:
 Volume per rank sums to ``~N^2/2 * (1/Pr + 1/Pc) ~ N^2/sqrt(P)``: the 2D
 model of Table 2, which weak-scales sub-optimally exactly like 2D LU.
 
-Implemented as an engine :class:`~repro.engine.schedule.Schedule`;
-:class:`ScalapackCholesky` is the wrapper (SLATE's flavour subclasses
-it with a different label).
+Implemented as an engine :class:`~repro.engine.schedule.Schedule` with
+trace, dense *and* distributed views; the distributed view keeps only
+the lower tiles (``bi >= bj``) resident — the schedule never reads the
+strictly-upper half — and fans each factored panel tile out along both
+its grid row (left ``syrk`` factor) and its grid column (transposed
+right factor) through counted broadcasts.  :class:`ScalapackCholesky`
+is the wrapper (SLATE's flavour subclasses it with a different label).
 """
 
 from __future__ import annotations
@@ -25,8 +29,11 @@ import numpy as np
 
 from ...engine.accounting import StepAccounting
 from ...engine.backends import run_with
+from ...engine.distops import bcast_copy
 from ...engine.schedule import Schedule
 from ...kernels import blas, flops
+from ...layouts.block_cyclic import BlockCyclicLayout, block_key
+from ...machine.comm import Machine
 from ...machine.grid import ProcessorGrid3D, choose_grid_2d
 from ..common import FactorizationResult, validate_problem
 
@@ -37,7 +44,7 @@ __all__ = ["ScalapackCholesky", "ScalapackCholeskySchedule",
 class ScalapackCholeskySchedule(Schedule):
     """The right-looking 2D Cholesky loop for the engine."""
 
-    supports_distributed = False
+    supports_distributed = True
 
     def __init__(self, n: int, nranks: int, nb: int = 128,
                  mem_words: float | None = None,
@@ -120,6 +127,107 @@ class ScalapackCholeskySchedule(Schedule):
 
     def dense_finalize(self, work: np.ndarray) -> dict[str, Any]:
         return {"lower": np.tril(work)}
+
+    # ------------------------------------------------------------------
+    # Distributed view
+    # ------------------------------------------------------------------
+    def dist_init(self, machine: Machine, a: np.ndarray | None,
+                  rng: np.random.Generator | None,
+                  in_name: str | None = None) -> BlockCyclicLayout:
+        """Scatter the lower tiles (``bi >= bj``) to their block-cyclic
+        owners; the strictly-upper half is never stored (symmetry)."""
+        n, nb = self.n, self.nb
+        lay = BlockCyclicLayout(n, n, nb, nb, self.grid.layer_grid())
+        if in_name is None:
+            if a is None:
+                rng = rng or np.random.default_rng(0)
+                g = rng.standard_normal((n, n))
+                a = g @ g.T + n * np.eye(n)
+            a = np.asarray(a, dtype=np.float64)
+            if a.shape != (n, n):
+                raise ValueError(f"matrix shape {a.shape} != ({n},{n})")
+            if not np.allclose(a, a.T, atol=1e-10):
+                raise ValueError("input must be symmetric")
+        for bi in range(lay.mblocks):
+            for bj in range(bi + 1):
+                r = lay.owner_rank(bi, bj)
+                if in_name is not None:
+                    tile = np.array(machine.store(r).get((in_name, bi, bj)),
+                                    dtype=np.float64)
+                else:
+                    tile = a[bi * nb:(bi + 1) * nb,
+                             bj * nb:(bj + 1) * nb].copy()
+                machine.store(r).put(block_key("A", bi, bj), tile)
+        return lay
+
+    def dist_step(self, machine: Machine, lay: BlockCyclicLayout,
+                  k: int) -> None:
+        n, nb = self.n, self.nb
+        grid2d = lay.grid
+        nblocks = n // nb
+        qc = k % grid2d.cols
+        diag_owner = lay.owner_rank(k, k)
+        col_ranks = grid2d.col_ranks(qc)
+
+        # Diagonal potrf at its owner, broadcast down the grid column
+        # for the panel trsm.
+        tile = machine.store(diag_owner).get(block_key("A", k, k))
+        l00, fl = blas.potrf(tile)
+        machine.compute(diag_owner, fl)
+        machine.store(diag_owner).put(block_key("A", k, k), l00)
+        if k + 1 >= nblocks:
+            return
+        bcast_copy(machine, diag_owner, block_key("A", k, k),
+                   col_ranks, ("d", k))
+
+        # Panel trsm on the owning grid column.
+        for bi, r in lay.col_owners(k, first=k + 1):
+            l00_local = machine.store(r).get(("d", k))
+            t = machine.store(r).get(block_key("A", bi, k))
+            sol, fl = blas.trsm(l00_local.T, t, side="right", lower=False)
+            machine.compute(r, fl)
+            machine.store(r).put(block_key("A", bi, k), sol)
+
+        # Fan each panel tile out along its grid row (left syrk factor)
+        # and its grid column (transposed right factor).
+        for bi, src in lay.col_owners(k, first=k + 1):
+            machine.bcast(src, lay.grid_row_ranks(bi), block_key("A", bi, k))
+            bcast_copy(machine, src, block_key("A", bi, k),
+                       sorted(set(lay.grid_col_ranks(bi)) | {src}),
+                       ("ct", k, bi))
+
+        # Trailing update of the lower tiles: gemmt-like, the diagonal
+        # tiles cost half a gemm.
+        for bi in range(k + 1, nblocks):
+            for bj in range(k + 1, bi + 1):
+                owner = lay.owner_rank(bi, bj)
+                l_bi = machine.store(owner).get(block_key("A", bi, k))
+                l_bj = machine.store(owner).get(("ct", k, bj))
+                c_t = machine.store(owner).get(block_key("A", bi, bj))
+                upd, fl = blas.gemm(l_bi, l_bj.T, c_t, alpha=-1.0)
+                machine.compute(owner, fl if bi != bj else fl / 2.0)
+                machine.store(owner).put(block_key("A", bi, bj), upd)
+
+        # Drop the transient copies.
+        for bi, src in lay.col_owners(k, first=k + 1):
+            for r in lay.grid_row_ranks(bi):
+                if r != src:
+                    machine.store(r).discard(block_key("A", bi, k))
+            for r in sorted(set(lay.grid_col_ranks(bi)) | {src}):
+                machine.store(r).discard(("ct", k, bi))
+        for r in col_ranks:
+            machine.store(r).discard(("d", k))
+
+    def dist_finalize(self, machine: Machine,
+                      lay: BlockCyclicLayout) -> dict[str, Any]:
+        n, nb = self.n, self.nb
+        out = np.zeros((n, n))
+        for bi in range(lay.mblocks):
+            for bj in range(bi + 1):
+                r = lay.owner_rank(bi, bj)
+                out[bi * nb:(bi + 1) * nb, bj * nb:(bj + 1) * nb] = \
+                    machine.store(r).get(block_key("A", bi, bj))
+        return {"lower": np.tril(out)}
 
 
 class ScalapackCholesky:

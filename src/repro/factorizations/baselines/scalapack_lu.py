@@ -23,8 +23,13 @@ models it and is on for the MKL flavour, off for SLATE's tile algorithm
 (see :mod:`repro.factorizations.baselines.slate`).
 
 Implemented as an engine :class:`~repro.engine.schedule.Schedule` with
-trace and dense views; :class:`ScalapackLU` is the ``execute=``-style
-wrapper the harness and the SLATE subclass use.
+trace, dense *and* distributed views — the distributed view runs the
+same right-looking loop with every tile resident only in its
+block-cyclic owner's store: the panel is factored column by column with
+counted MAXLOC pivot-search allreduces, pivot rows are exchanged across
+the whole matrix (``laswp``), and the L/U panels broadcast along grid
+rows/columns before the local trailing update.  :class:`ScalapackLU` is
+the ``execute=``-style wrapper the harness and the SLATE subclass use.
 """
 
 from __future__ import annotations
@@ -36,8 +41,11 @@ import numpy as np
 
 from ...engine.accounting import StepAccounting
 from ...engine.backends import run_with
+from ...engine.distops import bcast_copy, maxloc_allreduce, swap_rows_2d
 from ...engine.schedule import Schedule
 from ...kernels import blas, flops
+from ...layouts.block_cyclic import BlockCyclicLayout, block_key
+from ...machine.comm import Machine
 from ...machine.grid import ProcessorGrid3D, choose_grid_2d
 from ..common import FactorizationResult, validate_problem
 
@@ -52,10 +60,20 @@ class _DenseState:
         self.piv_all = np.zeros(n, dtype=int)
 
 
+class _DistState:
+    """Distributed bookkeeping: tiles live in the rank stores."""
+
+    __slots__ = ("layout", "piv_all")
+
+    def __init__(self, layout: BlockCyclicLayout, n: int) -> None:
+        self.layout = layout
+        self.piv_all = np.zeros(n, dtype=int)
+
+
 class ScalapackLUSchedule(Schedule):
     """The right-looking 2D partial-pivoting LU loop for the engine."""
 
-    supports_distributed = False
+    supports_distributed = True
 
     def __init__(self, n: int, nranks: int, nb: int = 128,
                  panel_rebroadcast: bool = True,
@@ -170,6 +188,160 @@ class ScalapackLUSchedule(Schedule):
         perm = blas.pivots_to_permutation(state.piv_all, n)
         return {"lower": np.tril(work, -1) + np.eye(n),
                 "upper": np.triu(work), "perm": perm}
+
+    # ------------------------------------------------------------------
+    # Distributed view: the same loop through Machine collectives
+    # ------------------------------------------------------------------
+    def dist_init(self, machine: Machine, a: np.ndarray | None,
+                  rng: np.random.Generator | None,
+                  in_name: str | None = None) -> _DistState:
+        """Scatter the ``nb x nb`` block-cyclic tiles to their owners.
+
+        Initial placement is free (the input is assumed resident in the
+        algorithm's layout, as for the 2.5D schedules); with ``in_name``
+        existing ``(in_name, bi, bj)`` tiles are adopted in place, e.g.
+        after a COSTA reshuffle.
+        """
+        n, nb = self.n, self.nb
+        lay = BlockCyclicLayout(n, n, nb, nb, self.grid.layer_grid())
+        if in_name is not None:
+            for bi in range(lay.mblocks):
+                for bj in range(lay.nblocks):
+                    r = lay.owner_rank(bi, bj)
+                    tile = machine.store(r).get((in_name, bi, bj))
+                    machine.store(r).put(block_key("A", bi, bj),
+                                         np.array(tile, dtype=np.float64))
+        else:
+            if a is None:
+                rng = rng or np.random.default_rng(0)
+                a = rng.standard_normal((n, n)) + n * np.eye(n)
+            a = np.asarray(a, dtype=np.float64)
+            if a.shape != (n, n):
+                raise ValueError(f"matrix shape {a.shape} != ({n},{n})")
+            lay.scatter_from(machine, "A", a)
+        return _DistState(lay, n)
+
+    def dist_step(self, machine: Machine, st: _DistState, k: int) -> None:
+        n, nb = self.n, self.nb
+        lay = st.layout
+        grid2d = lay.grid
+        pr, pc = grid2d.rows, grid2d.cols
+        nblocks = n // nb
+        qc, qr = k % pc, k % pr
+        c0 = k * nb
+        diag_owner = lay.owner_rank(k, k)
+        col_ranks = grid2d.col_ranks(qc)
+
+        # --- Panel factorization: column-by-column partial pivoting
+        # over rows c0..n-1 of block column k (the arithmetic of the
+        # unblocked getrf the dense view runs on the same panel). ---
+        for j in range(nb):
+            g = c0 + j
+            # Local pivot candidates per owning rank, then a counted
+            # MAXLOC allreduce over the panel's grid column.
+            entries: dict[int, tuple[float, int]] = {}
+            for bi, r in lay.col_owners(k, first=k):
+                tile = machine.store(r).get(block_key("A", bi, k))
+                r0 = j if bi == k else 0
+                col = np.abs(tile[r0:, j])
+                if col.size == 0:
+                    continue
+                i_loc = int(np.argmax(col))
+                cand = (float(col[i_loc]), bi * nb + r0 + i_loc)
+                if r not in entries or (cand[0], -cand[1]) > (
+                        entries[r][0], -entries[r][1]):
+                    entries[r] = cand
+            _, p_global = maxloc_allreduce(machine, ("piv", k, j), entries)
+            st.piv_all[g] = p_global
+            if p_global != g:
+                swap_rows_2d(machine, lay, "A", g, p_global)
+            # Broadcast the eliminating row (pivot value + trailing
+            # panel columns) from the diagonal tile's owner to the
+            # grid-column ranks still holding rows below it.
+            diag_tile = machine.store(diag_owner).get(block_key("A", k, k))
+            elim = diag_tile[j, j:].copy()
+            below = sorted({r for bi, r in lay.col_owners(k, first=k)
+                            if bi * nb + nb - 1 > g} | {diag_owner})
+            machine.store(diag_owner).put(("elim", k, j), elim)
+            machine.bcast(diag_owner, below, ("elim", k, j))
+            for bi, r in lay.col_owners(k, first=k):
+                r0 = j + 1 if bi == k else 0
+                if r0 >= nb:
+                    continue
+                e = machine.store(r).get(("elim", k, j))
+                tile = machine.store(r).get(block_key("A", bi, k))
+                mult = tile[r0:, j] / e[0]
+                tile[r0:, j] = mult
+                if j + 1 < nb:
+                    tile[r0:, j + 1:] -= np.outer(mult, e[1:])
+                machine.compute(r, 2.0 * mult.size * (nb - j))
+            for r in below:
+                machine.store(r).discard(("elim", k, j))
+
+        if self.panel_rebroadcast:
+            # MKL-style column-by-column panel broadcast: the grid
+            # column sees the finished multipliers a second time.
+            for bi, src in lay.col_owners(k, first=k):
+                bcast_copy(machine, src, block_key("A", bi, k),
+                           col_ranks, ("prb", k, bi))
+                for r in col_ranks:
+                    machine.store(r).discard(("prb", k, bi))
+
+        if k + 1 >= nblocks:
+            return
+
+        # --- U row panel: ship the factored diagonal tile along grid
+        # row q_row, trsm each U tile at its owner. ---
+        row_ranks = grid2d.row_ranks(qr)
+        bcast_copy(machine, diag_owner, block_key("A", k, k),
+                   row_ranks, ("d", k))
+        for bj, r in lay.row_owners(k, first=k + 1):
+            lu_kk = machine.store(r).get(("d", k))
+            l_kk = np.tril(lu_kk, -1) + np.eye(nb)
+            tile = machine.store(r).get(block_key("A", k, bj))
+            sol, fl = blas.trsm(l_kk, tile, side="left", lower=True,
+                                unit_diagonal=True)
+            machine.compute(r, fl)
+            machine.store(r).put(block_key("A", k, bj), sol)
+
+        # --- Broadcast panels: L tiles along their grid rows, U tiles
+        # along their grid columns. ---
+        for bi, src in lay.col_owners(k, first=k + 1):
+            machine.bcast(src, lay.grid_row_ranks(bi), block_key("A", bi, k))
+        for bj, src in lay.row_owners(k, first=k + 1):
+            machine.bcast(src, lay.grid_col_ranks(bj), block_key("A", k, bj))
+
+        # --- Trailing update: each owner updates its tiles from the
+        # received panel copies. ---
+        for bi in range(k + 1, nblocks):
+            for bj in range(k + 1, nblocks):
+                owner = lay.owner_rank(bi, bj)
+                l_t = machine.store(owner).get(block_key("A", bi, k))
+                u_t = machine.store(owner).get(block_key("A", k, bj))
+                c_t = machine.store(owner).get(block_key("A", bi, bj))
+                upd, fl = blas.gemm(l_t, u_t, c_t, alpha=-1.0)
+                machine.compute(owner, fl)
+                machine.store(owner).put(block_key("A", bi, bj), upd)
+
+        # Drop the transient panel copies on non-owners.
+        for bi, src in lay.col_owners(k, first=k + 1):
+            for r in lay.grid_row_ranks(bi):
+                if r != src:
+                    machine.store(r).discard(block_key("A", bi, k))
+        for bj, src in lay.row_owners(k, first=k + 1):
+            for r in lay.grid_col_ranks(bj):
+                if r != src:
+                    machine.store(r).discard(block_key("A", k, bj))
+        for r in row_ranks:
+            machine.store(r).discard(("d", k))
+
+    def dist_finalize(self, machine: Machine,
+                      st: _DistState) -> dict[str, Any]:
+        n = self.n
+        packed = st.layout.gather_to(machine, "A")
+        perm = blas.pivots_to_permutation(st.piv_all, n)
+        return {"lower": np.tril(packed, -1) + np.eye(n),
+                "upper": np.triu(packed), "perm": perm}
 
 
 class ScalapackLU:

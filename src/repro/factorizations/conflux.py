@@ -40,7 +40,7 @@ from typing import Any
 
 import numpy as np
 
-from ..engine.accounting import StepAccounting
+from ..engine.accounting import StepAccounting, butterfly_pair_exchanges
 from ..engine.backends import run_with
 from ..engine.distops import (
     assemble_cols_1d,
@@ -53,7 +53,7 @@ from ..kernels import blas, flops
 from ..machine.comm import Machine
 from ..machine.grid import ProcessorGrid3D, choose_grid_25d, replication_factor
 from .common import FactorizationResult, validate_problem
-from .pivoting import _select_candidates, tournament_rounds
+from .pivoting import _select_candidates
 
 __all__ = ["ConfluxLU", "ConfluxSchedule", "conflux_lu", "default_block_size"]
 
@@ -188,7 +188,6 @@ class ConfluxSchedule(Schedule):
         t = acct.t
         nrem = n - t * v          # unfactored rows (and columns)
         n11 = nrem - v            # trailing extent after each panel
-        rounds = tournament_rounds(pr)
         col_tiles = acct.tiles_owned(steps, t + 1, acct.pj, pc)
         rows_per_gridrow = nrem / pr          # masked rows, uniform split
 
@@ -213,13 +212,24 @@ class ConfluxSchedule(Schedule):
         acct.add_recv(nrem * v * (c - 1.0) / self.nranks)
         acct.add_sent(nrem * v * (c - 1.0) / self.nranks)
 
-        # Step 2: tournament pivoting on [*, q_col, k_piv]: v x v candidate
-        # blocks exchanged for ceil(log2(Pr)) butterfly rounds, plus the
-        # local candidate-selection LU and the playoff LUs.
-        acct.add_recv(on_piv_layer * v * v * rounds, msgs=rounds)
-        acct.add_sent(on_piv_layer * v * v * rounds, msgs=rounds)
+        # Step 2: tournament pivoting on [*, q_col, k_piv]: candidate
+        # blocks (v rows plus their global row ids, hence width v + 1)
+        # exchanged over an XOR butterfly.  Only ranks still holding
+        # active panel rows participate — min(Pr, N/v tiles, remaining
+        # rows) with high probability — and ragged participant counts
+        # drop pairings, so the exact per-step exchange total of
+        # :func:`~repro.engine.accounting.butterfly_pair_exchanges`
+        # replaces the old ceil(log2(Pr))-rounds-at-every-rank
+        # idealization, spread uniformly over the panel column's
+        # pivot-layer ranks.
+        m_t = np.minimum(pr, np.minimum(n // v, nrem))
+        exch = butterfly_pair_exchanges(m_t).astype(np.float64)
+        tour_words = v * (v + 1.0) * exch / pr
+        acct.add_recv(on_piv_layer * tour_words, msgs=exch / pr)
+        acct.add_sent(on_piv_layer * tour_words, msgs=exch / pr)
         local_lu = flops.getrf_flops(np.maximum(rows_per_gridrow, v), v)
-        playoff = rounds * flops.getrf_flops(2 * v, v)
+        rounds_t = np.ceil(np.log2(np.maximum(m_t, 1.0)))
+        playoff = rounds_t * flops.getrf_flops(2 * v, v) * m_t / pr
         acct.add_flops(on_piv_layer * (local_lu + playoff))
 
         # Step 3: broadcast factored A00 (v^2) + v pivot indices to all.

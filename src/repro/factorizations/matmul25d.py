@@ -19,6 +19,11 @@ share once:
 
 The algorithm is an engine :class:`~repro.engine.schedule.Schedule`
 whose step sequence is the SUMMA rounds plus one final reduction step.
+All three views are implemented: the distributed view holds each
+layer's ``A``/``B`` copy as one local block per rank, broadcasts the
+round's panels along grid rows/columns, and combines the per-layer
+``C`` partials with one fiber reduce-scatter whose counted volume is
+exactly the trace's ``(c-1) N^2 / P`` per rank.
 """
 
 from __future__ import annotations
@@ -30,6 +35,7 @@ import numpy as np
 from ..engine.accounting import StepAccounting
 from ..engine.backends import run_with
 from ..engine.schedule import Schedule
+from ..machine.comm import Machine
 from ..machine.grid import choose_grid_25d, replication_factor
 from .common import FactorizationResult, validate_problem
 
@@ -49,6 +55,7 @@ class Matmul25DSchedule(Schedule):
     """Square 2.5D SUMMA as an engine schedule."""
 
     name = "matmul25d"
+    supports_distributed = True
 
     def __init__(self, n: int, nranks: int, s: int | None = None,
                  c: int | None = None,
@@ -139,6 +146,156 @@ class Matmul25DSchedule(Schedule):
     def dense_finalize(self, state: _DenseState) -> dict[str, Any]:
         return {"lower": state.partials.sum(axis=0),
                 "upper": np.eye(self.n)}
+
+    # ------------------------------------------------------------------
+    # Distributed view: per-layer operand copies, counted broadcasts
+    # ------------------------------------------------------------------
+    def _check_divisible(self) -> tuple[int, int]:
+        pr, pc = self.grid.rows, self.grid.cols
+        if self.n % pr or self.n % pc:
+            raise ValueError(
+                f"distributed 2.5D SUMMA needs the grid {pr}x{pc} to "
+                f"divide N={self.n}")
+        return self.n // pr, self.n // pc
+
+    def dist_init(self, machine: Machine, a: np.ndarray | tuple | None,
+                  rng: np.random.Generator | None,
+                  in_name: str | tuple[str, str] | None = None) -> None:
+        """Place each rank's ``A``/``B`` block and zero ``C`` partial.
+
+        Every layer holds a full operand copy (the 2.5D memory budget
+        ``3 c N^2 / P``); initial placement — including the layer
+        replicas — is free, the convention shared with the 2.5D
+        factorizations.  ``in_name`` may name existing layer-0 blocks
+        ``(name_a, pi, pj)`` / ``(name_b, pi, pj)`` to adopt, e.g.
+        after a COSTA reshuffle.
+        """
+        n, c = self.n, self.c
+        rl, cl = self._check_divisible()
+        grid = self.grid
+        if in_name is not None:
+            name_a, name_b = (in_name if isinstance(in_name, tuple)
+                              else (in_name + ":A", in_name + ":B"))
+            blocks = {}
+            for pi in range(grid.rows):
+                for pj in range(grid.cols):
+                    r0 = grid.rank(pi, pj, 0)
+                    blocks[pi, pj] = (
+                        np.array(machine.store(r0).get((name_a, pi, pj)),
+                                 dtype=np.float64),
+                        np.array(machine.store(r0).get((name_b, pi, pj)),
+                                 dtype=np.float64))
+        else:
+            rng = rng or np.random.default_rng(0)
+            a, b = a if isinstance(a, tuple) else (a, None)
+            a = np.asarray(a if a is not None
+                           else rng.standard_normal((n, n)), dtype=np.float64)
+            b = np.asarray(b if b is not None
+                           else rng.standard_normal((n, n)), dtype=np.float64)
+            if a.shape != (n, n) or b.shape != (n, n):
+                raise ValueError("operands must be N x N")
+            blocks = {(pi, pj): (a[pi * rl:(pi + 1) * rl,
+                                   pj * cl:(pj + 1) * cl].copy(),
+                                 b[pi * rl:(pi + 1) * rl,
+                                   pj * cl:(pj + 1) * cl].copy())
+                      for pi in range(grid.rows) for pj in range(grid.cols)}
+        for (pi, pj), (ab, bb) in blocks.items():
+            for kk in range(c):
+                store = machine.store(grid.rank(pi, pj, kk))
+                store.put(("A", pi, pj), ab if kk == 0 else ab.copy())
+                store.put(("B", pi, pj), bb if kk == 0 else bb.copy())
+                store.put(("C", pi, pj), np.zeros((rl, cl)))
+        return None
+
+    def _strip_pieces(self, lo: int, extent: int) -> list[tuple[int, int, int]]:
+        """Split the ``s``-wide strip at ``lo`` into per-block pieces
+        ``(block, local_start, local_stop)`` of blocks of ``extent``."""
+        pieces = []
+        hi = lo + self.s
+        b = lo // extent
+        while b * extent < hi:
+            pieces.append((b, max(lo, b * extent) - b * extent,
+                           min(hi, (b + 1) * extent) - b * extent))
+            b += 1
+        return pieces
+
+    def dist_step(self, machine: Machine, state: None, t: int) -> None:
+        n, s, c = self.n, self.s, self.c
+        rl, cl = self._check_divisible()
+        grid = self.grid
+        pr, pc = grid.rows, grid.cols
+
+        if t >= self.rounds:
+            # Final layered reduction: one reduce-scatter per fiber,
+            # leaving row-chunk i of the combined C on layer i.
+            for pi in range(pr):
+                for pj in range(pc):
+                    fiber = [grid.rank(pi, pj, kk) for kk in range(c)]
+                    chunks = np.array_split(np.arange(rl), c)
+                    keys = [("Cr", pi, pj, i) for i in range(c)]
+                    for r in fiber:
+                        part = machine.store(r).get(("C", pi, pj))
+                        for key, idx in zip(keys, chunks):
+                            machine.store(r).put(key, part[idx, :])
+                    machine.reduce_scatter(fiber, keys)
+                    for r in fiber:
+                        machine.store(r).discard(("C", pi, pj))
+            return
+
+        slice_len = n // c
+        for kk in range(c):
+            lo = kk * slice_len + t * s
+            # Broadcast the round's A column strip along grid rows and
+            # B row strip along grid columns (piecewise when the strip
+            # straddles a block boundary).
+            a_pieces = self._strip_pieces(lo, cl)
+            b_pieces = self._strip_pieces(lo, rl)
+            for pi in range(pr):
+                row_group = [grid.rank(pi, j, kk) for j in range(pc)]
+                for jb, c0, c1 in a_pieces:
+                    src = grid.rank(pi, jb, kk)
+                    block = machine.store(src).get(("A", pi, jb))
+                    machine.store(src).put(("Ap", t, jb),
+                                           block[:, c0:c1].copy())
+                    machine.bcast(src, row_group, ("Ap", t, jb))
+            for pj in range(pc):
+                col_group = [grid.rank(i, pj, kk) for i in range(pr)]
+                for ib, r0, r1 in b_pieces:
+                    src = grid.rank(ib, pj, kk)
+                    block = machine.store(src).get(("B", ib, pj))
+                    machine.store(src).put(("Bp", t, ib),
+                                           block[r0:r1, :].copy())
+                    machine.bcast(src, col_group, ("Bp", t, ib))
+            # Local rank-s update on every rank of the layer.
+            for pi in range(pr):
+                for pj in range(pc):
+                    r = grid.rank(pi, pj, kk)
+                    store = machine.store(r)
+                    a_panel = np.hstack([store.get(("Ap", t, jb))
+                                         for jb, _, _ in a_pieces])
+                    b_panel = np.vstack([store.get(("Bp", t, ib))
+                                         for ib, _, _ in b_pieces])
+                    store.get(("C", pi, pj))[...] += a_panel @ b_panel
+                    machine.compute(r, 2.0 * rl * cl * s)
+                    for jb, _, _ in a_pieces:
+                        store.discard(("Ap", t, jb))
+                    for ib, _, _ in b_pieces:
+                        store.discard(("Bp", t, ib))
+
+    def dist_finalize(self, machine: Machine,
+                      state: None) -> dict[str, Any]:
+        n, c = self.n, self.c
+        rl, cl = self._check_divisible()
+        grid = self.grid
+        out = np.zeros((n, n))
+        for pi in range(grid.rows):
+            for pj in range(grid.cols):
+                chunks = np.array_split(np.arange(rl), c)
+                for i, idx in enumerate(chunks):
+                    r = grid.rank(pi, pj, i)
+                    out[pi * rl + idx[:, None], pj * cl + np.arange(cl)] = \
+                        machine.store(r).get(("Cr", pi, pj, i))
+        return {"lower": out, "upper": np.eye(n)}
 
 
 class Matmul25D:

@@ -96,6 +96,28 @@ class BlockCyclicLayout:
                 for bi in range(pi, self.mblocks, self.grid.rows)
                 for bj in range(pj, self.nblocks, self.grid.cols)]
 
+    def col_owners(self, bj: int, first: int = 0) -> list[tuple[int, int]]:
+        """``(bi, owner_rank)`` for every tile of block column ``bj``
+        with ``bi >= first`` — the panel iteration of the 2D schedules."""
+        return [(bi, self.owner_rank(bi, bj))
+                for bi in range(first, self.mblocks)]
+
+    def row_owners(self, bi: int, first: int = 0) -> list[tuple[int, int]]:
+        """``(bj, owner_rank)`` for every tile of block row ``bi`` with
+        ``bj >= first``."""
+        return [(bj, self.owner_rank(bi, bj))
+                for bj in range(first, self.nblocks)]
+
+    def grid_row_ranks(self, bi: int) -> list[int]:
+        """Ranks of the grid row owning block row ``bi`` (the
+        communicator of an L-panel row broadcast)."""
+        return self.grid.row_ranks(bi % self.grid.rows)
+
+    def grid_col_ranks(self, bj: int) -> list[int]:
+        """Ranks of the grid column owning block column ``bj`` (the
+        communicator of a U-panel column broadcast)."""
+        return self.grid.col_ranks(bj % self.grid.cols)
+
     def local_words(self, rank: int) -> int:
         """Words of the matrix resident on ``rank``."""
         total = 0

@@ -25,7 +25,7 @@ import dataclasses
 import math
 
 from .daap import Program, Statement
-from .intensity import IntensityResult, max_subcomputation, statement_intensity
+from .intensity import IntensityResult, statement_intensity
 
 __all__ = [
     "StatementAnalysis",

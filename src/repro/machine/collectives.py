@@ -88,7 +88,7 @@ def recursive_halving_reduce_scatter(machine: Machine,
     Requires a power-of-two group and one equally-sized block per rank.
     """
     g = len(group)
-    rounds = _check_pow2(g, "recursive halving")
+    _check_pow2(g, "recursive halving")
     if len(keys) != g:
         raise CommunicationError("need one key per group rank")
     # own[i] = set of block indices rank i is still responsible for.

@@ -25,7 +25,6 @@ absolute seconds.
 from __future__ import annotations
 
 import dataclasses
-import math
 
 from .stats import StepLog, StepRecord
 

@@ -21,7 +21,7 @@ exercise the game end-to-end on the kernel cDAGs.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Hashable, Iterable, Sequence
+from typing import Callable, Hashable, Iterable
 
 from .cdag import CDag
 

@@ -19,9 +19,6 @@ lacks the blocking insight.
 from __future__ import annotations
 
 import math
-from typing import Hashable
-
-from .cdag import CDag
 from .game import Move, PebbleGame
 
 __all__ = ["blocked_matmul_schedule", "optimal_block_side",

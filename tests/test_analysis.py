@@ -1,6 +1,5 @@
 """Tests for the experiment harness and figure generators."""
 
-import math
 
 import pytest
 
@@ -20,7 +19,6 @@ from repro.analysis import (
     trace_lu,
     weak_scaling_n,
 )
-from repro.analysis.harness import NODE_MEM_WORDS
 
 
 class TestHarness:

@@ -1,7 +1,6 @@
 """Tests for the baseline implementations (MKL/ScaLAPACK, SLATE, CANDMC,
 CAPITAL)."""
 
-import math
 
 import numpy as np
 import pytest

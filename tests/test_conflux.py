@@ -1,6 +1,5 @@
 """Tests for COnfLUX (Section 7 / Algorithm 1)."""
 
-import math
 
 import numpy as np
 import pytest

@@ -86,7 +86,12 @@ class TestBackends:
             run_with(sched, execute=False, rng=rng)
 
     def test_distributed_requires_support(self):
-        sched = ScalapackLUSchedule(64, 4, nb=16)
+        """All shipped schedules are distributed-capable now, so the
+        guard is exercised with a minimal trace/dense-only schedule."""
+        class DenseOnly(ScalapackLUSchedule):
+            supports_distributed = False
+
+        sched = DenseOnly(64, 4, nb=16)
         with pytest.raises(NotImplementedError):
             DistributedBackend().run(sched)
 

@@ -1,48 +1,86 @@
 """Trace-vs-distributed parity: the analytic accounting must agree with
-counted execution.
+counted execution — for *every* schedule in the engine.
 
 The paper's central empirical claim is that the *measured* per-rank I/O
-of COnfLUX/COnfCHOX matches the analytic near-optimal cost.  The engine
-makes that claim checkable in-repo: the trace backend produces the
-analytic volumes, the distributed backend counts words actually moved by
-Machine collectives, and the totals must agree.
+of COnfLUX/COnfCHOX matches the analytic near-optimal cost, and that
+the 2D baselines measurably move more.  The engine makes both claims
+checkable in-repo: the trace backend produces the analytic volumes, the
+distributed backend counts words actually moved by Machine collectives,
+and the totals must agree for all five schedules (conflux, confchox,
+matmul25d, scalapack-lu, scalapack-chol).
 
-Documented tolerance (``PARITY_RTOL``): the analytic model deliberately
-idealizes a few things the executable schedule does not —
+Documented tolerances: the analytic models deliberately idealize a few
+things the executable schedules do not —
 
 * every rank is charged its full ``1/P`` share of the 1D panel
-  scatters and piece distributions (steps 4, 6, 8, 10), while pieces
-  already resident at their destination move zero words — a relative
-  ``O(1/P)`` over-count that is negligible at paper scale but visible
-  on the tiny machines these tests can afford;
-* step 3 counts the A00 broadcast at all ``P`` ranks including the
-  root, the machine at ``P - 1`` receivers;
-* step 8 spreads ``nrem`` masked rows where the machine moves the
-  ``n11 = nrem - v`` actual Schur rows (an edge term per step);
-* the tournament idealizes ``ceil(log2(Pr))`` butterfly rounds at every
-  panel-column rank, while late steps have fewer active participants.
+  scatters and piece distributions (COnfLUX steps 4, 6, 8, 10), while
+  pieces already resident at their destination move zero words — a
+  relative ``O(1/P)`` over-count that is negligible at paper scale but
+  visible on the tiny machines these tests can afford;
+* broadcasts are charged at every rank of the communicator including
+  the root, while the machine counts ``g - 1`` receivers: the COnfLUX
+  A00 broadcast, the 2D L/U panel broadcasts (a ``1/Pc`` resp.
+  ``1/Pr`` over-count on the leading 2D terms) and the SUMMA panel
+  rings (``PARITY_RTOL_SUMMA``) all carry it;
+* COnfLUX step 8 spreads ``nrem`` masked rows where the machine moves
+  the ``n11 = nrem - v`` actual Schur rows (an edge term per step);
+* the tournament charges ``min(Pr, N/v, nrem)`` active participants
+  (exact whp — :func:`repro.engine.accounting.butterfly_pair_exchanges`),
+  while late steps may cluster the surviving rows on fewer fiber roots
+  and exchange blocks shorter than ``v`` rows;
+* the 2D LU trace charges ``nb`` pivot swaps per panel at the whp rate
+  ``(Pr-1)/Pr``, while an actual run swaps only where the argmax landed
+  (on diagonally dominant inputs: never — the 2D parity rows therefore
+  factor generic matrices, with pivoting fully engaged).
 
 Every idealization *over*-counts, so the measured volume sits below the
-trace; the gap shrinks with both the step count ``N/v`` and the machine
-size ``P``, which the asymptotic tests assert.  Sent words are *not*
-compared: the trace attributes sent words only for the reductions and
-broadcasts (received words are the paper's primary metric), so there is
-no analytic sent total to match.
+trace; the gap shrinks with both the step count and the machine size,
+which the asymptotic tests assert.  Sent words are *not* compared: the
+trace attributes sent words only for the reductions and broadcasts
+(received words are the paper's primary metric), so there is no
+analytic sent total to match.
+
+This suite also absorbs the retired ``distributed2d`` module's checks:
+the 2D distributed factors must match the dense backend's numerically
+identical elimination (bit-for-bit up to BLAS shape-dependent rounding)
+and the final stores may hold only tiles their rank owns.
 """
 
 import numpy as np
 import pytest
 
-from repro.engine import DistributedBackend, TraceBackend
-from repro.factorizations import ConfchoxSchedule, ConfluxSchedule
+from repro.engine import DenseBackend, DistributedBackend, TraceBackend
+from repro.factorizations import (
+    ConfchoxSchedule,
+    ConfluxSchedule,
+    Matmul25DSchedule,
+)
+from repro.factorizations.baselines.scalapack_chol import (
+    ScalapackCholeskySchedule,
+)
+from repro.factorizations.baselines.scalapack_lu import ScalapackLUSchedule
 
 #: Relative tolerance for total received words, trace vs counted, on
-#: grids with at least 8 ranks and at least 8 panel steps.
-PARITY_RTOL = 0.20
+#: 2.5D grids with at least 8 ranks and at least 8 panel steps.  The
+#: exact tournament accounting (butterfly_pair_exchanges) brought this
+#: down from the 0.20 the rounds-at-every-rank idealization needed.
+PARITY_RTOL = 0.15
 
 #: Small machines (P <= 6 or c = 1) and tiny step counts see the
 #: O(1/P) local-share idealization at full strength.
-PARITY_RTOL_EDGE = 0.35
+PARITY_RTOL_EDGE = 0.34
+
+#: 2D ScaLAPACK LU on generic (pivoting-active) inputs: the leading
+#: panel-broadcast terms carry the root over-count, the swap charge is
+#: a whp rate.
+PARITY_RTOL_2D = 0.15
+
+#: 2D Cholesky: same leading terms, no pivot terms to blur them.
+PARITY_RTOL_2D_CHOL = 0.20
+
+#: 2.5D SUMMA: both panel rings are charged at the root too, a
+#: 1/Pc + 1/Pr over-count on the whole SUMMA volume.
+PARITY_RTOL_SUMMA = 0.25
 
 GRID = [
     # (n, p, v, c) — P >= 8, at least 8 panel steps each
@@ -53,6 +91,10 @@ GRID = [
 ]
 
 EDGE = [(32, 4, 8, 1), (48, 6, 8, 2), (64, 4, 8, 1), (128, 4, 8, 1)]
+
+GRID_2D = [(96, 16, 8), (128, 16, 16), (128, 36, 8)]
+
+GRID_SUMMA = [(128, 32, 8, 2), (128, 64, 8, 4), (128, 128, 8, 2)]
 
 
 def lu_pair(n, p, v, c, rng):
@@ -68,6 +110,51 @@ def chol_pair(n, p, v, c, rng):
     trace = TraceBackend().run(ConfchoxSchedule(n, p, v=v, c=c))
     dist = DistributedBackend().run(ConfchoxSchedule(n, p, v=v, c=c), a=a)
     return trace, dist, a
+
+
+def lu2d_sched(n, p, nb):
+    return ScalapackLUSchedule(n, p, nb=nb, panel_rebroadcast=False)
+
+
+def lu2d_pair(n, p, nb, rng):
+    a = rng.standard_normal((n, n))      # generic: pivoting engages
+    trace = TraceBackend().run(lu2d_sched(n, p, nb))
+    dist = DistributedBackend().run(lu2d_sched(n, p, nb), a=a)
+    return trace, dist, a
+
+
+def chol2d_pair(n, p, nb, rng):
+    g = rng.standard_normal((n, n))
+    a = g @ g.T + n * np.eye(n)
+    trace = TraceBackend().run(ScalapackCholeskySchedule(n, p, nb=nb))
+    dist = DistributedBackend().run(ScalapackCholeskySchedule(n, p, nb=nb),
+                                    a=a)
+    return trace, dist, a
+
+
+def summa_pair(n, p, s, c, rng):
+    a = rng.standard_normal((n, n))
+    b = rng.standard_normal((n, n))
+    trace = TraceBackend().run(Matmul25DSchedule(n, p, s=s, c=c))
+    dist = DistributedBackend().run(Matmul25DSchedule(n, p, s=s, c=c),
+                                    a=(a, b))
+    return trace, dist, a, b
+
+
+class TestEveryScheduleDistributed:
+    """The backend abstraction is total: all five schedules run
+    message-passing, which is what makes the baseline comparison a
+    same-execution-model comparison."""
+
+    def test_all_schedules_support_distributed(self):
+        schedules = [
+            ConfluxSchedule(32, 4, v=8, c=1),
+            ConfchoxSchedule(32, 4, v=8, c=1),
+            Matmul25DSchedule(32, 4, s=8, c=1),
+            ScalapackLUSchedule(32, 4, nb=8),
+            ScalapackCholeskySchedule(32, 4, nb=8),
+        ]
+        assert all(s.supports_distributed for s in schedules)
 
 
 class TestLUParity:
@@ -144,3 +231,162 @@ class TestCholeskyParity:
         _, ch, _ = chol_pair(128, 8, 8, 2, rng)
         assert ch.comm.total_recv_words == pytest.approx(
             lu.comm.total_recv_words, rel=0.35)
+
+
+class TestScalapackLUParity:
+    """The 2D baseline through the same execution model — absorbing the
+    retired distributed2d module's ground-truth checks, now with real
+    partial pivoting instead of the old block-diagonal restriction."""
+
+    @pytest.mark.parametrize("n,p,nb", GRID_2D)
+    def test_total_recv_words(self, rng, n, p, nb):
+        trace, dist, _ = lu2d_pair(n, p, nb, rng)
+        assert dist.comm.total_recv_words == pytest.approx(
+            trace.comm.total_recv_words, rel=PARITY_RTOL_2D)
+
+    @pytest.mark.parametrize("n,p,nb", GRID_2D)
+    def test_trace_overcounts(self, rng, n, p, nb):
+        trace, dist, _ = lu2d_pair(n, p, nb, rng)
+        assert (dist.comm.total_recv_words
+                <= trace.comm.total_recv_words * 1.001)
+
+    @pytest.mark.parametrize("n,p,nb", GRID_2D)
+    def test_counted_run_stays_numerically_exact(self, rng, n, p, nb):
+        _, dist, a = lu2d_pair(n, p, nb, rng)
+        err = np.linalg.norm(a[dist.perm] - dist.lower @ dist.upper)
+        assert err / np.linalg.norm(a) < 1e-11
+
+    def test_pivoting_engages_on_generic_input(self, rng):
+        _, dist, _ = lu2d_pair(96, 16, 8, rng)
+        assert np.any(dist.perm != np.arange(96))
+
+    def test_factors_match_dense_backend(self, rng):
+        """Same elimination arithmetic, two execution models: on a
+        dominant input (deterministic pivots) the distributed factors
+        equal the dense backend's to rounding."""
+        n, p, nb = 64, 16, 8
+        a = rng.standard_normal((n, n)) + n * np.eye(n)
+        dense = DenseBackend().run(lu2d_sched(n, p, nb), a=a)
+        dist = DistributedBackend().run(lu2d_sched(n, p, nb), a=a)
+        assert np.array_equal(dense.perm, dist.perm)
+        assert np.max(np.abs(dense.lower - dist.lower)) < 1e-10
+        assert np.max(np.abs(dense.upper - dist.upper)) < 1e-10
+
+    def test_final_stores_hold_only_owned_tiles(self, rng):
+        """No rank may end up holding data it does not own: the
+        distributed contract the accounting layer abstracts away."""
+        from repro.layouts import BlockCyclicLayout
+        from repro.machine import Machine
+
+        n, p, nb = 64, 4, 8
+        sched = lu2d_sched(n, p, nb)
+        machine = Machine(p)
+        a = rng.standard_normal((n, n))
+        DistributedBackend(machine).run(sched, a=a)
+        lay = BlockCyclicLayout(n, n, nb, nb, sched.grid.layer_grid())
+        for rank in range(p):
+            for key in list(machine.store(rank).keys()):
+                _, bi, bj = key
+                assert lay.owner_rank(bi, bj) == rank, \
+                    f"rank {rank} still holds foreign tile {key}"
+
+    def test_single_rank_no_communication(self, rng):
+        from repro.machine import Machine
+
+        machine = Machine(1)
+        a = rng.standard_normal((32, 32))
+        DistributedBackend(machine).run(lu2d_sched(32, 1, 8), a=a)
+        assert machine.stats.total_recv_words == 0
+
+    def test_volume_scales_like_2d(self, rng):
+        """Per-rank counted volume ~ N^2/sqrt(P): the 4->16 rank ratio
+        lands between sqrt(4)=2 and the correction-free 2.7."""
+        n, nb = 128, 16
+        _, m4, _ = lu2d_pair(n, 4, nb, rng)
+        _, m16, _ = lu2d_pair(n, 16, nb, rng)
+        ratio = m4.comm.mean_recv_words / m16.comm.mean_recv_words
+        assert 1.3 < ratio < 3.0
+
+
+class TestScalapackCholParity:
+    @pytest.mark.parametrize("n,p,nb", GRID_2D)
+    def test_total_recv_words(self, rng, n, p, nb):
+        trace, dist, _ = chol2d_pair(n, p, nb, rng)
+        assert dist.comm.total_recv_words == pytest.approx(
+            trace.comm.total_recv_words, rel=PARITY_RTOL_2D_CHOL)
+
+    @pytest.mark.parametrize("n,p,nb", GRID_2D)
+    def test_trace_overcounts(self, rng, n, p, nb):
+        trace, dist, _ = chol2d_pair(n, p, nb, rng)
+        assert (dist.comm.total_recv_words
+                <= trace.comm.total_recv_words * 1.001)
+
+    @pytest.mark.parametrize("n,p,nb", GRID_2D)
+    def test_counted_run_stays_numerically_exact(self, rng, n, p, nb):
+        _, dist, a = chol2d_pair(n, p, nb, rng)
+        err = np.linalg.norm(a - dist.lower @ dist.lower.T)
+        assert err / np.linalg.norm(a) < 1e-12
+
+    def test_factors_match_dense_backend(self, rng):
+        n, p, nb = 64, 16, 8
+        g = rng.standard_normal((n, n))
+        a = g @ g.T + n * np.eye(n)
+        dense = DenseBackend().run(ScalapackCholeskySchedule(n, p, nb=nb),
+                                   a=a)
+        dist = DistributedBackend().run(ScalapackCholeskySchedule(n, p,
+                                                                  nb=nb), a=a)
+        assert np.max(np.abs(dense.lower - dist.lower)) < 1e-10
+
+    def test_final_stores_hold_only_owned_lower_tiles(self, rng):
+        from repro.layouts import BlockCyclicLayout
+        from repro.machine import Machine
+
+        n, p, nb = 64, 4, 8
+        sched = ScalapackCholeskySchedule(n, p, nb=nb)
+        machine = Machine(p)
+        g = rng.standard_normal((n, n))
+        DistributedBackend(machine).run(sched, a=g @ g.T + n * np.eye(n))
+        lay = BlockCyclicLayout(n, n, nb, nb, sched.grid.layer_grid())
+        for rank in range(p):
+            for key in list(machine.store(rank).keys()):
+                _, bi, bj = key
+                assert bi >= bj, f"upper tile {key} stored"
+                assert lay.owner_rank(bi, bj) == rank
+
+
+class TestMatmulParity:
+    @pytest.mark.parametrize("n,p,s,c", GRID_SUMMA)
+    def test_total_recv_words(self, rng, n, p, s, c):
+        trace, dist, _, _ = summa_pair(n, p, s, c, rng)
+        assert dist.comm.total_recv_words == pytest.approx(
+            trace.comm.total_recv_words, rel=PARITY_RTOL_SUMMA)
+
+    @pytest.mark.parametrize("n,p,s,c", GRID_SUMMA)
+    def test_trace_overcounts(self, rng, n, p, s, c):
+        trace, dist, _, _ = summa_pair(n, p, s, c, rng)
+        assert (dist.comm.total_recv_words
+                <= trace.comm.total_recv_words * 1.001)
+
+    @pytest.mark.parametrize("n,p,s,c", GRID_SUMMA)
+    def test_counted_product_exact(self, rng, n, p, s, c):
+        _, dist, a, b = summa_pair(n, p, s, c, rng)
+        assert np.allclose(dist.lower, a @ b)
+
+    def test_reduction_volume_exact(self, rng):
+        """The final layered reduce-scatter is the one term both models
+        count identically: with zero SUMMA rounds' worth of panels (a
+        1-layer grid row/column) ... instead check c=1 has no reduce."""
+        trace, dist, a, b = summa_pair(64, 16, 8, 1, rng)
+        # c=1: the reduce step moves nothing in either model.
+        last_trace = trace.comm.steps[-1]
+        assert last_trace.recv_words_total == 0
+        assert np.allclose(dist.lower, a @ b)
+
+    def test_gap_shrinks_with_grid_width(self, rng):
+        """The broadcast-root over-count fades as the grid widens."""
+        def rel_gap(n, p, s, c):
+            trace, dist, _, _ = summa_pair(n, p, s, c, rng)
+            t = trace.comm.total_recv_words
+            return abs(t - dist.comm.total_recv_words) / t
+
+        assert rel_gap(128, 128, 8, 2) < rel_gap(128, 32, 8, 2)

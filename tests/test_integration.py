@@ -1,7 +1,6 @@
 """Cross-module integration tests: the theory pipeline, the pebbling
 games, and the distributed schedules must agree with each other."""
 
-import math
 
 import numpy as np
 import pytest
@@ -15,7 +14,7 @@ from repro.lowerbounds import (
     derive_lu_bound,
     lu_io_lower_bound,
 )
-from repro.machine import Machine, PerfModel, ProcessorGrid2D
+from repro.machine import Machine, ProcessorGrid2D
 from repro.pebbles import lu_cdag, run_greedy
 
 

@@ -7,7 +7,6 @@ from repro.layouts import (
     BlockCyclicLayout,
     Replicated25DLayout,
     ScaLAPACKDescriptor,
-    block_key,
     global_to_local,
     local_to_global,
     numroc,

@@ -1,6 +1,5 @@
 """Tests for the parallel pebble game (Section 5) and Lemma 9."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Unit tests for the alpha-beta-gamma performance model."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Property-based tests (hypothesis) on core invariants."""
 
-import math
 
 import numpy as np
 import pytest

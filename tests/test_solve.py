@@ -10,7 +10,6 @@ from repro.factorizations import (
     lu_solve,
 )
 from repro.factorizations.baselines import scalapack_lu
-from repro.lowerbounds import lu_io_lower_bound
 
 
 def make_system(rng, n):
