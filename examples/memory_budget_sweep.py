@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Memory-budget feasibility: the paper's M-words constraint, checked.
+
+The lower bounds of conf_sc_KwasniewskiKBZS21 are parameterized by the
+per-processor memory ``M``; every schedule in this repo declares a
+closed-form ``required_words`` — model memory plus transient working
+set — that a budget-enforced run is guaranteed to fit in.  This example
+
+1. sweeps the planning-side feasibility table at paper scale (no
+   numerics — the closed forms are free),
+2. runs COnfLUX under ``Machine(..., enforce_memory=True)`` at its
+   declared budget and prints the machine's own memory report, and
+3. shows the failure mode: a budget below the actual working set
+   raises ``MemoryBudgetExceeded`` with rank/step context.
+
+Run:  python examples/memory_budget_sweep.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.harness import (
+    NODE_MEM_WORDS,
+    format_table,
+    memory_feasibility,
+)
+from repro.engine import DistributedBackend, machine_for
+from repro.factorizations import ConfluxSchedule
+from repro.machine import MemoryBudgetExceeded
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Paper-scale feasibility sweep (closed forms, no execution).
+    # ------------------------------------------------------------------
+    cases = [(65536, 1024), (65536, 4096), (131072, 4096)]
+    rows = []
+    for fz in memory_feasibility(cases):
+        rows.append([fz.schedule, fz.n, fz.nranks, fz.c,
+                     fz.model_words, fz.required_words, fz.overhead,
+                     "yes" if fz.fits_node else "NO"])
+    print(format_table(
+        ["schedule", "N", "P", "c", "model M", "required", "overhead",
+         "fits node"],
+        rows, title=f"Memory feasibility (node M = {NODE_MEM_WORDS:.3g} "
+                    "words/rank)"))
+
+    # ------------------------------------------------------------------
+    # 2. A memory-enforced distributed run at the declared budget.
+    # ------------------------------------------------------------------
+    n, p, v, c = 64, 8, 8, 2
+    rng = np.random.default_rng(7)
+    a = rng.standard_normal((n, n)) + n * np.eye(n)
+    schedule = ConfluxSchedule(n, p, v=v, c=c)
+    backend = DistributedBackend(machine_for(schedule))
+    result = backend.run(schedule, a=a)
+    report = backend.memory_report()
+    err = np.linalg.norm(a[result.perm] - result.lower @ result.upper)
+    print(f"\nEnforced COnfLUX N={n} P={p} c={c}")
+    print(f"  residual ||PA - LU|| / ||A||  = "
+          f"{err / np.linalg.norm(a):.2e}")
+    print(f"  {report.summary()}")
+    print(f"  budget utilization            = {report.utilization:.0%}")
+
+    # ------------------------------------------------------------------
+    # 3. An undersized budget is caught, with context.
+    # ------------------------------------------------------------------
+    peak = report.max_peak_words
+    from repro.machine import Machine
+    starved = Machine(p, mem_words=peak - 1, enforce_memory=True)
+    try:
+        DistributedBackend(starved).run(ConfluxSchedule(n, p, v=v, c=c), a=a)
+    except MemoryBudgetExceeded as exc:
+        print(f"\nBudget {peak - 1:.0f} (one word short of the peak):")
+        print(f"  caught as expected -> rank {exc.rank}, step {exc.step!r}")
+    else:
+        raise AssertionError("undersized budget was not caught")
+
+
+if __name__ == "__main__":
+    main()

@@ -24,6 +24,7 @@ from .ablations import (
 from .harness import (
     CHOLESKY_IMPLEMENTATIONS,
     LU_IMPLEMENTATIONS,
+    MemoryFeasibility,
     NODE_MEM_WORDS,
     RANKS_PER_NODE,
     TimedRun,
@@ -32,6 +33,7 @@ from .harness import (
     feasible,
     format_table,
     max_replication,
+    memory_feasibility,
     trace_cholesky,
     trace_lu,
 )
@@ -40,6 +42,7 @@ __all__ = [
     "LU_IMPLEMENTATIONS", "CHOLESKY_IMPLEMENTATIONS",
     "NODE_MEM_WORDS", "RANKS_PER_NODE",
     "max_replication", "feasible", "best_conflux_config",
+    "MemoryFeasibility", "memory_feasibility",
     "trace_lu", "trace_cholesky",
     "block_size_ablation", "replication_ablation",
     "row_swap_ablation", "pivoting_latency_ablation",

@@ -32,6 +32,7 @@ __all__ = [
     "NODE_MEM_WORDS", "RANKS_PER_NODE",
     "max_replication", "feasible", "best_conflux_config",
     "trace_lu", "trace_cholesky", "sweep_traces",
+    "MemoryFeasibility", "memory_feasibility",
     "estimate_time", "TimedRun", "format_table",
 ]
 
@@ -187,6 +188,83 @@ def sweep_traces(cases: list[tuple[int, int]],
         for name in chol_impls:
             results.append(trace_cholesky(name, n, p))
     return results
+
+
+@dataclasses.dataclass(frozen=True)
+class MemoryFeasibility:
+    """One ``(schedule, N, P)`` point of the memory-budget sweep.
+
+    ``model_words`` is the paper's model memory ``M`` the schedule
+    reports (e.g. ``c N^2 / P`` for the 2.5D algorithms);
+    ``required_words`` is the schedule's declared closed-form peak
+    bound — model memory plus the transient working set — which a
+    budget-enforced run is guaranteed to fit in.  ``overhead`` is their
+    ratio; ``fits_node`` checks the bound against a physical per-rank
+    memory.
+    """
+
+    schedule: str
+    n: int
+    nranks: int
+    c: int
+    model_words: float
+    required_words: float
+    fits_node: bool
+
+    @property
+    def overhead(self) -> float:
+        """Transient overhead factor: required / model memory."""
+        return self.required_words / self.model_words
+
+
+def _feasibility_schedules(n: int, p: int):
+    """Instantiate all five engine schedules at their sweep defaults."""
+    from ..factorizations import ConfchoxSchedule, ConfluxSchedule
+    from ..factorizations import Matmul25DSchedule
+    from ..factorizations.baselines.scalapack_chol import (
+        ScalapackCholeskySchedule,
+    )
+    from ..factorizations.baselines.scalapack_lu import ScalapackLUSchedule
+
+    c, v = _config_for(n, p, max_replication(p, n))
+    nb = _nb_for(n)
+    try:
+        summa = Matmul25DSchedule(n, p, c=c)
+    except ValueError:             # no SUMMA strip width fits this c
+        summa = Matmul25DSchedule(n, p, c=1)
+    return [
+        ConfluxSchedule(n, p, v=v, c=c),
+        ConfchoxSchedule(n, p, v=v, c=c),
+        summa,
+        ScalapackLUSchedule(n, p, nb=nb),
+        ScalapackCholeskySchedule(n, p, nb=nb),
+    ]
+
+
+def memory_feasibility(cases: list[tuple[int, int]],
+                       node_mem_words: float = NODE_MEM_WORDS,
+                       ) -> list[MemoryFeasibility]:
+    """Memory-budget sweep over ``(N, P)`` for all five schedules.
+
+    For each configuration, evaluates every schedule's declared
+    ``required_words`` closed form (no execution — paper scale is
+    cheap) against the model memory and a physical node budget.  This
+    is the planning-side counterpart of running under
+    ``Machine(..., enforce_memory=True)``: a config reported
+    infeasible here is exactly one :func:`repro.api.pdgetrf` rejects
+    up front on a budget-enforced machine.
+    """
+    rows: list[MemoryFeasibility] = []
+    for n, p in cases:
+        for sched in _feasibility_schedules(n, p):
+            req = sched.required_words()
+            rows.append(MemoryFeasibility(
+                schedule=sched.name, n=n, nranks=p,
+                c=sched.params().get("c", 1),
+                model_words=sched.mem_words,
+                required_words=req,
+                fits_node=req <= node_mem_words))
+    return rows
 
 
 @dataclasses.dataclass(frozen=True)

@@ -22,6 +22,14 @@ schedule moves is counted by the machine itself, not merged in from a
 separate accounting run — and writes the factors back in the caller's
 layout.  The reshuffle costs O(N^2/P) per rank — asymptotically free, as
 the paper argues (Section 7.4).
+
+On a machine that *enforces* a finite ``M``-words budget
+(``Machine(..., enforce_memory=True)``), every entry point first
+reserves, on every rank, the schedule's declared ``required_words``
+closed form plus the layout copies this module keeps alive around the
+factorization, and rejects an infeasible ``(N, P, c)`` configuration
+with :class:`~repro.machine.exceptions.MemoryBudgetExceeded` before
+moving a single word.
 """
 
 from __future__ import annotations
@@ -79,6 +87,38 @@ class PDResult:
 def _layout_from_desc(desc: ScaLAPACKDescriptor) -> BlockCyclicLayout:
     grid = ProcessorGrid2D(desc.prows, desc.pcols)
     return BlockCyclicLayout(desc.m, desc.n, desc.mb, desc.nb, grid)
+
+
+def _check_memory_feasible(machine: Machine, schedule,
+                           api_copies: int) -> None:
+    """Reject an infeasible ``(N, P, c)`` configuration up front.
+
+    When the caller's machine enforces a finite ``M``-words budget, a
+    run whose working set cannot fit can never finish — fail before
+    any reshuffle moves a word, with the budget arithmetic in the
+    error.  The reserved working set is the schedule's declared
+    ``required_words`` closed form *plus* ``api_copies`` matrix copies
+    of ``N^2/P`` words per rank for the layout lifetimes this module
+    keeps alive around the factorization itself: the adopted native
+    input (which the schedule copies but never frees), the written-back
+    native factors, and the output in the caller's layout.  The check
+    is a per-rank :meth:`~repro.machine.store.RankStore.reserve`, so
+    words already resident (the caller's distributed matrix, which
+    stays put through the run) count against the budget on the rank
+    that holds them.
+    """
+    if not machine.enforces_memory:
+        return
+    n = schedule.n
+    needed = (schedule.required_words()
+              + api_copies * float(n) * n / machine.nranks)
+    key = f"{type(schedule).__name__}(n={n}, p={schedule.nranks})"
+    for store in machine.stores:
+        store.begin_step("<feasibility>")
+        try:
+            store.reserve(needed, key=key)
+        finally:
+            store.end_step()
 
 
 def _prepare(machine: Machine, name: str, desc: ScaLAPACKDescriptor,
@@ -143,6 +183,7 @@ def pdgetrf(machine: Machine, name: str, desc: ScaLAPACKDescriptor,
                                        panel_rebroadcast=False)
     else:
         raise ValueError(f"unknown impl {impl!r}; have conflux, scalapack")
+    _check_memory_feasible(machine, schedule, api_copies=3)
     native = _square_layout(desc, v, schedule.grid.layer_grid())
     resh_in = _prepare(machine, name, desc, native)
     res = DistributedBackend(machine).run(schedule, in_name=name + ":native")
@@ -176,6 +217,7 @@ def pdpotrf(machine: Machine, name: str, desc: ScaLAPACKDescriptor,
         v_run = schedule.nb
     else:
         raise ValueError(f"unknown impl {impl!r}; have confchox, scalapack")
+    _check_memory_feasible(machine, schedule, api_copies=3)
     native = _square_layout(desc, v, schedule.grid.layer_grid())
     resh_in = _prepare(machine, name, desc, native)
     res = DistributedBackend(machine).run(schedule, in_name=name + ":native")
@@ -208,6 +250,7 @@ def pdgemm(machine: Machine, a_name: str, desc_a: ScaLAPACKDescriptor,
         raise ValueError(
             f"operand sizes differ: {desc_a.n} vs {desc_b.n}")
     schedule = Matmul25DSchedule(desc_a.n, machine.nranks, s=s, c=c)
+    _check_memory_feasible(machine, schedule, api_copies=4)
     n = desc_a.n
     pr, pc = schedule.grid.rows, schedule.grid.cols
     if n % pr or n % pc:

@@ -13,7 +13,9 @@ from .accounting import StepAccounting
 from .backends import (
     DenseBackend,
     DistributedBackend,
+    MemoryReport,
     TraceBackend,
+    machine_for,
     run_with,
 )
 from .schedule import Schedule
@@ -24,5 +26,7 @@ __all__ = [
     "TraceBackend",
     "DenseBackend",
     "DistributedBackend",
+    "MemoryReport",
+    "machine_for",
     "run_with",
 ]

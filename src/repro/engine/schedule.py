@@ -60,6 +60,24 @@ class Schedule(abc.ABC):
     def steps(self) -> int:
         """Number of supersteps."""
 
+    def required_words(self) -> float:
+        """Per-rank fast-memory capacity sufficient for the distributed
+        view: a closed form in the schedule's parameters.
+
+        This is the checkable side of the paper's ``M``-words model
+        parameter: ``mem_words`` is the *model* memory (e.g. the 2.5D
+        replication footprint ``c N^2 / P``) that the lower bounds are
+        stated in, while ``required_words`` additionally covers the
+        schedule's transient working set (panel copies, broadcast
+        buffers, 1D chunks), so a machine built with this capacity and
+        ``enforce_memory=True`` is guaranteed to complete the run.  The
+        memory-enforcement test suite pins the bound: every schedule
+        must run green under it, and its per-rank peaks must stay at or
+        below it.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} declares no memory requirement")
+
     def step_label(self, t: int) -> str:
         return f"t={t}"
 

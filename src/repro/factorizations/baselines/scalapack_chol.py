@@ -23,6 +23,7 @@ is the wrapper (SLATE's flavour subclasses it with a different label).
 
 from __future__ import annotations
 
+import math
 from typing import Any
 
 import numpy as np
@@ -68,6 +69,26 @@ class ScalapackCholeskySchedule(Schedule):
     def params(self) -> dict[str, Any]:
         return {"nb": self.nb, "grid": (self.grid.rows, self.grid.cols, 1),
                 "c": 1, "mem_words": self.mem_words}
+
+    def required_words(self) -> float:
+        """Per-rank capacity sufficient for the distributed view.
+
+        Leading term: the block-cyclic matrix copy ``N^2 / P``
+        (``mem_words``) — only lower tiles are resident, so the full
+        tile-count bound is realized at roughly half.  Transients: one
+        step's L panel fanned out along both the grid row (left syrk
+        factor) and the grid column (transposed right factor), plus the
+        broadcast diagonal tile.
+        """
+        n, nb = self.n, self.nb
+        pr, pc = self.grid.rows, self.grid.cols
+        nbk = n // nb
+        col_tiles = math.ceil(nbk / pr)
+        row_tiles = math.ceil(nbk / pc)
+        resident = col_tiles * row_tiles * nb * nb
+        panels = (col_tiles + row_tiles) * nb * nb
+        small = 2 * nb * nb                       # diagonal tile + transients
+        return float(resident + panels + small)
 
     # ------------------------------------------------------------------
     def accounting(self, acct: StepAccounting) -> None:

@@ -102,6 +102,27 @@ class ScalapackLUSchedule(Schedule):
         return {"nb": self.nb, "grid": (self.grid.rows, self.grid.cols, 1),
                 "c": 1, "mem_words": self.mem_words}
 
+    def required_words(self) -> float:
+        """Per-rank capacity sufficient for the distributed view.
+
+        Leading term: the single block-cyclic matrix copy ``N^2 / P``
+        (``mem_words``), tile-granular.  Transients: one step's L panel
+        copies broadcast along the rank's grid row, U panel copies
+        along its grid column, the diagonal tile, the MKL-style panel
+        rebroadcast (when enabled), and the per-column pivot-search /
+        row-swap buffers.
+        """
+        n, nb = self.n, self.nb
+        pr, pc = self.grid.rows, self.grid.cols
+        nbk = n // nb
+        col_tiles = math.ceil(nbk / pr)           # tiles per grid row slot
+        row_tiles = math.ceil(nbk / pc)           # tiles per grid col slot
+        resident = col_tiles * row_tiles * nb * nb
+        panels = (col_tiles + row_tiles) * nb * nb
+        rebroadcast = col_tiles * nb * nb if self.panel_rebroadcast else 0
+        small = 2 * nb * nb + 6 * nb              # diag tile, elim/swap/maxloc
+        return float(resident + panels + rebroadcast + small)
+
     # ------------------------------------------------------------------
     def accounting(self, acct: StepAccounting) -> None:
         n, nb = self.n, self.nb

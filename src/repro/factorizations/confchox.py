@@ -26,6 +26,7 @@ the strictly-upper half.
 
 from __future__ import annotations
 
+import math
 from typing import Any
 
 import numpy as np
@@ -76,6 +77,24 @@ class ConfchoxSchedule(Schedule):
         return {"v": self.v, "c": self.c,
                 "grid": (self.grid.rows, self.grid.cols, self.c),
                 "mem_words": self.mem_words}
+
+    def required_words(self) -> float:
+        """Per-rank capacity sufficient for the distributed view.
+
+        Same shape as COnfLUX's bound (the replication footprint
+        ``c N^2 / P`` plus one step's transients) minus the pivoting
+        terms; the distributed view stores only lower tiles, so the
+        resident term is bounded by the full tile count but realized at
+        roughly half of it.
+        """
+        n, v = self.n, self.v
+        pr, pc = self.grid.rows, self.grid.cols
+        nb = n // v
+        resident = math.ceil(nb / pr) * math.ceil(nb / pc) * v * v
+        panel = math.ceil(nb / pr) * v * v        # reduced column blocks
+        chunk = (math.ceil(n / self.nranks) + v) * v   # A10 1D chunk + ship
+        small = 3 * v * v                         # broadcast L00 + transients
+        return float(resident + panel + 4 * chunk + small)
 
     # ------------------------------------------------------------------
     # Trace view

@@ -167,6 +167,26 @@ class ConfluxSchedule(Schedule):
                 "grid": (self.grid.rows, self.grid.cols, self.c),
                 "mem_words": self.mem_words}
 
+    def required_words(self) -> float:
+        """Per-rank capacity sufficient for the distributed view.
+
+        Leading term: one partial-sum replica of the matrix per layer —
+        the paper's replication footprint ``c N^2 / P`` (``mem_words``),
+        tile-granular.  On top of it, the transient working set of one
+        step of Algorithm 1: the reduced block-column tiles a fiber
+        root accumulates (step 1), the 1D A10/A01 chunks with their
+        in-flight shipped pieces (steps 4/6/8/10), and the broadcast
+        A00/pivot/tournament blocks (steps 2/3).
+        """
+        n, v, c = self.n, self.v, self.c
+        pr, pc = self.grid.rows, self.grid.cols
+        nb = n // v
+        resident = math.ceil(nb / pr) * math.ceil(nb / pc) * v * v
+        panel = math.ceil(nb / pr) * v * v        # step-1 "cr" blocks at a root
+        chunk = (math.ceil(n / self.nranks) + v) * v   # 1D chunk + ship buffer
+        small = 6 * v * v + 4 * v                 # A00, pivots, tournament
+        return float(resident + panel + 4 * chunk + small)
+
     # ------------------------------------------------------------------
     # Trace view: exact per-rank accounting, vectorized over all steps
     # ------------------------------------------------------------------

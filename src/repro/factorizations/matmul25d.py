@@ -28,6 +28,7 @@ exactly the trace's ``(c-1) N^2 / P`` per rank.
 
 from __future__ import annotations
 
+import math
 from typing import Any
 
 import numpy as np
@@ -99,6 +100,24 @@ class Matmul25DSchedule(Schedule):
         return {"s": self.s, "c": self.c,
                 "grid": (self.grid.rows, self.grid.cols, self.c),
                 "mem_words": self.mem_words}
+
+    def required_words(self) -> float:
+        """Per-rank capacity sufficient for the distributed view.
+
+        Leading term: the 2.5D operand footprint ``3 c N^2 / P`` (one
+        A/B/C block per rank per layer — ``mem_words``).  Transients:
+        one round's A and B panels (``s`` columns/rows each, possibly
+        straddling a block boundary) and the final reduction's chunk
+        split, which briefly duplicates the local C block.
+        """
+        n, s = self.n, self.s
+        pr, pc = self.grid.rows, self.grid.cols
+        rl = math.ceil(n / pr)
+        cl = math.ceil(n / pc)
+        resident = 3 * rl * cl                    # A, B, C blocks
+        panels = rl * s + s * cl                  # one SUMMA round in flight
+        reduce_dup = rl * cl                      # C + its split chunks
+        return float(resident + max(panels, reduce_dup))
 
     # ------------------------------------------------------------------
     def accounting(self, acct: StepAccounting) -> None:

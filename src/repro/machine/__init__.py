@@ -20,6 +20,7 @@ from .exceptions import (
     GridError,
     LayoutError,
     MachineError,
+    MemoryBudgetExceeded,
     MemoryLimitError,
     RankError,
 )
@@ -59,6 +60,7 @@ __all__ = [
     "MachineError",
     "RankError",
     "MemoryLimitError",
+    "MemoryBudgetExceeded",
     "CommunicationError",
     "GridError",
     "LayoutError",

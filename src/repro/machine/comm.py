@@ -115,6 +115,36 @@ class Machine:
     def store(self, rank: int) -> RankStore:
         return self.stores[self._check_rank(rank)]
 
+    @property
+    def enforces_memory(self) -> bool:
+        """True when the stores check a finite ``M``-words budget."""
+        return math.isfinite(self.stores[0].capacity_words)
+
+    # ------------------------------------------------------------------
+    # Superstep brackets (stats + per-store memory context together)
+    # ------------------------------------------------------------------
+    def begin_step(self, label: str) -> None:
+        """Open a superstep on the stats *and* every store, so budget
+        violations carry the step label and each store restarts its
+        transient ``step_peak_words`` high-water mark."""
+        self.stats.begin_step(label)
+        for s in self.stores:
+            s.begin_step(label)
+
+    def end_step(self):
+        """Close the superstep; returns the stats' ``StepRecord``."""
+        for s in self.stores:
+            s.end_step()
+        return self.stats.end_step()
+
+    def peak_words_per_rank(self) -> np.ndarray:
+        """Run-wide memory high-water mark of every rank, in words."""
+        return np.array([s.peak_words for s in self.stores], dtype=float)
+
+    def words_per_rank(self) -> np.ndarray:
+        """Words currently resident on every rank."""
+        return np.array([s.words for s in self.stores], dtype=float)
+
     # ------------------------------------------------------------------
     # Point-to-point
     # ------------------------------------------------------------------

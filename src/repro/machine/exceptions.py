@@ -19,6 +19,43 @@ class MemoryLimitError(MachineError):
     """A rank exceeded its private fast-memory capacity ``M``."""
 
 
+class MemoryBudgetExceeded(MemoryLimitError):
+    """A rank overflowed its ``M``-words budget, with full context.
+
+    The paper's lower bounds are parameterized by the per-processor
+    memory ``M``; when a store enforces that budget, the violation is
+    reported structurally so callers (and tests) can pin down *where*
+    the working set outgrew ``M``:
+
+    Attributes
+    ----------
+    rank:
+        The overflowing rank.
+    step:
+        The superstep label active when the overflow happened (``None``
+        outside a bracketed step, e.g. during initial placement).
+    key:
+        The block key whose ``put``/``reserve`` did not fit.
+    needed_words:
+        Resident words the operation would have required.
+    capacity_words:
+        The enforced budget ``M``.
+    """
+
+    def __init__(self, rank: int, step: str | None, key: object,
+                 needed_words: float, capacity_words: float) -> None:
+        self.rank = rank
+        self.step = step
+        self.key = key
+        self.needed_words = float(needed_words)
+        self.capacity_words = float(capacity_words)
+        where = f" at step {step!r}" if step is not None else ""
+        super().__init__(
+            f"rank {rank}{where}: storing block {key!r} needs "
+            f"{needed_words:.0f} resident words, over the budget "
+            f"M = {capacity_words:.0f}")
+
+
 class CommunicationError(MachineError):
     """An invalid communication operation (bad group, missing block, ...)."""
 

@@ -5,8 +5,15 @@ processor owns a private fast memory of ``M`` words; there is no shared or
 global memory, and data moves only through explicit communication.  A
 :class:`RankStore` is one such private memory: a dictionary from block keys
 to ``numpy`` arrays, with live word counting and an optional hard capacity
-that raises :class:`~repro.machine.exceptions.MemoryLimitError` on
+that raises :class:`~repro.machine.exceptions.MemoryBudgetExceeded` on
 overflow, mirroring the "at most M red pebbles" rule.
+
+Peak tracking is two-level: ``peak_words`` is the run-wide high-water
+mark, while ``step_peak_words`` is the high-water mark since the last
+:meth:`begin_step` — the *transient* peak inside one superstep, which is
+what the engine's memory report compares against the budget (a schedule
+may be within budget at rest but overflow mid-step through panel
+copies).
 """
 
 from __future__ import annotations
@@ -16,7 +23,7 @@ from typing import Any, Hashable, Iterator
 
 import numpy as np
 
-from .exceptions import CommunicationError, MemoryLimitError
+from .exceptions import CommunicationError, MemoryBudgetExceeded
 
 __all__ = ["RankStore"]
 
@@ -42,6 +49,10 @@ class RankStore:
         self._blocks: dict[Hashable, np.ndarray] = {}
         self._words = 0
         self.peak_words = 0
+        self.step_peak_words = 0
+        #: Label of the superstep in flight (set by the machine/backend);
+        #: attached to budget violations for context.
+        self.step: str | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -59,18 +70,52 @@ class RankStore:
         return iter(self._blocks.keys())
 
     # ------------------------------------------------------------------
+    def begin_step(self, label: str | None) -> None:
+        """Open a superstep: tag violations with ``label`` and restart
+        the transient peak from the current at-rest residency."""
+        self.step = label
+        self.step_peak_words = self._words
+
+    def end_step(self) -> int:
+        """Close the superstep; returns its transient peak."""
+        peak = self.step_peak_words
+        self.step = None
+        return peak
+
+    def _note_peak(self) -> None:
+        if self._words > self.peak_words:
+            self.peak_words = self._words
+        if self._words > self.step_peak_words:
+            self.step_peak_words = self._words
+
+    # ------------------------------------------------------------------
+    def reserve(self, words: float, key: Hashable = "<reserve>") -> None:
+        """Check that ``words`` additional words would fit.
+
+        Raises :class:`MemoryBudgetExceeded` (with rank/step/key
+        context) if not; stores nothing either way.  The api layer's
+        feasibility gate reserves a schedule's declared working set on
+        every rank before any word moves, so already-resident caller
+        data counts against the budget on the rank holding it.
+        """
+        if words < 0:
+            raise ValueError("cannot reserve a negative word count")
+        if self._words + words > self.capacity_words:
+            raise MemoryBudgetExceeded(
+                self.rank, self.step, key, self._words + words,
+                self.capacity_words)
+
     def put(self, key: Hashable, value: np.ndarray | Any) -> None:
         """Insert or replace a block; enforces the capacity limit."""
         arr = np.asarray(value)
         delta = arr.size - (self._blocks[key].size if key in self._blocks else 0)
         if self._words + delta > self.capacity_words:
-            raise MemoryLimitError(
-                f"rank {self.rank}: storing {arr.size} words under key {key!r} "
-                f"exceeds capacity {self.capacity_words} "
-                f"(resident: {self._words})")
+            raise MemoryBudgetExceeded(
+                self.rank, self.step, key, self._words + delta,
+                self.capacity_words)
         self._blocks[key] = arr
         self._words += delta
-        self.peak_words = max(self.peak_words, self._words)
+        self._note_peak()
 
     def get(self, key: Hashable) -> np.ndarray:
         try:

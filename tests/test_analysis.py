@@ -13,6 +13,7 @@ from repro.analysis import (
     format_table,
     lower_bound_ratios,
     max_replication,
+    memory_feasibility,
     table1_routine_costs,
     table2_model_validation,
     trace_cholesky,
@@ -61,6 +62,40 @@ class TestHarness:
         out = format_table(["a", "bb"], [[1, 2.5], [3, float("nan")]],
                            title="T")
         assert "T" in out and "a" in out and "2.5" in out and "-" in out
+
+
+class TestMemoryFeasibility:
+    def test_all_five_schedules_per_case(self):
+        rows = memory_feasibility([(65536, 1024), (131072, 4096)])
+        assert len(rows) == 10
+        names = {r.schedule for r in rows}
+        assert names == {"conflux", "confchox", "matmul25d", "mkl",
+                         "mkl-chol"}
+
+    def test_required_covers_model_with_bounded_overhead(self):
+        for row in memory_feasibility([(65536, 1024)]):
+            assert row.required_words >= row.model_words
+            assert row.overhead < 2.0     # paper scale: transients small
+
+    def test_paper_configs_fit_piz_daint(self):
+        """The paper's evaluated corners fit the XC40 per-rank memory —
+        including the transient working set, not just the model M."""
+        rows = memory_feasibility([(65536, 1024), (65536, 4096),
+                                   (131072, 4096)])
+        assert all(r.fits_node for r in rows)
+
+    def test_tiny_node_memory_flags_infeasible(self):
+        rows = memory_feasibility([(65536, 1024)], node_mem_words=1e6)
+        assert not any(r.fits_node for r in rows if r.schedule == "conflux")
+
+    def test_required_matches_schedule_declaration(self):
+        from repro.factorizations import ConfluxSchedule
+
+        row = next(r for r in memory_feasibility([(65536, 1024)])
+                   if r.schedule == "conflux")
+        sched = ConfluxSchedule(65536, 1024, c=row.c)
+        assert row.required_words == sched.required_words()
+        assert row.model_words == sched.mem_words
 
 
 class TestFigureGenerators:

@@ -1,0 +1,142 @@
+"""Unit tests for the CI perf gate (scripts/check_bench_regression.py).
+
+The gate protects two invariants — accounting-checksum stability and
+sweep time vs the committed baseline, calibration-normalized — and has
+so far shipped untested.  These tests stub the expensive ``run()`` with
+canned snapshots and point ``BASELINE`` at a temp file, exercising each
+verdict path: clean pass, checksum drift, slowdown past the threshold,
+and the calibration normalization that lets a uniformly slower machine
+pass while a real code regression fails.
+"""
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+SCRIPTS = pathlib.Path(__file__).resolve().parents[1] / "scripts"
+
+
+@pytest.fixture(scope="module")
+def cbr():
+    """The checker module, loaded from scripts/ (not on sys.path)."""
+    sys.path.insert(0, str(SCRIPTS))
+    try:
+        spec = importlib.util.spec_from_file_location(
+            "check_bench_regression", SCRIPTS / "check_bench_regression.py")
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+    finally:
+        sys.path.remove(str(SCRIPTS))
+    return module
+
+
+def snapshot(sweep_s: float, checksum: float = 1000.0,
+             calib_s: float | None = 0.1) -> dict:
+    engine = {"sweep_s": sweep_s, "checksum": checksum}
+    if calib_s is not None:
+        engine["calib_s"] = calib_s
+    return {"engine": engine}
+
+
+@pytest.fixture
+def gate(cbr, tmp_path, monkeypatch):
+    """Run the gate against a committed baseline and a stubbed fresh
+    run; returns main()'s exit code."""
+
+    def _gate(baseline: dict, fresh: dict, argv: list | None = None) -> int:
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text(json.dumps(baseline))
+        monkeypatch.setattr(cbr, "BASELINE", path)
+        monkeypatch.setattr(cbr, "run", lambda: fresh)
+        return cbr.main(argv or [])
+
+    return _gate
+
+
+class TestVerdicts:
+    def test_clean_baseline_passes(self, gate, capsys):
+        assert gate(snapshot(1.0), snapshot(1.0)) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_checksum_drift_fails(self, gate, capsys):
+        code = gate(snapshot(1.0, checksum=1000.0),
+                    snapshot(1.0, checksum=1000.5))
+        assert code == 1
+        assert "checksum drifted" in capsys.readouterr().err
+
+    def test_checksum_float_noise_tolerated(self, gate):
+        base = 1428582192.0
+        assert gate(snapshot(1.0, checksum=base),
+                    snapshot(1.0, checksum=base * (1 + 1e-12))) == 0
+
+    def test_slowdown_past_threshold_fails(self, gate, capsys):
+        code = gate(snapshot(1.0), snapshot(1.0 * cbr_slowdown()))
+        assert code == 1
+        assert "slowed" in capsys.readouterr().err
+
+    def test_slowdown_within_threshold_passes(self, gate):
+        assert gate(snapshot(1.0), snapshot(1.2)) == 0
+
+    def test_both_failures_reported(self, gate, capsys):
+        code = gate(snapshot(1.0, checksum=1.0),
+                    snapshot(2.0, checksum=2.0))
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "checksum drifted" in err and "slowed" in err
+
+
+def cbr_slowdown() -> float:
+    """A ratio safely past MAX_SLOWDOWN (1.25): 1.30."""
+    return 1.30
+
+
+class TestCalibrationNormalization:
+    def test_uniformly_slower_machine_passes(self, gate):
+        """Sweep 2x slower but probe 2x slower too (a slower CI
+        runner): normalized times are equal — no failure."""
+        assert gate(snapshot(1.0, calib_s=0.1),
+                    snapshot(2.0, calib_s=0.2)) == 0
+
+    def test_code_regression_on_same_machine_fails(self, gate):
+        """Sweep 2x slower at the same probe speed: a real regression."""
+        assert gate(snapshot(1.0, calib_s=0.1),
+                    snapshot(2.0, calib_s=0.1)) == 1
+
+    def test_missing_calibration_falls_back_to_wall_clock(self, gate,
+                                                          capsys):
+        """Old baselines without calib_s compare raw seconds: the fresh
+        probe cannot normalize anything, so a slowdown fails in wall
+        clock (and the failure message carries the raw-seconds unit)."""
+        assert gate(snapshot(1.0, calib_s=None),
+                    snapshot(1.2, calib_s=0.1)) == 0
+        code = gate(snapshot(1.0, calib_s=None),
+                    snapshot(cbr_slowdown(), calib_s=0.1))
+        assert code == 1
+        assert "sweep/calib" not in capsys.readouterr().err
+
+    def test_normalized_unit_printed_on_failure(self, gate, capsys):
+        code = gate(snapshot(1.0, calib_s=0.1),
+                    snapshot(cbr_slowdown(), calib_s=0.1))
+        assert code == 1
+        assert "sweep/calib" in capsys.readouterr().err
+
+
+class TestUpdateMode:
+    def test_update_rewrites_baseline(self, gate, cbr, tmp_path, capsys):
+        fresh = snapshot(3.0, checksum=42.0)
+        assert gate(snapshot(1.0), fresh, argv=["--update"]) == 0
+        written = json.loads((tmp_path / "BENCH_engine.json").read_text())
+        assert written == fresh
+        assert "baseline updated" in capsys.readouterr().out
+
+    def test_update_then_gate_is_clean(self, cbr, tmp_path, monkeypatch):
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text(json.dumps(snapshot(1.0)))
+        monkeypatch.setattr(cbr, "BASELINE", path)
+        fresh = snapshot(9.9, checksum=7.0)
+        monkeypatch.setattr(cbr, "run", lambda: fresh)
+        assert cbr.main(["--update"]) == 0
+        assert cbr.main([]) == 0

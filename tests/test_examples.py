@@ -41,6 +41,12 @@ class TestExamples:
         out = run_example("exascale_projection.py", capsys)
         assert "262144" in out
 
+    def test_memory_budget_sweep(self, capsys):
+        out = run_example("memory_budget_sweep.py", capsys)
+        assert "Memory feasibility" in out
+        assert "Enforced COnfLUX" in out
+        assert "caught as expected" in out
+
     @pytest.mark.slow
     def test_tournament_pivoting_stability(self, capsys):
         out = run_example("tournament_pivoting_stability.py", capsys)

@@ -220,3 +220,51 @@ class TestMachineCollectives:
         m.compute(1, 1000)
         assert m.stats.flops[1] == 1000
         assert m.stats.flops[0] == 0
+
+
+class TestMachineSupersteps:
+    def test_begin_step_propagates_label_to_stores(self):
+        m = Machine(2)
+        m.begin_step("k=0")
+        assert all(s.step == "k=0" for s in m.stores)
+        rec = m.end_step()
+        assert rec.label == "k=0"
+        assert all(s.step is None for s in m.stores)
+
+    def test_step_peak_restarts_per_step(self):
+        m = Machine(1)
+        m.store(0).put("resident", np.ones(5))
+        m.begin_step("a")
+        m.store(0).put("t", np.ones(10))
+        m.store(0).discard("t")
+        m.end_step()
+        m.begin_step("b")
+        assert m.store(0).step_peak_words == 5   # restarted at-rest
+        m.end_step()
+        assert m.store(0).peak_words == 15       # run-wide kept
+
+    def test_peak_and_resident_views(self):
+        m = Machine(2)
+        m.store(0).put("x", np.ones(7))
+        m.store(0).discard("x")
+        m.store(1).put("y", np.ones(3))
+        assert np.array_equal(m.peak_words_per_rank(), [7.0, 3.0])
+        assert np.array_equal(m.words_per_rank(), [0.0, 3.0])
+
+    def test_enforces_memory_property(self):
+        assert not Machine(2).enforces_memory
+        assert not Machine(2, mem_words=4).enforces_memory
+        assert Machine(2, mem_words=4, enforce_memory=True).enforces_memory
+
+    def test_budget_violation_carries_step_label(self):
+        from repro.machine import MemoryBudgetExceeded
+
+        m = Machine(2, mem_words=4, enforce_memory=True)
+        m.store(0).put("x", np.ones(3))
+        m.store(1).put("pad", np.ones(2))
+        m.begin_step("panel-7")
+        with pytest.raises(MemoryBudgetExceeded) as exc_info:
+            m.send(0, 1, "x", dest_key="b")
+        assert exc_info.value.rank == 1
+        assert exc_info.value.step == "panel-7"
+        assert exc_info.value.key == "b"
