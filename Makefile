@@ -8,7 +8,12 @@ PY ?= python
 # ratchet it up when coverage improves, never lower it silently.
 COV_FLOOR ?= 85
 
-.PHONY: test lint coverage bench-smoke bench-check
+.PHONY: test lint coverage bench-smoke bench-check plan
+
+# Worker count for the process-pool sweep path; empty = script default
+# (min(4, cores)).  Usage: make bench-smoke PARALLEL=4
+PARALLEL ?=
+PARALLEL_FLAG = $(if $(PARALLEL),--parallel $(PARALLEL))
 
 ## Run the tier-1 test suite (what CI and the PR driver gate on).
 test:
@@ -40,13 +45,21 @@ lint:
 		echo "ruff not installed; skipping lint (config committed in ruff.toml)"; \
 	fi
 
-## Fast trace-sweep perf snapshot; rewrites BENCH_engine.json at the
-## root (the committed baseline bench-check gates against).
+## Fast trace-sweep perf snapshot (serial + process-pool); rewrites
+## BENCH_engine.json at the root (the committed baseline bench-check
+## gates against).  PARALLEL=N pins the pool's worker count.
 bench-smoke:
-	$(PY) scripts/bench_smoke.py
+	$(PY) scripts/bench_smoke.py $(PARALLEL_FLAG)
 
 ## Gate a fresh sweep against the committed BENCH_engine.json: fails on
-## checksum drift or a >25% slowdown (see check_bench_regression.py
-## for the intentional-update procedure).
+## checksum drift, a >25% slowdown, or a pool-path checksum that
+## diverges from the serial one (see check_bench_regression.py for the
+## intentional-update procedure).  PARALLEL=N exercises the pool path
+## with that worker count.
 bench-check:
-	$(PY) scripts/check_bench_regression.py
+	$(PY) scripts/check_bench_regression.py $(PARALLEL_FLAG)
+
+## Print the planner's pick (schedule + parameters + predicted cost)
+## for a smoke (N, P, M) grid; fails if planning breaks.
+plan:
+	$(PY) scripts/plan_grid.py

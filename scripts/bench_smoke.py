@@ -3,8 +3,9 @@
 
 Runs the paper-style ``(impl, N, P)`` sweep that dominates figure
 regeneration through :func:`repro.analysis.harness.sweep_traces`, times
-it, and writes ``BENCH_engine.json`` at the repo root so successive PRs
-accumulate a performance trajectory.
+it serially *and* through the :mod:`repro.runtime` process-pool
+executor, and writes ``BENCH_engine.json`` at the repo root so
+successive PRs accumulate a performance trajectory.
 
 The ``seed`` block records the same workload measured on the pre-engine
 code base (per-step Python accounting loops).  The volume ``checksum``
@@ -12,14 +13,21 @@ guards the accounting semantics: ``scripts/check_bench_regression.py``
 (CI's ``bench-smoke`` job, ``make bench-check``) fails when a fresh run
 drifts from the *committed* snapshot, either in checksum (the
 accounting changed) or in time (>25% slower).  When an accounting
-change is intentional — e.g. the exact tournament participant counting
-that replaced the rounds-at-every-rank idealization — rerun this
-script and commit the refreshed ``BENCH_engine.json`` alongside the
-change (see ``check_bench_regression.py --update``).
+change is intentional — e.g. the broadcast-root fix that charges 2D and
+SUMMA broadcasts at ``g - 1`` receivers — rerun this script and commit
+the refreshed ``BENCH_engine.json`` alongside the change (see
+``check_bench_regression.py --update``).
+
+The ``parallel`` block records the pool path: its checksum must equal
+the serial one bit-for-bit (deterministic task ordering), and on a
+machine with >= 4 cores the sweep is expected to run >= 1.5x faster
+than serial (``--parallel N`` pins the worker count; single-core
+containers record their honest ~1x).
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import pathlib
 import platform
@@ -30,6 +38,10 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
 from repro.analysis.harness import sweep_traces  # noqa: E402
 from repro.engine import accounting  # noqa: E402
+from repro.runtime import (  # noqa: E402
+    ProcessPoolSweepExecutor,
+    default_workers,
+)
 
 #: The bench-smoke workload: three paper-scale corners of the (N, P)
 #: evaluation plane, four implementations each (LU + Cholesky, 2.5D +
@@ -38,12 +50,16 @@ CASES = [(65536, 1024), (65536, 4096), (131072, 4096)]
 
 #: The same workload on the seed code base (per-step accounting loops),
 #: measured on the container this snapshot was introduced on.  Timing
-#: only: the seed checksum predates the exact tournament accounting and
-#: is kept out of the comparison (the committed snapshot's checksum is
-#: the reference now).
+#: only: the seed checksum predates the exact accounting fixes and is
+#: kept out of the comparison (the committed snapshot's checksum is the
+#: reference now).
 SEED_BASELINE = {"sweep_s": 6.43}
 
 REPS = 3
+
+#: Minimum parallel speedup expected when enough cores are available.
+MIN_PARALLEL_SPEEDUP = 1.5
+MIN_CORES_FOR_SPEEDUP = 4
 
 
 def calibrate() -> float:
@@ -70,15 +86,36 @@ def calibrate() -> float:
     return best
 
 
-def run() -> dict:
+def _checksum(results) -> float:
+    return sum(r.mean_recv_words for r in results)
+
+
+def run(parallel: int | None = None) -> dict:
+    """One full snapshot; ``parallel`` pins the pool's worker count."""
     times = []
     checksum = 0.0
     for _ in range(REPS):
         t0 = time.perf_counter()
         results = sweep_traces(CASES)
         times.append(time.perf_counter() - t0)
-        checksum = sum(r.mean_recv_words for r in results)
+        checksum = _checksum(results)
     best = min(times)
+
+    cpus = default_workers()
+    workers = (parallel if parallel is not None
+               else min(MIN_CORES_FOR_SPEEDUP, cpus))
+    # Symmetric with the serial measurement: best of REPS pool runs, so
+    # one noisy spawn cannot fail the speedup gate.
+    par_times = []
+    par_checksum = 0.0
+    for _ in range(REPS):
+        t0 = time.perf_counter()
+        par_results = sweep_traces(
+            CASES, executor=ProcessPoolSweepExecutor(max_workers=workers))
+        par_times.append(time.perf_counter() - t0)
+        par_checksum = _checksum(par_results)
+    par_s = min(par_times)
+
     return {
         "workload": {
             "cases": CASES,
@@ -92,23 +129,61 @@ def run() -> dict:
             "checksum": checksum,
             "chunk_target": accounting._CHUNK_TARGET,
         },
+        "parallel": {
+            "workers": workers,
+            "cpus": cpus,
+            "sweep_s": round(par_s, 3),
+            "all_reps_s": [round(t, 3) for t in par_times],
+            "speedup": round(best / par_s, 2),
+            "checksum": par_checksum,
+            "checksum_matches_serial": par_checksum == checksum,
+        },
         "seed": SEED_BASELINE,
         "speedup_vs_seed": round(SEED_BASELINE["sweep_s"] / best, 2),
         "python": platform.python_version(),
     }
 
 
-def main() -> int:
-    snapshot = run()
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"worker count must be positive, got {value}")
+    return value
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--parallel", type=_positive_int, default=None, metavar="N",
+        help="worker count for the pool path (default: min(4, cores); "
+             "Makefile pass-through: make bench-smoke PARALLEL=N)")
+    args = parser.parse_args(argv)
+    snapshot = run(parallel=args.parallel)
     out = pathlib.Path(__file__).resolve().parents[1] / "BENCH_engine.json"
     out.write_text(json.dumps(snapshot, indent=2) + "\n")
     print(json.dumps(snapshot, indent=2))
     print(f"[saved to {out}]")
+    failures = []
     if snapshot["speedup_vs_seed"] < 1.0:
-        print("ERROR: trace sweep slower than the seed baseline",
-              file=sys.stderr)
-        return 1
-    return 0
+        failures.append("trace sweep slower than the seed baseline")
+    par = snapshot["parallel"]
+    if not par["checksum_matches_serial"]:
+        failures.append(
+            f"parallel checksum {par['checksum']} != serial "
+            f"{snapshot['engine']['checksum']}")
+    # Gate the speedup only when both the machine and the pinned pool
+    # are wide enough to expect one (PARALLEL=1 on a 16-core box is a
+    # request, not a regression).
+    if (par["cpus"] >= MIN_CORES_FOR_SPEEDUP
+            and par["workers"] >= MIN_CORES_FOR_SPEEDUP
+            and par["speedup"] < MIN_PARALLEL_SPEEDUP):
+        failures.append(
+            f"parallel speedup {par['speedup']} < {MIN_PARALLEL_SPEEDUP} "
+            f"with {par['workers']} workers on {par['cpus']} cores")
+    for f in failures:
+        print(f"ERROR: {f}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

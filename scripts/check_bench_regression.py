@@ -40,7 +40,7 @@ import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
-from bench_smoke import run  # noqa: E402
+from bench_smoke import _positive_int, run  # noqa: E402
 
 BASELINE = pathlib.Path(__file__).resolve().parents[1] / "BENCH_engine.json"
 
@@ -57,9 +57,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--update", action="store_true",
                         help="rewrite BENCH_engine.json from a fresh run "
                              "instead of gating against it")
+    parser.add_argument("--parallel", type=_positive_int, default=None,
+                        metavar="N",
+                        help="worker count for the pool path (Makefile "
+                             "pass-through: make bench-check PARALLEL=N)")
     args = parser.parse_args(argv)
 
-    fresh = run()
+    fresh = run(parallel=args.parallel)
     if args.update:
         BASELINE.write_text(json.dumps(fresh, indent=2) + "\n")
         print(f"[baseline updated: {BASELINE}]")
@@ -92,6 +96,14 @@ def main(argv: list[str] | None = None) -> int:
         failures.append(
             f"sweep slowed: {fresh_t:.2f} vs committed {base_t:.2f} "
             f"{unit} (> {MAX_SLOWDOWN:.0%})")
+    # The pool path must reproduce the serial accounting exactly
+    # (deterministic task ordering makes the checksum bit-identical).
+    par = fresh.get("parallel")
+    if par and not par.get("checksum_matches_serial", True):
+        failures.append(
+            f"process-pool checksum {par['checksum']} != serial "
+            f"{fresh_sum} — the parallel executor changed the sweep "
+            "semantics")
     for f in failures:
         print(f"ERROR: {f}", file=sys.stderr)
     if not failures:

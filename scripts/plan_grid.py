@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Print the planner's pick over a smoke (N, P, M) grid (``make plan``).
+
+A fast, human-readable view of :mod:`repro.planner` — and CI's check
+that planning stays total: every feasible grid point must produce a
+plan, infeasible points must be *reported* infeasible (never crash),
+and each plan's predicted volume must be the minimum of its ranked
+alternatives.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.analysis.harness import NODE_MEM_WORDS, format_table  # noqa: E402
+from repro.planner import (  # noqa: E402
+    NoFeasiblePlanError,
+    plan_cholesky,
+    plan_gemm,
+    plan_lu,
+)
+
+#: The smoke grid: small enough to plan in milliseconds, wide enough to
+#: exercise replication choices and the memory gate (the last budget is
+#: deliberately too small for its N).
+GRID = [
+    # (n, p, mem_words)
+    (4096, 64, NODE_MEM_WORDS),
+    (16384, 1024, NODE_MEM_WORDS),
+    (65536, 4096, NODE_MEM_WORDS),
+    (16384, 64, 16384.0 * 16384.0 / 64 / 2),   # M < N^2/P: infeasible
+]
+
+PLANNERS = [("lu", plan_lu), ("cholesky", plan_cholesky),
+            ("gemm", plan_gemm)]
+
+
+def main() -> int:
+    rows = []
+    failures = []
+    for n, p, mem in GRID:
+        for label, planner in PLANNERS:
+            try:
+                plan = planner(n, p, mem_words=mem, api_copies=3)
+            except NoFeasiblePlanError:
+                rows.append([label, n, p, f"{mem:.3g}", "infeasible",
+                             "-", float("nan"), float("nan")])
+                continue
+            chosen = plan.chosen
+            pstr = ",".join(f"{k}={v}"
+                            for k, v in sorted(chosen.params.items()))
+            rows.append([label, n, p, f"{mem:.3g}", chosen.impl, pstr,
+                        chosen.predicted_words, chosen.predicted_time_s])
+            if any(alt.predicted_words < chosen.predicted_words
+                   for alt in plan.alternatives):
+                failures.append(
+                    f"{label} N={n} P={p}: chosen config is not "
+                    "volume-minimal among the ranked alternatives")
+    print(format_table(
+        ["problem", "N", "P", "M (words)", "impl", "params",
+         "pred words", "pred time s"],
+        rows, title="Planner picks over the smoke (N, P, M) grid"))
+    for f in failures:
+        print(f"ERROR: {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

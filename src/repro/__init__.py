@@ -17,6 +17,10 @@ Public surface, by paper section:
   COSTA-style redistribution (Section 8).
 * :mod:`repro.kernels` — node-local BLAS/LAPACK with flop accounting.
 * :mod:`repro.models` — the analytic cost models of Table 2.
+* :mod:`repro.planner` — auto-tuned schedule selection under a memory
+  budget (``pdgetrf(..., impl="auto")`` routes through it).
+* :mod:`repro.runtime` — parallel sweep executors and the
+  content-addressed result cache.
 * :mod:`repro.analysis` — the experiment harness regenerating every
   figure and table of Sections 9-10.
 
@@ -50,6 +54,7 @@ from .lowerbounds import (
     matmul_io_lower_bound,
 )
 from .machine import PIZ_DAINT_XC40, Machine, MachineParams, PerfModel
+from .planner import Plan, plan_cholesky, plan_gemm, plan_lu
 
 __version__ = "1.0.0"
 
@@ -62,5 +67,6 @@ __all__ = [
     "matmul_io_lower_bound",
     "derive_lu_bound", "derive_cholesky_bound", "derive_matmul_bound",
     "Machine", "MachineParams", "PerfModel", "PIZ_DAINT_XC40",
+    "Plan", "plan_lu", "plan_cholesky", "plan_gemm",
     "__version__",
 ]

@@ -13,6 +13,7 @@ import math
 
 from ..lowerbounds import cholesky_io_lower_bound, lu_io_lower_bound
 from ..models import costmodels as cm
+from ..planner.candidates import panel_width_2d
 from .harness import (
     CHOLESKY_IMPLEMENTATIONS,
     LU_IMPLEMENTATIONS,
@@ -69,28 +70,40 @@ def _mem_for(n: int, p: int) -> float:
 # Figure 8
 # ---------------------------------------------------------------------------
 
+def _volume_series(impls, kind: str, points: list[tuple[int, int]],
+                   executor=None) -> dict[str, list[VolumePoint]]:
+    """Trace every (impl, N, P) point — optionally through a
+    :mod:`repro.runtime` sweep executor — and pair each measured volume
+    with its leading-order model."""
+    from ..runtime.executor import SerialExecutor, SweepTask
+
+    tasks = [SweepTask(kind, name, n, p)
+             for n, p in points for name in impls]
+    results = (executor or SerialExecutor()).run(tasks)
+    series: dict[str, list[VolumePoint]] = {name: [] for name in impls}
+    for task, res in zip(tasks, results):
+        mem = _mem_for(task.n, task.p)
+        series[task.impl].append(VolumePoint(
+            name=task.impl, n=task.n, nranks=task.p,
+            measured_words=res.mean_recv_words,
+            model_words=_paper_model(task.impl, task.n, task.p, mem)))
+    return series
+
+
 def fig8a_comm_volume(n: int = 16384, p_sweep=DEFAULT_P_SWEEP,
-                      kernel: str = "lu") -> dict[str, list[VolumePoint]]:
+                      kernel: str = "lu",
+                      executor=None) -> dict[str, list[VolumePoint]]:
     """Figure 8a: communication volume per node vs P at fixed N.
 
     Returns measured (traced) and leading-order-model volumes for every
-    implementation.
+    implementation.  ``executor`` opts the sweep into the parallel
+    runtime (:mod:`repro.runtime`).
     """
     impls = (LU_IMPLEMENTATIONS if kernel == "lu"
              else CHOLESKY_IMPLEMENTATIONS)
-    tracer = trace_lu if kernel == "lu" else trace_cholesky
-    series: dict[str, list[VolumePoint]] = {name: [] for name in impls}
-    for p in p_sweep:
-        if not feasible(n, p):
-            continue
-        mem = _mem_for(n, p)
-        for name in impls:
-            res = tracer(name, n, p)
-            series[name].append(VolumePoint(
-                name=name, n=n, nranks=p,
-                measured_words=res.mean_recv_words,
-                model_words=_paper_model(name, n, p, mem)))
-    return series
+    kind = "lu" if kernel == "lu" else "cholesky"
+    points = [(n, p) for p in p_sweep if feasible(n, p)]
+    return _volume_series(impls, kind, points, executor=executor)
 
 
 def weak_scaling_n(p: int, base: int = 3200, granule: int = 512) -> int:
@@ -101,24 +114,15 @@ def weak_scaling_n(p: int, base: int = 3200, granule: int = 512) -> int:
     return max(granule, int(round(raw / granule)) * granule)
 
 
-def fig8b_weak_scaling(p_sweep=DEFAULT_P_SWEEP,
-                       kernel: str = "lu") -> dict[str, list[VolumePoint]]:
+def fig8b_weak_scaling(p_sweep=DEFAULT_P_SWEEP, kernel: str = "lu",
+                       executor=None) -> dict[str, list[VolumePoint]]:
     """Figure 8b: weak scaling (N = 3200 * cbrt(P)) — 2.5D codes keep the
     per-node volume constant, 2D codes grow."""
     impls = (LU_IMPLEMENTATIONS if kernel == "lu"
              else CHOLESKY_IMPLEMENTATIONS)
-    tracer = trace_lu if kernel == "lu" else trace_cholesky
-    series: dict[str, list[VolumePoint]] = {name: [] for name in impls}
-    for p in p_sweep:
-        n = weak_scaling_n(p)
-        mem = _mem_for(n, p)
-        for name in impls:
-            res = tracer(name, n, p)
-            series[name].append(VolumePoint(
-                name=name, n=n, nranks=p,
-                measured_words=res.mean_recv_words,
-                model_words=_paper_model(name, n, p, mem)))
-    return series
+    kind = "lu" if kernel == "lu" else "cholesky"
+    points = [(weak_scaling_n(p), p) for p in p_sweep]
+    return _volume_series(impls, kind, points, executor=executor)
 
 
 def fig8c_comm_reduction(
@@ -151,16 +155,18 @@ def fig8c_comm_reduction(
                 "second_best": best_name,
                 "reduction": others[best_name] / ours,
             })
-    from .harness import best_conflux_config
+    from ..planner import plan_lu
+    from .harness import NODE_MEM_WORDS
 
     for n, p in predicted_cells:
         if not feasible(n, p):
             continue
         mem = _mem_for(n, p)
-        _, _, ours = best_conflux_config(n, p)
+        ours = plan_lu(n, p, mem_words=NODE_MEM_WORDS,
+                       impls=("conflux",)).chosen.predicted_words
         models = {
-            "mkl": cm.mkl_lu_full_model(n, p, _nb_for_model(n)),
-            "slate": cm.slate_lu_full_model(n, p, _nb_for_model(n)),
+            "mkl": cm.mkl_lu_full_model(n, p, panel_width_2d(n)),
+            "slate": cm.slate_lu_full_model(n, p, panel_width_2d(n)),
             "candmc": cm.candmc_paper_model(n, p, mem),
         }
         best_name = min(models, key=models.get)
@@ -170,13 +176,6 @@ def fig8c_comm_reduction(
             "reduction": models[best_name] / ours,
         })
     return rows
-
-
-def _nb_for_model(n: int) -> int:
-    nb = 128
-    while n % nb != 0 or nb > n:
-        nb //= 2
-    return max(nb, 1)
 
 
 # ---------------------------------------------------------------------------

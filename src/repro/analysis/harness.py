@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import warnings
 from typing import Callable
 
 from ..factorizations import confchox_cholesky, conflux_lu
@@ -26,6 +27,7 @@ from ..factorizations.baselines import (
 )
 from ..factorizations.common import FactorizationResult
 from ..machine.perf_model import PIZ_DAINT_XC40, MachineParams, PerfModel
+from ..planner.candidates import config_25d, panel_width_2d
 
 __all__ = [
     "LU_IMPLEMENTATIONS", "CHOLESKY_IMPLEMENTATIONS",
@@ -60,30 +62,11 @@ def feasible(n: int, p: int,
     return n * n / p <= node_mem_words
 
 
-def _config_for(n: int, p: int, c: int) -> tuple[int, int]:
-    """(c, v) for the 2.5D schedules, degrading ``c`` when ``N`` has no
-    tile size compatible with it (e.g. N = 2^a * k with an odd
-    replication depth)."""
-    from ..factorizations.conflux import default_block_size
-
-    while c > 1:
-        if p % c == 0:
-            try:
-                return c, default_block_size(n, p, c)
-            except ValueError:
-                pass
-        c -= 1
-    return 1, default_block_size(n, p, 1)
-
-
-def _nb_for(n: int) -> int:
-    """2D panel width: ScaLAPACK-style 128, shrunk for small matrices."""
-    nb = 128
-    while n % nb != 0 or nb > n:
-        nb //= 2
-        if nb == 0:
-            raise ValueError(f"cannot pick a panel width for N={n}")
-    return nb
+# Candidate/parameter search lives in repro.planner now (one source of
+# truth); these aliases keep the harness' historical private names
+# working for callers that reached in.
+_config_for = config_25d
+_nb_for = panel_width_2d
 
 
 def _run_conflux(n: int, p: int, c: int) -> FactorizationResult:
@@ -116,35 +99,29 @@ CHOLESKY_IMPLEMENTATIONS: dict[str, Callable[..., FactorizationResult]] = {
 def best_conflux_config(n: int, p: int,
                         node_mem_words: float = NODE_MEM_WORDS,
                         ) -> tuple[int, int, float]:
-    """Tuned (c, v) for COnfLUX/COnfCHOX at (N, P) — the "optimized
-    defaults" of Table 2.
+    """Deprecated: use :func:`repro.planner.plan_lu` instead.
 
-    Searches replication depths ``c`` (divisors of P up to P^(1/3) whose
-    replicated footprint fits) and block sizes ``v`` in {c, 2c, 4c}
-    (divisors of N) minimizing the full cost model; returns
-    ``(c, v, predicted_words)``.  Larger ``c`` shrinks the leading
-    N^3/(P sqrt(M)) term but inflates the O(M) reductions and the O(N v)
-    A00 broadcasts, so the optimum sits below maximal replication when
-    P approaches N.
+    Thin shim over the planner, kept for the historical call sites:
+    plans the COnfLUX-only search (the same divisor-aware ``c``/``v``
+    candidates and the same full cost model) and returns the old
+    ``(c, v, predicted_words)`` triple.  Raises ``ValueError`` when no
+    configuration fits (the planner's ``NoFeasiblePlanError`` is a
+    ``ValueError``).  One deliberate tightening vs the retired search:
+    the planner also prunes configs whose declared ``required_words()``
+    — replication footprint *plus* transients — exceeds the budget, so
+    a ``node_mem_words`` right at the old ``c N^2 / P`` boundary may
+    now degrade to a smaller ``c`` (or reject) instead of returning a
+    config that could never actually run there.
     """
-    from ..models.costmodels import conflux_full_model
+    from ..planner import plan_lu
 
-    c_max = int(round(p ** (1.0 / 3.0)))
-    best: tuple[int, int, float] | None = None
-    for c in range(1, c_max + 1):
-        if p % c != 0 or c * float(n) * n / p > node_mem_words:
-            continue
-        for a in (1, 2, 4):
-            v = a * c
-            if v > n or n % v != 0:
-                continue
-            cost = conflux_full_model(n, p, c, v)
-            if best is None or cost < best[2]:
-                best = (c, v, cost)
-    if best is None:
-        raise ValueError(f"no feasible COnfLUX configuration for "
-                         f"N={n}, P={p}")
-    return best
+    warnings.warn(
+        "best_conflux_config is deprecated; use repro.planner.plan_lu "
+        "(impls=('conflux',) reproduces this search)",
+        DeprecationWarning, stacklevel=2)
+    chosen = plan_lu(n, p, mem_words=node_mem_words,
+                     impls=("conflux",)).chosen
+    return (chosen.params["c"], chosen.params["v"], chosen.predicted_words)
 
 
 def trace_lu(name: str, n: int, p: int,
@@ -172,7 +149,7 @@ def trace_cholesky(name: str, n: int, p: int,
 def sweep_traces(cases: list[tuple[int, int]],
                  lu_impls: tuple[str, ...] = ("conflux", "mkl"),
                  chol_impls: tuple[str, ...] = ("confchox", "mkl-chol"),
-                 ) -> list[FactorizationResult]:
+                 executor=None) -> list[FactorizationResult]:
     """Trace every ``(impl, N, P)`` combination of the sweep.
 
     This is the paper-style evaluation loop the figure benchmarks and
@@ -180,14 +157,18 @@ def sweep_traces(cases: list[tuple[int, int]],
     engine's step-vectorized :class:`~repro.engine.backends.TraceBackend`,
     so the sweep cost is dominated by NumPy array arithmetic rather than
     per-step Python overhead.
+
+    ``executor`` accepts a :mod:`repro.runtime` sweep executor (serial
+    or process-pool, optionally cache-backed); the result order — and
+    therefore the bench checksum — is identical to the in-process loop.
     """
-    results: list[FactorizationResult] = []
-    for n, p in cases:
-        for name in lu_impls:
-            results.append(trace_lu(name, n, p))
-        for name in chol_impls:
-            results.append(trace_cholesky(name, n, p))
-    return results
+    from ..runtime.executor import SerialExecutor, SweepTask
+
+    tasks = [SweepTask(kind, name, n, p)
+             for n, p in cases
+             for kind, names in (("lu", lu_impls), ("cholesky", chol_impls))
+             for name in names]
+    return (executor or SerialExecutor()).run(tasks)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -243,7 +224,7 @@ def _feasibility_schedules(n: int, p: int):
 
 def memory_feasibility(cases: list[tuple[int, int]],
                        node_mem_words: float = NODE_MEM_WORDS,
-                       ) -> list[MemoryFeasibility]:
+                       executor=None) -> list[MemoryFeasibility]:
     """Memory-budget sweep over ``(N, P)`` for all five schedules.
 
     For each configuration, evaluates every schedule's declared
@@ -253,7 +234,17 @@ def memory_feasibility(cases: list[tuple[int, int]],
     ``Machine(..., enforce_memory=True)``: a config reported
     infeasible here is exactly one :func:`repro.api.pdgetrf` rejects
     up front on a budget-enforced machine.
+
+    With an ``executor``, each ``(N, P)`` point is one sweep task
+    (kind ``"feasibility"``); rows come back flattened in case order.
     """
+    if executor is not None:
+        from ..runtime.executor import SweepTask
+
+        tasks = [SweepTask("feasibility", "all", n, p,
+                           extra=(("node_mem_words", node_mem_words),))
+                 for n, p in cases]
+        return [row for rows in executor.run(tasks) for row in rows]
     rows: list[MemoryFeasibility] = []
     for n, p in cases:
         for sched in _feasibility_schedules(n, p):

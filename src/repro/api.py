@@ -30,6 +30,13 @@ closed form plus the layout copies this module keeps alive around the
 factorization, and rejects an infeasible ``(N, P, c)`` configuration
 with :class:`~repro.machine.exceptions.MemoryBudgetExceeded` before
 moving a single word.
+
+``impl="auto"`` hands schedule selection to :mod:`repro.planner`: the
+planner searches every feasible configuration for the caller's
+``(N, P)`` under the machine's memory budget (the same ``api_copies``
+arithmetic as the pre-flight gate, so a planned config never trips it)
+and the entry point runs the winner; the full ranked
+:class:`~repro.planner.Plan` is attached to the result.
 """
 
 from __future__ import annotations
@@ -51,6 +58,7 @@ from .layouts import (
 )
 from .machine import Machine, ProcessorGrid2D
 from .machine.stats import CommStats
+from .planner import Plan, plan_cholesky, plan_gemm, plan_lu
 
 __all__ = ["pdgetrf", "pdpotrf", "pdgemm", "pdgetrs", "pdpotrs", "PDResult"]
 
@@ -77,6 +85,9 @@ class PDResult:
     upper: np.ndarray | None
     reshuffle_words: float
     factorization_words: float
+    #: The planner's ranked configurations when the call used
+    #: ``impl="auto"``; None for explicitly chosen implementations.
+    plan: Plan | None = None
 
     def gather(self) -> np.ndarray:
         """Dense packed factors from the distributed stores."""
@@ -158,6 +169,12 @@ def _square_layout(desc: ScaLAPACKDescriptor, v: int,
     return BlockCyclicLayout(desc.n, desc.n, v, v, layer_grid)
 
 
+def _planner_budget(machine: Machine) -> float | None:
+    """The per-rank budget the planner must respect: the machine's
+    enforced ``M``, or None (unbounded) when nothing is enforced."""
+    return machine.mem_words if machine.enforces_memory else None
+
+
 def pdgetrf(machine: Machine, name: str, desc: ScaLAPACKDescriptor,
             v: int = 16, c: int = 1, out_name: str | None = None,
             impl: str = "conflux") -> PDResult:
@@ -167,12 +184,25 @@ def pdgetrf(machine: Machine, name: str, desc: ScaLAPACKDescriptor,
     LAPACK ``getrf`` convention, rows in *pivot order*) are stored back
     under ``out_name``; ``perm`` maps pivot order to original rows.
     ``impl`` selects the schedule: ``"conflux"`` (2.5D tournament
-    pivoting, default) or ``"scalapack"`` (the 2D partial-pivoting
-    baseline, ``v`` as its panel width ``nb``; requires ``c == 1``) —
-    both run through :class:`DistributedBackend` on the caller's
-    machine, so the counted volumes are directly comparable.
+    pivoting, default), ``"scalapack"`` (the 2D partial-pivoting
+    baseline, ``v`` as its panel width ``nb``; requires ``c == 1``) or
+    ``"auto"`` (the planner picks implementation and parameters under
+    the machine's memory budget, overriding ``v``/``c``) — all run
+    through :class:`DistributedBackend` on the caller's machine, so the
+    counted volumes are directly comparable.
     """
     out_name = out_name or name + ":lu"
+    plan = None
+    if impl == "auto":
+        # api_copies = the gate's 3 layout copies + the caller's
+        # already-resident distributed matrix, which reserve() counts.
+        plan = plan_lu(desc.n, machine.nranks,
+                       mem_words=_planner_budget(machine), api_copies=4)
+        impl = plan.chosen.impl
+        if impl == "conflux":
+            v, c = plan.chosen.params["v"], plan.chosen.params["c"]
+        else:
+            v, c = plan.chosen.params["nb"], 1
     if impl == "conflux":
         schedule = ConfluxSchedule(desc.n, machine.nranks, v=v, c=c)
     elif impl == "scalapack":
@@ -182,7 +212,8 @@ def pdgetrf(machine: Machine, name: str, desc: ScaLAPACKDescriptor,
         schedule = ScalapackLUSchedule(desc.n, machine.nranks, nb=v,
                                        panel_rebroadcast=False)
     else:
-        raise ValueError(f"unknown impl {impl!r}; have conflux, scalapack")
+        raise ValueError(f"unknown impl {impl!r}; have conflux, scalapack, "
+                         "auto")
     _check_memory_feasible(machine, schedule, api_copies=3)
     native = _square_layout(desc, v, schedule.grid.layer_grid())
     resh_in = _prepare(machine, name, desc, native)
@@ -194,7 +225,8 @@ def pdgetrf(machine: Machine, name: str, desc: ScaLAPACKDescriptor,
                     v=v_run, comm=res.comm,
                     perm=res.perm, lower=res.lower, upper=res.upper,
                     reshuffle_words=resh_in + resh_out,
-                    factorization_words=res.comm.total_recv_words)
+                    factorization_words=res.comm.total_recv_words,
+                    plan=plan)
 
 
 def pdpotrf(machine: Machine, name: str, desc: ScaLAPACKDescriptor,
@@ -202,10 +234,22 @@ def pdpotrf(machine: Machine, name: str, desc: ScaLAPACKDescriptor,
             impl: str = "confchox") -> PDResult:
     """Cholesky factorization of a descriptor-distributed SPD matrix.
 
-    ``impl``: ``"confchox"`` (2.5D, default) or ``"scalapack"`` (the 2D
-    baseline; requires ``c == 1``).
+    ``impl``: ``"confchox"`` (2.5D, default), ``"scalapack"`` (the 2D
+    baseline; requires ``c == 1``) or ``"auto"`` (planner-selected
+    under the machine's memory budget, overriding ``v``/``c``).
     """
     out_name = out_name or name + ":chol"
+    plan = None
+    if impl == "auto":
+        # api_copies as in pdgetrf: 3 gate copies + the resident input.
+        plan = plan_cholesky(desc.n, machine.nranks,
+                             mem_words=_planner_budget(machine),
+                             api_copies=4)
+        impl = plan.chosen.impl
+        if impl == "confchox":
+            v, c = plan.chosen.params["v"], plan.chosen.params["c"]
+        else:
+            v, c = plan.chosen.params["nb"], 1
     if impl == "confchox":
         schedule = ConfchoxSchedule(desc.n, machine.nranks, v=v, c=c)
         v_run = schedule.v
@@ -216,7 +260,8 @@ def pdpotrf(machine: Machine, name: str, desc: ScaLAPACKDescriptor,
         schedule = ScalapackCholeskySchedule(desc.n, machine.nranks, nb=v)
         v_run = schedule.nb
     else:
-        raise ValueError(f"unknown impl {impl!r}; have confchox, scalapack")
+        raise ValueError(f"unknown impl {impl!r}; have confchox, scalapack, "
+                         "auto")
     _check_memory_feasible(machine, schedule, api_copies=3)
     native = _square_layout(desc, v, schedule.grid.layer_grid())
     resh_in = _prepare(machine, name, desc, native)
@@ -226,13 +271,14 @@ def pdpotrf(machine: Machine, name: str, desc: ScaLAPACKDescriptor,
                     v=v_run, comm=res.comm,
                     perm=None, lower=res.lower, upper=None,
                     reshuffle_words=resh_in + resh_out,
-                    factorization_words=res.comm.total_recv_words)
+                    factorization_words=res.comm.total_recv_words,
+                    plan=plan)
 
 
 def pdgemm(machine: Machine, a_name: str, desc_a: ScaLAPACKDescriptor,
            b_name: str, desc_b: ScaLAPACKDescriptor,
            out_name: str | None = None, s: int | None = None,
-           c: int = 1) -> PDResult:
+           c: int = 1, impl: str = "25d") -> PDResult:
     """2.5D SUMMA product ``C = A @ B`` of descriptor-distributed
     operands, routed through :class:`DistributedBackend` like the
     factorizations: COSTA-reshuffle both operands into the schedule's
@@ -241,7 +287,9 @@ def pdgemm(machine: Machine, a_name: str, desc_a: ScaLAPACKDescriptor,
     COSTA the product back into ``desc_a``'s layout under ``out_name``.
 
     The product is returned dense in ``lower`` for verification, with
-    ``upper``/``perm`` unset.
+    ``upper``/``perm`` unset.  ``impl``: ``"25d"`` (the caller's
+    ``s``/``c``, default) or ``"auto"`` (planner-selected strip width
+    and replication under the machine's memory budget).
     """
     out_name = out_name or a_name + ":gemm"
     if desc_a.m != desc_a.n or desc_b.m != desc_b.n:
@@ -249,6 +297,15 @@ def pdgemm(machine: Machine, a_name: str, desc_a: ScaLAPACKDescriptor,
     if desc_a.n != desc_b.n:
         raise ValueError(
             f"operand sizes differ: {desc_a.n} vs {desc_b.n}")
+    plan = None
+    if impl == "auto":
+        # api_copies = the gate's 4 layout copies + the two resident
+        # operands, which reserve() counts.
+        plan = plan_gemm(desc_a.n, machine.nranks,
+                         mem_words=_planner_budget(machine), api_copies=6)
+        s, c = plan.chosen.params["s"], plan.chosen.params["c"]
+    elif impl != "25d":
+        raise ValueError(f"unknown impl {impl!r}; have 25d, auto")
     schedule = Matmul25DSchedule(desc_a.n, machine.nranks, s=s, c=c)
     _check_memory_feasible(machine, schedule, api_copies=4)
     n = desc_a.n
@@ -267,7 +324,8 @@ def pdgemm(machine: Machine, a_name: str, desc_a: ScaLAPACKDescriptor,
                     v=schedule.s, comm=res.comm,
                     perm=None, lower=res.lower, upper=None,
                     reshuffle_words=resh_in + resh_out,
-                    factorization_words=res.comm.total_recv_words)
+                    factorization_words=res.comm.total_recv_words,
+                    plan=plan)
 
 
 def _as_factorization(result: PDResult, name: str) -> FactorizationResult:

@@ -104,17 +104,26 @@ class ScalapackCholeskySchedule(Schedule):
         col_tiles = acct.tiles_owned(steps, k + 1, acct.pj, pc)
         rows_per = nrem / pr
 
-        # Diagonal potrf + broadcast down the panel's grid column.
+        # Diagonal potrf + broadcast down the panel's grid column (the
+        # diagonal owner is the root and receives nothing).
         acct.add_flops(diag_owner * flops.potrf_flops(nb))
-        acct.add_recv(on_qcol * nb * nb * (n11 > 0), msgs=1.0)
+        acct.add_recv((on_qcol - diag_owner) * nb * nb * (n11 > 0), msgs=1.0)
 
         # Panel trsm on the owning grid column.
         acct.add_flops(on_qcol * flops.trsm_flops(nb, rows_per) * (n11 > 0))
 
-        # L panel broadcast along grid rows (left syrk factor) and along
-        # grid columns (transposed right factor).
-        acct.add_recv(row_tiles * nb * nb * (n11 > 0), msgs=1.0)
-        acct.add_recv(col_tiles * nb * nb * (n11 > 0), msgs=1.0)
+        # L panel broadcast along grid rows (left syrk factor): the
+        # panel-owning grid column roots every broadcast and already
+        # holds its tiles (g - 1 receivers, as the machine counts).
+        acct.add_recv((1.0 - on_qcol) * row_tiles * nb * nb * (n11 > 0),
+                      msgs=1.0)
+        # Transposed right factor along grid columns: a tile's owner
+        # sits inside its own fan-out group exactly when the tile's
+        # block row lands on the panel's grid column — those owners
+        # (spread over the column's Pr ranks) receive nothing.
+        own_fanout = acct.tiles_owned(steps, k + 1, k % pc, pc)
+        acct.add_recv((col_tiles - on_qcol * own_fanout / pr) * nb * nb
+                      * (n11 > 0), msgs=1.0)
 
         # Local triangular trailing update (gemmt-like: half the tiles).
         acct.add_flops((row_tiles * nb) * (col_tiles * nb) * nb)

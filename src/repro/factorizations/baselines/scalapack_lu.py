@@ -133,38 +133,56 @@ class ScalapackLUSchedule(Schedule):
         n11 = nrem - nb
         on_qcol = (acct.pj == k % pc).astype(float)
         on_qrow = (acct.pi == k % pr).astype(float)
+        diag_owner = on_qcol * (acct.pi == k % pr)
         col_tiles = acct.tiles_owned(steps, k + 1, acct.pj, pc)
+        all_col_tiles = acct.tiles_owned(steps, 0, acct.pj, pc)
         rows_per = nrem / pr
 
         # Panel factorization (grid column q_col): nb pivot-search
-        # allreduces (2 words each: value + index) over Pr ranks, plus the
-        # in-panel exchange of chosen pivot rows (nb rows of width nb).
+        # allreduces (2 words each: value + index) over Pr ranks, plus
+        # the per-column broadcast of the eliminating row (nb - j
+        # trailing entries from the diagonal owner to the g - 1 column
+        # ranks still holding rows below it).
         lg_pr = math.ceil(math.log2(max(2, pr)))
         acct.add_recv(on_qcol * 2.0 * nb * lg_pr, msgs=nb * lg_pr)
-        acct.add_recv(on_qcol * nb * nb * (pr - 1) / pr, msgs=nb)
+        acct.add_recv(on_qcol * nb * (nb + 1) / 2.0 * (pr - 1) / pr, msgs=nb)
         acct.add_flops(on_qcol * flops.getrf_flops(rows_per, nb))
         if self.panel_rebroadcast:
             # MKL-style column-by-column panel broadcast: the panel column
-            # ranks see the multipliers twice overall.
-            acct.add_recv(on_qcol * rows_per * nb, msgs=nb)
+            # ranks see the multipliers twice overall.  Each tile's owner
+            # is the broadcast root and receives nothing, so the column
+            # ranks carry a (Pr-1)/Pr share.
+            acct.add_recv(on_qcol * rows_per * nb * (pr - 1) / pr, msgs=nb)
 
-        # Pivot row swaps across the trailing matrix: nb row pairs of
-        # extent ~nrem exchanged between grid rows.  A rank holds the
-        # swapped rows' intersection with its column tiles; each swap is
-        # remote with probability (Pr-1)/Pr and both rows move, and the
-        # nb swapped rows land on a 1/Pr fraction of grid rows.
-        acct.add_recv(2.0 * nb * (col_tiles * nb) * (pr - 1) / pr / pr,
+        # Pivot row swaps across the whole matrix (``laswp`` touches the
+        # factored columns too): nb row pairs exchanged between grid
+        # rows.  A rank holds the swapped rows' intersection with its
+        # column tiles (all block columns); each swap is remote with
+        # probability (Pr-1)/Pr, both rows move, and a given rank's grid
+        # row is one of the two involved with probability 2/Pr — one
+        # received row-width each time.
+        acct.add_recv(2.0 * nb * (all_col_tiles * nb) * (pr - 1) / pr / pr,
                       msgs=nb)
 
-        # L panel broadcast along grid rows: every rank receives the rows
-        # of the panel matching its trailing row ownership.
-        acct.add_recv(rows_per * nb * (n11 > 0), msgs=1.0)
+        # L panel broadcast along grid rows: a rank receives the rows of
+        # the panel matching its trailing row ownership — except the
+        # panel-owning grid column, which is each broadcast's root and
+        # already holds its tiles (g - 1 receivers, as the machine
+        # counts).
+        acct.add_recv((1.0 - on_qcol) * rows_per * nb * (n11 > 0), msgs=1.0)
+
+        # Diagonal tile shipped along the owner grid row for the U trsm
+        # (the diagonal owner is the root and receives nothing).
+        acct.add_recv((on_qrow - diag_owner) * nb * nb * (n11 > 0),
+                      msgs=1.0)
 
         # U row panel: trsm on the owner grid row, broadcast along grid
-        # columns: every rank receives the columns matching its trailing
-        # column ownership.
+        # columns to the ranks matching its trailing column ownership;
+        # the owning grid row is every broadcast's root and receives
+        # nothing.
         acct.add_flops(on_qrow * (nb * nb * (col_tiles * nb)) * (n11 > 0))
-        acct.add_recv(col_tiles * nb * nb * (n11 > 0), msgs=1.0)
+        acct.add_recv((1.0 - on_qrow) * col_tiles * nb * nb * (n11 > 0),
+                      msgs=1.0)
 
         # Trailing update (local gemm).
         acct.add_flops(2.0 * rows_per * (col_tiles * nb) * nb)

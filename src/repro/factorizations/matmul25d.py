@@ -129,9 +129,12 @@ class Matmul25DSchedule(Schedule):
         # Steps [0, rounds) are SUMMA rounds with identical cost; the
         # last step is the machine-wide reduce-scatter of the C slices
         # ((c-1) of the c copies move once, spread over all ranks).
+        # Panel rings charge g - 1 receivers — a rank never receives
+        # the strip pieces it owns, so each ring is a (Pc-1)/Pc resp.
+        # (Pr-1)/Pr share, exactly as the machine counts.
         in_round = (acct.t < self.rounds).astype(float)
-        acct.add_recv(in_round * rows_local * s * (pc > 1 or c > 1))
-        acct.add_recv(in_round * cols_local * s * (pr > 1 or c > 1))
+        acct.add_recv(in_round * rows_local * s * (pc - 1.0) / pc)
+        acct.add_recv(in_round * cols_local * s * (pr - 1.0) / pr)
         acct.add_flops(in_round * 2.0 * rows_local * cols_local * s)
         in_reduce = 1.0 - in_round
         acct.add_recv(in_reduce * n * n * (c - 1.0) / self.nranks)

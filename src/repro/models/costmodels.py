@@ -36,6 +36,7 @@ __all__ = [
     "slate_lu_paper_model", "slate_lu_full_model",
     "mkl_cholesky_full_model", "slate_cholesky_full_model",
     "candmc_paper_model", "capital_paper_model",
+    "summa_25d_paper_model", "summa_25d_full_model",
     "lu_models", "cholesky_models",
     "grid_25d_dims", "grid_2d_dims",
 ]
@@ -147,18 +148,28 @@ def _lu_2d_full_model(n: int, p: int, nb: int, rebroadcast: bool) -> float:
         n11 = nrem - nb
         trailing_tiles = steps - k - 1
         col_share = trailing_tiles * nb / pc
-        # L panel along rows + U panel along columns.
+        # L panel along rows + U panel along columns, plus the diagonal
+        # tile shipped along the owner grid row for the U trsm.
+        # Broadcasts charge g-1 receivers: the panel-owning grid
+        # column/row (and the diagonal owner) already hold their tiles,
+        # so a (Pc-1)/Pc resp. (Pr-1)/Pr share of the grid actually
+        # receives (matching the trace and the machine).
         if n11 > 0:
-            total += nrem / pr * nb + col_share * nb
-        # Row swaps.
-        total += 2.0 * nb * col_share * (pr - 1) / pr / pr
-        # Panel-column costs are paid by every rank once per Pc steps.
+            total += (nrem / pr * nb * (pc - 1.0) / pc
+                      + col_share * nb * (pr - 1.0) / pr
+                      + nb * nb * (pc - 1.0) / p)
+        # Row swaps (``laswp`` spans all block columns, factored ones
+        # included).
+        total += 2.0 * nb * (n / pc) * (pr - 1) / pr / pr
+        # Panel-column costs are paid by every rank once per Pc steps:
+        # the pivot-search allreduces and the eliminating-row broadcasts
+        # (nb - j trailing entries to the Pr - 1 non-root column ranks).
         panel_cost = (2.0 * nb * math.ceil(math.log2(max(2, pr)))
-                      + nb * nb * (pr - 1) / pr)
+                      + nb * (nb + 1) / 2.0 * (pr - 1) / pr)
         if rebroadcast:
-            panel_cost += nrem / pr * nb
+            # The rebroadcast root (each tile's owner) receives nothing.
+            panel_cost += nrem / pr * nb * (pr - 1.0) / pr
         total += panel_cost / pc
-        # A00-bearing broadcasts are included in the L/U panels above.
     return total
 
 
@@ -182,9 +193,15 @@ def _cholesky_2d_full_model(n: int, p: int, nb: int) -> float:
         n11 = n - (k + 1) * nb
         trailing_tiles = steps - k - 1
         if n11 > 0:
-            total += nb * nb / pc          # diag bcast, on-column share
-            total += trailing_tiles * nb / pr * nb   # L panel along rows
-            total += trailing_tiles * nb / pc * nb   # L^T along columns
+            # Broadcasts charge g-1 receivers (per-rank means): the
+            # diagonal owner, the panel-owning grid column (row fan-out)
+            # and the tile owners that sit inside their own column
+            # fan-out group receive nothing.
+            total += nb * nb * (pr - 1.0) / p        # diag bcast
+            total += (trailing_tiles * nb / pr * nb  # L panel along rows
+                      * (pc - 1.0) / pc)
+            total += (trailing_tiles * pr            # L^T along columns
+                      - (steps - 1 - k) // pc) * nb * nb / p
     return total
 
 
@@ -210,6 +227,40 @@ def capital_paper_model(n: float, p: float, mem_words: float) -> float:
     """Hutter & Solomonik's model: ``45 N^3 / (8 P sqrt(M))``."""
     _check(n, p, mem_words)
     return 45.0 * n ** 3 / (8.0 * p * math.sqrt(mem_words))
+
+
+# ---------------------------------------------------------------------------
+# 2.5D SUMMA (the SC19 matmul substrate)
+# ---------------------------------------------------------------------------
+
+def summa_25d_paper_model(n: float, p: float, mem_words: float) -> float:
+    """SC19 leading term: ``2 N^3 / (P sqrt(M))``."""
+    _check(n, p, mem_words)
+    return 2.0 * n ** 3 / (p * math.sqrt(mem_words))
+
+
+def summa_25d_full_model(n: int, p: int, c: int, s: int) -> float:
+    """Closed-form per-rank received words of
+    :class:`~repro.factorizations.matmul25d.Matmul25DSchedule`.
+
+    Each of the ``N/(s c)`` SUMMA rounds broadcasts an A panel along
+    grid rows and a B panel along grid columns (``g - 1`` receivers: a
+    rank's own strip pieces never move, hence the ``(Pc-1)/Pc`` resp.
+    ``(Pr-1)/Pr`` shares), and the final layered reduce-scatter moves
+    ``(c-1)/c`` of every rank's C copy once.  This matches the trace —
+    and the counted distributed execution — exactly.
+    """
+    _check(n, p)
+    pr, pc, c = grid_25d_dims(p, c)
+    if s <= 0 or n % s != 0 or (n // c) % s != 0:
+        raise ValueError(f"strip width s={s} incompatible with N={n}, c={c}")
+    rounds = (n // c) // s
+    rows_local = n / pr
+    cols_local = n / pc
+    panels = rounds * s * (rows_local * (pc - 1.0) / pc
+                           + cols_local * (pr - 1.0) / pr)
+    reduce_words = float(n) * n * (c - 1.0) / p
+    return panels + reduce_words
 
 
 # ---------------------------------------------------------------------------

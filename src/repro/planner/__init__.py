@@ -1,0 +1,34 @@
+"""Auto-tuned schedule selection (the planning side of the runtime).
+
+``plan_lu`` / ``plan_cholesky`` / ``plan_gemm`` turn the paper's "for a
+given (N, P, M) the near-optimal configuration can be derived" into an
+API: enumerate the divisor-aware candidate grids, prune by the
+schedules' declared memory requirements, score with the validated cost
+models and the alpha-beta-gamma machine model, return a ranked
+:class:`Plan`.  :mod:`repro.api` routes ``impl="auto"`` through here.
+"""
+
+from .candidates import (
+    config_25d,
+    panel_candidates,
+    panel_width_2d,
+    replication_candidates,
+    strip_candidates,
+    tile_candidates,
+)
+from .core import (
+    NoFeasiblePlanError,
+    Plan,
+    PlannedConfig,
+    plan_cholesky,
+    plan_gemm,
+    plan_lu,
+)
+
+__all__ = [
+    "Plan", "PlannedConfig", "NoFeasiblePlanError",
+    "plan_lu", "plan_cholesky", "plan_gemm",
+    "config_25d", "panel_width_2d",
+    "replication_candidates", "tile_candidates",
+    "panel_candidates", "strip_candidates",
+]

@@ -1,0 +1,271 @@
+"""The planner: auto-tuned schedule selection under a memory budget.
+
+For a given problem ``(N, P)`` and per-rank memory budget ``M`` (words),
+the planner enumerates every feasible engine-schedule configuration —
+divisor-aware ``c``/``v`` candidates for the 2.5D algorithms, panel
+widths for the 2D baselines, strip widths for the 2.5D matmul — prunes
+the ones whose declared :meth:`~repro.engine.schedule.Schedule.required_words`
+(plus the API's layout copies) exceed the budget, scores the survivors
+with the validated full cost models of :mod:`repro.models.costmodels`
+and the alpha-beta-gamma :class:`~repro.machine.perf_model.PerfModel`,
+and returns a :class:`Plan`: the chosen configuration plus the ranked
+alternatives.
+
+The ranking key is the paper's primary metric — predicted received
+words per rank — with the perf-model time estimate as tie-break (it
+separates configurations whose volumes agree, e.g. SUMMA strip widths,
+which trade only message counts).  Feasibility here is exactly
+:mod:`repro.api`'s pre-flight gate: a configuration the planner rejects
+for a budget ``M`` is one ``pdgetrf``/``pdpotrf``/``pdgemm`` would
+refuse up front on a machine enforcing ``M`` (pass ``api_copies`` for
+the layout copies those entry points keep alive).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any
+
+from ..machine.perf_model import PIZ_DAINT_XC40, MachineParams, PerfModel
+from ..models import costmodels as cm
+from .candidates import (
+    panel_candidates,
+    replication_candidates,
+    strip_candidates,
+    tile_candidates,
+)
+
+__all__ = ["Plan", "PlannedConfig", "NoFeasiblePlanError",
+           "plan_lu", "plan_cholesky", "plan_gemm"]
+
+
+class NoFeasiblePlanError(ValueError):
+    """No schedule configuration fits the given (N, P, M)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class PlannedConfig:
+    """One feasible configuration, scored.
+
+    ``impl`` is the :mod:`repro.api` implementation name the config
+    routes to; ``params`` are the keyword arguments that reproduce it
+    (``v``/``c`` for the 2.5D schedules, ``nb`` for the 2D baselines,
+    ``s``/``c`` for the matmul).  ``predicted_words`` comes from the
+    validated full cost model (received words per rank),
+    ``predicted_time_s`` from the alpha-beta-gamma model, and
+    ``mem_margin`` is the budget headroom left above the schedule's
+    ``required_words`` plus the API's layout copies (``inf`` on an
+    unbounded machine).
+    """
+
+    impl: str
+    schedule: str
+    params: dict[str, Any]
+    predicted_words: float
+    predicted_time_s: float
+    required_words: float
+    mem_margin: float
+
+    def describe(self) -> str:
+        pstr = ", ".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+        return (f"{self.impl}({pstr}): {self.predicted_words:.4g} words, "
+                f"{self.predicted_time_s:.3g} s")
+
+
+@dataclasses.dataclass(frozen=True)
+class Plan:
+    """The planner's answer for one problem instance.
+
+    ``ranked`` is every feasible configuration, best first; ``chosen``
+    is the head.  The ordering is deterministic: predicted words, then
+    predicted time, then a stable (impl, params) key.
+    """
+
+    problem: str
+    n: int
+    nranks: int
+    mem_words: float
+    ranked: tuple[PlannedConfig, ...]
+
+    @property
+    def chosen(self) -> PlannedConfig:
+        return self.ranked[0]
+
+    @property
+    def alternatives(self) -> tuple[PlannedConfig, ...]:
+        return self.ranked[1:]
+
+    def summary(self) -> str:
+        budget = ("unbounded" if math.isinf(self.mem_words)
+                  else f"{self.mem_words:.4g} words")
+        lines = [f"plan[{self.problem}] N={self.n} P={self.nranks} "
+                 f"M={budget}: {self.chosen.describe()}"]
+        for alt in self.alternatives[:3]:
+            lines.append(f"  alt: {alt.describe()}")
+        return "\n".join(lines)
+
+
+def _rank_key(cfg: PlannedConfig) -> tuple:
+    return (cfg.predicted_words, cfg.predicted_time_s, cfg.impl,
+            tuple(sorted(cfg.params.items())))
+
+
+def _score(impl: str, schedule, params: dict[str, Any], words: float,
+           flops_per_rank: float, msgs: float, budget: float,
+           api_copies: int, machine_params: MachineParams,
+           ) -> PlannedConfig | None:
+    """Feasibility-check and score one instantiated candidate."""
+    n, p = schedule.n, schedule.nranks
+    needed = schedule.required_words() + api_copies * float(n) * n / p
+    margin = budget - needed
+    if margin < 0:
+        return None
+    time_s = PerfModel(machine_params).time_closed_form(
+        flops_per_rank, words, msgs, local_words=float(n) * n / p)
+    return PlannedConfig(
+        impl=impl, schedule=type(schedule).__name__, params=params,
+        predicted_words=words, predicted_time_s=time_s,
+        required_words=needed, mem_margin=margin)
+
+
+def _finish(problem: str, n: int, p: int, budget: float,
+            configs: list[PlannedConfig]) -> Plan:
+    if not configs:
+        raise NoFeasiblePlanError(
+            f"no feasible {problem} configuration for N={n}, P={p}, "
+            f"M={budget:.4g} words — every candidate's required_words "
+            f"(plus API layout copies) exceeds the budget")
+    configs.sort(key=_rank_key)
+    return Plan(problem=problem, n=n, nranks=p, mem_words=budget,
+                ranked=tuple(configs))
+
+
+def _lg(p: int) -> int:
+    return math.ceil(math.log2(max(2, p)))
+
+
+def plan_lu(n: int, p: int, mem_words: float | None = None,
+            machine_params: MachineParams = PIZ_DAINT_XC40,
+            api_copies: int = 0,
+            impls: tuple[str, ...] = ("conflux", "scalapack")) -> Plan:
+    """Plan an LU factorization: COnfLUX (2.5D tournament pivoting) vs
+    the 2D partial-pivoting baseline, every feasible parameterization.
+
+    ``mem_words`` is the per-rank budget (None = unbounded);
+    ``api_copies`` adds the ``N^2/P``-per-rank layout copies
+    :func:`repro.api.pdgetrf` keeps alive, so feasibility here equals
+    its pre-flight gate.  ``impls`` restricts the search (the
+    ``best_conflux_config`` shim plans with ``("conflux",)``).
+    """
+    from ..factorizations import ConfluxSchedule
+    from ..factorizations.baselines.scalapack_lu import ScalapackLUSchedule
+
+    budget = math.inf if mem_words is None else float(mem_words)
+    flops = 2.0 * n ** 3 / (3.0 * p)
+    configs: list[PlannedConfig] = []
+    if "conflux" in impls:
+        for c in replication_candidates(p, n, budget):
+            for v in tile_candidates(n, c):
+                try:
+                    sched = ConfluxSchedule(n, p, v=v, c=c)
+                except ValueError:
+                    continue
+                cfg = _score(
+                    "conflux", sched, {"v": v, "c": c},
+                    cm.conflux_full_model(n, p, c, v), flops,
+                    msgs=(n // v) * (3 + _lg(p)), budget=budget,
+                    api_copies=api_copies, machine_params=machine_params)
+                if cfg:
+                    configs.append(cfg)
+    if "scalapack" in impls:
+        for nb in panel_candidates(n):
+            try:
+                # The API's 2D route runs without MKL's panel
+                # rebroadcast, so score the matching model.
+                sched = ScalapackLUSchedule(n, p, nb=nb,
+                                            panel_rebroadcast=False)
+            except ValueError:
+                continue
+            cfg = _score(
+                "scalapack", sched, {"nb": nb},
+                cm.slate_lu_full_model(n, p, nb), flops,
+                msgs=n * _lg(p) + 4 * (n // nb), budget=budget,
+                api_copies=api_copies, machine_params=machine_params)
+            if cfg:
+                configs.append(cfg)
+    return _finish("lu", n, p, budget, configs)
+
+
+def plan_cholesky(n: int, p: int, mem_words: float | None = None,
+                  machine_params: MachineParams = PIZ_DAINT_XC40,
+                  api_copies: int = 0,
+                  impls: tuple[str, ...] = ("confchox", "scalapack"),
+                  ) -> Plan:
+    """Plan a Cholesky factorization: COnfCHOX vs the 2D baseline."""
+    from ..factorizations import ConfchoxSchedule
+    from ..factorizations.baselines.scalapack_chol import (
+        ScalapackCholeskySchedule,
+    )
+
+    budget = math.inf if mem_words is None else float(mem_words)
+    flops = n ** 3 / (3.0 * p)
+    configs: list[PlannedConfig] = []
+    if "confchox" in impls:
+        for c in replication_candidates(p, n, budget):
+            for v in tile_candidates(n, c):
+                try:
+                    sched = ConfchoxSchedule(n, p, v=v, c=c)
+                except ValueError:
+                    continue
+                cfg = _score(
+                    "confchox", sched, {"v": v, "c": c},
+                    cm.confchox_full_model(n, p, c, v), flops,
+                    msgs=(n // v) * (3 + _lg(p)), budget=budget,
+                    api_copies=api_copies, machine_params=machine_params)
+                if cfg:
+                    configs.append(cfg)
+    if "scalapack" in impls:
+        for nb in panel_candidates(n):
+            try:
+                sched = ScalapackCholeskySchedule(n, p, nb=nb)
+            except ValueError:
+                continue
+            cfg = _score(
+                "scalapack", sched, {"nb": nb},
+                cm.mkl_cholesky_full_model(n, p, nb), flops,
+                msgs=4 * (n // nb), budget=budget,
+                api_copies=api_copies, machine_params=machine_params)
+            if cfg:
+                configs.append(cfg)
+    return _finish("cholesky", n, p, budget, configs)
+
+
+def plan_gemm(n: int, p: int, mem_words: float | None = None,
+              machine_params: MachineParams = PIZ_DAINT_XC40,
+              api_copies: int = 0) -> Plan:
+    """Plan a square matmul: the 2.5D SUMMA over (c, s) candidates.
+
+    Volume is independent of the strip width ``s`` (rounds x strip is
+    fixed), so the perf-model tie-break picks the widest strip — fewer
+    rounds, fewer messages.
+    """
+    from ..factorizations import Matmul25DSchedule
+
+    budget = math.inf if mem_words is None else float(mem_words)
+    flops = 2.0 * n ** 3 / p
+    configs: list[PlannedConfig] = []
+    for c in replication_candidates(p, n, budget, copies=3):
+        for s in strip_candidates(n, c):
+            try:
+                sched = Matmul25DSchedule(n, p, s=s, c=c)
+            except ValueError:
+                continue
+            cfg = _score(
+                "25d", sched, {"s": s, "c": c},
+                cm.summa_25d_full_model(n, p, c, s), flops,
+                msgs=2.0 * sched.rounds + c, budget=budget,
+                api_copies=api_copies, machine_params=machine_params)
+            if cfg:
+                configs.append(cfg)
+    return _finish("gemm", n, p, budget, configs)

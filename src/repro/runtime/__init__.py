@@ -1,0 +1,25 @@
+"""Parallel sweep runtime: executors + content-addressed result cache.
+
+The execution side of the planner/runtime subsystem: independent
+``(impl, N, P)`` sweep tasks fan out over a process pool with
+deterministic result ordering, and an on-disk cache keyed by
+(task, code fingerprint) makes sweeps resumable and never recomputes a
+trace the current code has already produced.
+``analysis.harness.sweep_traces`` / ``memory_feasibility`` accept any
+of these executors via ``executor=``.
+"""
+
+from .cache import ResultCache, code_fingerprint
+from .executor import (
+    ProcessPoolSweepExecutor,
+    SerialExecutor,
+    SweepTask,
+    default_workers,
+    run_task,
+)
+
+__all__ = [
+    "ResultCache", "code_fingerprint",
+    "SweepTask", "SerialExecutor", "ProcessPoolSweepExecutor",
+    "run_task", "default_workers",
+]

@@ -1,0 +1,107 @@
+"""On-disk content-addressed result cache for sweep execution.
+
+Entries are keyed by the *content* of the computation: a task token
+(implementation name + every parameter) combined with a fingerprint of
+the ``repro`` source tree.  Any code change — a new accounting term, a
+tightened model — changes the fingerprint, so stale results can never
+be served; re-running a sweep after an edit recomputes everything,
+re-running after an interruption recomputes only what is missing
+(resumable sweeps).
+
+Values are pickled :class:`~repro.factorizations.common.FactorizationResult`
+objects (or any picklable sweep row).  Writes are atomic
+(temp-file + rename), so a killed sweep never leaves a truncated entry;
+unreadable entries are treated as misses and overwritten.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import os
+import pathlib
+import pickle
+import tempfile
+from typing import Any
+
+__all__ = ["ResultCache", "code_fingerprint"]
+
+
+@functools.lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """SHA-256 over every ``repro`` source file (path + bytes).
+
+    Computed once per process; any change to the package — accounting,
+    models, schedules — yields a new fingerprint and therefore a cold
+    cache.
+    """
+    import repro
+
+    root = pathlib.Path(repro.__file__).resolve().parent
+    h = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        h.update(str(path.relative_to(root)).encode())
+        h.update(b"\0")
+        h.update(path.read_bytes())
+        h.update(b"\0")
+    return h.hexdigest()
+
+
+class ResultCache:
+    """Content-addressed pickle store under one directory.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created on first write).
+    fingerprint:
+        Code fingerprint folded into every key; defaults to
+        :func:`code_fingerprint` of the live ``repro`` tree.  Tests pin
+        it to exercise stale-fingerprint behaviour.
+    """
+
+    def __init__(self, root: str | os.PathLike,
+                 fingerprint: str | None = None) -> None:
+        self.root = pathlib.Path(root)
+        self.fingerprint = fingerprint or code_fingerprint()
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, token: str) -> pathlib.Path:
+        digest = hashlib.sha256(
+            f"{token}|{self.fingerprint}".encode()).hexdigest()
+        return self.root / f"{digest}.pkl"
+
+    def get(self, token: str) -> Any | None:
+        """The cached value for ``token``, or None (miss/corrupt)."""
+        path = self._path(token)
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, token: str, value: Any) -> None:
+        """Store ``value`` under ``token`` (atomic rename)."""
+        path = self._path(token)
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.pkl"))

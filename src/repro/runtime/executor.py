@@ -1,0 +1,154 @@
+"""Sweep executors: serial and multiprocessing, cache-aware.
+
+The figure benchmarks and the perf snapshot evaluate grids of
+independent ``(impl, N, P)`` trace tasks.  This module gives that loop
+a pluggable execution strategy:
+
+* :class:`SerialExecutor` — in-process, same order as the plain loop;
+* :class:`ProcessPoolSweepExecutor` — a ``ProcessPoolExecutor`` fan-out
+  with chunked task batches.  ``Executor.map`` preserves submission
+  order, so results are deterministic and the sweep checksum is
+  *bit-identical* to the serial path (same tasks, same per-task NumPy
+  arithmetic, same float summation order downstream).
+
+Both honour an optional :class:`~repro.runtime.cache.ResultCache`:
+cached tasks are served without dispatch, fresh results are written
+through *as they arrive* — an interrupted sweep resumes from what
+finished.
+
+Tasks are declarative (:class:`SweepTask`), not closures, so they
+pickle cheaply and carry a stable ``cache_token``.  The worker function
+resolves the actual computation by name at execution time, importing
+inside the worker to keep module import cycles out of the package
+graph.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Sequence
+
+from .cache import ResultCache
+
+__all__ = ["SweepTask", "SerialExecutor", "ProcessPoolSweepExecutor",
+           "run_task", "default_workers"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepTask:
+    """One unit of sweep work, picklable and content-addressable.
+
+    ``kind`` selects the computation (``"lu"`` / ``"cholesky"`` trace a
+    harness implementation; ``"feasibility"`` evaluates the
+    memory-budget rows of one (N, P) point); ``impl`` names the
+    implementation within the kind; ``extra`` carries any further
+    keyword parameters as a sorted tuple of pairs.
+    """
+
+    kind: str
+    impl: str
+    n: int
+    p: int
+    extra: tuple[tuple[str, Any], ...] = ()
+
+    def cache_token(self) -> str:
+        ex = ",".join(f"{k}={v!r}" for k, v in self.extra)
+        return f"{self.kind}:{self.impl}:n={self.n}:p={self.p}:{ex}"
+
+
+def run_task(task: SweepTask) -> Any:
+    """Execute one task (also the process-pool worker entry point)."""
+    from ..analysis import harness
+
+    kw = dict(task.extra)
+    if task.kind == "lu":
+        return harness.trace_lu(task.impl, task.n, task.p, **kw)
+    if task.kind == "cholesky":
+        return harness.trace_cholesky(task.impl, task.n, task.p, **kw)
+    if task.kind == "feasibility":
+        return harness.memory_feasibility([(task.n, task.p)], **kw)
+    raise ValueError(f"unknown sweep task kind {task.kind!r}")
+
+
+def default_workers() -> int:
+    """Worker count for the pool: the cores this process may use."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+class SerialExecutor:
+    """The plain loop, cache-aware — the reference execution order."""
+
+    def __init__(self, cache: ResultCache | None = None) -> None:
+        self.cache = cache
+
+    def _compute(self, tasks: Sequence[SweepTask]):
+        return (run_task(t) for t in tasks)
+
+    def run(self, tasks: Sequence[SweepTask]) -> list[Any]:
+        """All task results, in task order.
+
+        Cache hits are served without dispatch; misses are computed
+        (serially or on the pool) and written through one by one, so an
+        interrupted sweep keeps every finished result.
+        """
+        tasks = list(tasks)
+        results: list[Any] = [None] * len(tasks)
+        miss_idx = []
+        if self.cache is None:
+            miss_idx = list(range(len(tasks)))
+        else:
+            for i, t in enumerate(tasks):
+                hit = self.cache.get(t.cache_token())
+                if hit is None:
+                    miss_idx.append(i)
+                else:
+                    results[i] = hit
+        missing = [tasks[i] for i in miss_idx]
+        for i, value in zip(miss_idx, self._compute(missing)):
+            results[i] = value
+            if self.cache is not None:
+                self.cache.put(tasks[i].cache_token(), value)
+        return results
+
+
+class ProcessPoolSweepExecutor(SerialExecutor):
+    """Multiprocessing fan-out over the sweep's independent tasks.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size; defaults to :func:`default_workers`.
+    chunksize:
+        Tasks per dispatched batch; defaults to spreading the task list
+        over ~4 batches per worker (amortizes IPC without starving the
+        tail).
+    cache:
+        Optional write-through :class:`ResultCache`.
+    """
+
+    def __init__(self, max_workers: int | None = None,
+                 chunksize: int | None = None,
+                 cache: ResultCache | None = None) -> None:
+        super().__init__(cache=cache)
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        self.max_workers = max_workers or default_workers()
+        self.chunksize = chunksize
+
+    def _compute(self, tasks: Sequence[SweepTask]):
+        if not tasks:
+            return iter(())
+        workers = min(self.max_workers, len(tasks))
+        chunk = self.chunksize or max(
+            1, math.ceil(len(tasks) / (workers * 4)))
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
+            yield from pool.map(run_task, tasks, chunksize=chunk)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)

@@ -50,7 +50,7 @@ def gate(cbr, tmp_path, monkeypatch):
         path = tmp_path / "BENCH_engine.json"
         path.write_text(json.dumps(baseline))
         monkeypatch.setattr(cbr, "BASELINE", path)
-        monkeypatch.setattr(cbr, "run", lambda: fresh)
+        monkeypatch.setattr(cbr, "run", lambda parallel=None: fresh)
         return cbr.main(argv or [])
 
     return _gate
@@ -86,6 +86,20 @@ class TestVerdicts:
         assert code == 1
         err = capsys.readouterr().err
         assert "checksum drifted" in err and "slowed" in err
+
+    def test_pool_checksum_divergence_fails(self, gate, capsys):
+        """The pool path must reproduce the serial checksum exactly."""
+        fresh = snapshot(1.0)
+        fresh["parallel"] = {"checksum": 999.0,
+                             "checksum_matches_serial": False}
+        assert gate(snapshot(1.0), fresh) == 1
+        assert "process-pool checksum" in capsys.readouterr().err
+
+    def test_pool_checksum_match_passes(self, gate):
+        fresh = snapshot(1.0)
+        fresh["parallel"] = {"checksum": 1000.0,
+                             "checksum_matches_serial": True}
+        assert gate(snapshot(1.0), fresh) == 0
 
 
 def cbr_slowdown() -> float:
@@ -137,6 +151,6 @@ class TestUpdateMode:
         path.write_text(json.dumps(snapshot(1.0)))
         monkeypatch.setattr(cbr, "BASELINE", path)
         fresh = snapshot(9.9, checksum=7.0)
-        monkeypatch.setattr(cbr, "run", lambda: fresh)
+        monkeypatch.setattr(cbr, "run", lambda parallel=None: fresh)
         assert cbr.main(["--update"]) == 0
         assert cbr.main([]) == 0

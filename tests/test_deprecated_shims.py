@@ -6,6 +6,10 @@
 shim cannot silently rot: it must warn, and it must keep producing the
 original entry point's ``lower @ upper == a`` reconstruction — the
 same factors ``pdgetrf``'s 2D path computes.
+
+``best_conflux_config`` is deprecated in favour of the planner
+(``repro.planner.plan_lu``): the shim must warn and keep the historical
+``(c, v, predicted_words)`` return shape and values.
 """
 
 import warnings
@@ -74,3 +78,37 @@ class TestDistributedLu2dShim:
             lower, upper, _ = distributed_lu_2d(a, nranks=4, nb=8)
         err = np.linalg.norm(a - lower @ upper)
         assert err / np.linalg.norm(a) < 1e-11
+
+
+class TestBestConfluxConfigShim:
+    def test_emits_deprecation_warning(self):
+        from repro.analysis.harness import best_conflux_config
+
+        with pytest.warns(DeprecationWarning, match="plan_lu"):
+            best_conflux_config(16384, 1024)
+
+    def test_return_shape_and_values(self):
+        """Same (c, v, predicted_words) triple as the retired search:
+        the planner's conflux-only plan is the source of truth."""
+        from repro.analysis.harness import best_conflux_config
+        from repro.models.costmodels import conflux_full_model
+        from repro.planner import plan_lu
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            c, v, cost = best_conflux_config(16384, 1024)
+        assert 1024 % c == 0
+        assert 16384 % v == 0 and v % c == 0
+        assert cost == pytest.approx(conflux_full_model(16384, 1024, c, v))
+        chosen = plan_lu(16384, 1024, mem_words=32 * 2 ** 30 / 8,
+                         impls=("conflux",)).chosen
+        assert (chosen.params["c"], chosen.params["v"]) == (c, v)
+
+    def test_infeasible_still_value_error(self):
+        from repro.analysis.harness import best_conflux_config
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(ValueError):
+                best_conflux_config(16384, 64,
+                                    node_mem_words=16384.0 * 16384 / 64 / 2)

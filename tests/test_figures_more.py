@@ -4,14 +4,13 @@ harness config fallback)."""
 import pytest
 
 from repro.analysis import (
-    best_conflux_config,
     fig9_lu_scaling,
     fig10_cholesky_scaling,
     fig11_cholesky_heatmap,
     table1_routine_costs,
     trace_lu,
 )
-from repro.analysis.harness import _config_for
+from repro.planner import config_25d, plan_lu
 
 
 class TestFig9And10:
@@ -73,24 +72,25 @@ class TestTable1Parameters:
 class TestConfigFallback:
     def test_incompatible_c_degrades(self):
         """N = 2^a * k with an odd c: fall back to a compatible depth."""
-        c, v = _config_for(9728, 27, 3)  # 9728 = 2^9 * 19, c=3 impossible
+        c, v = config_25d(9728, 27, 3)  # 9728 = 2^9 * 19, c=3 impossible
         assert 27 % c == 0
         assert 9728 % v == 0 and v % c == 0
 
     def test_compatible_c_kept(self):
-        c, v = _config_for(16384, 1024, 8)
+        c, v = config_25d(16384, 1024, 8)
         assert c == 8
 
-    def test_best_config_feasible(self):
-        c, v, cost = best_conflux_config(16384, 1024)
+    def test_planned_config_feasible(self):
+        chosen = plan_lu(16384, 1024, impls=("conflux",)).chosen
+        c, v = chosen.params["c"], chosen.params["v"]
         assert 1024 % c == 0
         assert 16384 % v == 0 and v % c == 0
-        assert cost > 0
+        assert chosen.predicted_words > 0
 
-    def test_best_config_beats_max_replication_when_p_near_n(self):
+    def test_planned_config_beats_max_replication_when_p_near_n(self):
         """When P approaches N the tuned c sits below P^(1/3)."""
-        c, _, _ = best_conflux_config(16384, 4096)
-        assert c < 16  # 4096^(1/3) = 16
+        chosen = plan_lu(16384, 4096, impls=("conflux",)).chosen
+        assert chosen.params["c"] < 16  # 4096^(1/3) = 16
 
     def test_trace_with_awkward_n(self):
         res = trace_lu("conflux", 9728, 27)

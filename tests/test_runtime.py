@@ -1,0 +1,149 @@
+"""Tests for the parallel sweep runtime (repro.runtime).
+
+The executor contract: results come back in task order, the process
+pool reproduces the serial path exactly (same FactorizationResults,
+bit-identical sweep checksum), and the content-addressed cache serves
+hits, recomputes misses, ignores stale-fingerprint entries, and makes
+interrupted sweeps resumable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.harness import memory_feasibility, sweep_traces
+from repro.runtime import (
+    ProcessPoolSweepExecutor,
+    ResultCache,
+    SerialExecutor,
+    SweepTask,
+    code_fingerprint,
+    run_task,
+)
+
+#: Small paper-shaped cases: fast to trace, non-trivial step counts.
+CASES = [(2048, 64), (4096, 256)]
+
+
+def checksum(results):
+    return sum(r.mean_recv_words for r in results)
+
+
+def assert_results_equal(a, b):
+    assert len(a) == len(b)
+    for ra, rb in zip(a, b):
+        assert ra.name == rb.name
+        assert (ra.n, ra.nranks) == (rb.n, rb.nranks)
+        assert ra.mean_recv_words == rb.mean_recv_words
+        assert ra.max_recv_words == rb.max_recv_words
+        assert ra.total_flops == rb.total_flops
+        np.testing.assert_array_equal(ra.comm.recv_words, rb.comm.recv_words)
+
+
+class TestSweepTask:
+    def test_cache_token_is_stable_and_distinct(self):
+        t1 = SweepTask("lu", "conflux", 2048, 64)
+        assert t1.cache_token() == SweepTask("lu", "conflux", 2048,
+                                             64).cache_token()
+        assert t1.cache_token() != SweepTask("lu", "mkl", 2048,
+                                             64).cache_token()
+        assert t1.cache_token() != SweepTask("lu", "conflux", 2048,
+                                             128).cache_token()
+
+    def test_run_task_dispatch(self):
+        res = run_task(SweepTask("cholesky", "confchox", 2048, 64))
+        assert res.name == "confchox"
+        with pytest.raises(ValueError, match="unknown sweep task"):
+            run_task(SweepTask("nope", "x", 8, 2))
+
+
+class TestSerialExecutor:
+    def test_matches_plain_loop(self):
+        plain = sweep_traces(CASES)
+        via_exec = sweep_traces(CASES, executor=SerialExecutor())
+        assert_results_equal(plain, via_exec)
+
+
+class TestProcessPool:
+    def test_parallel_equals_serial(self):
+        """The acceptance property: identical results (and therefore an
+        identical bench checksum) through the pool path."""
+        serial = sweep_traces(CASES)
+        par = sweep_traces(
+            CASES, executor=ProcessPoolSweepExecutor(max_workers=2))
+        assert_results_equal(serial, par)
+        assert checksum(par) == checksum(serial)
+
+    def test_memory_feasibility_parallel(self):
+        serial = memory_feasibility(CASES)
+        par = memory_feasibility(
+            CASES, executor=ProcessPoolSweepExecutor(max_workers=2))
+        assert par == serial
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError):
+            ProcessPoolSweepExecutor(max_workers=0)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        ex = SerialExecutor(cache=cache)
+        first = sweep_traces(CASES, executor=ex)
+        assert cache.hits == 0 and cache.misses == len(first)
+        second = sweep_traces(CASES, executor=ex)
+        assert cache.hits == len(first)
+        assert_results_equal(first, second)
+
+    def test_stale_fingerprint_recomputes(self, tmp_path):
+        warm = ResultCache(tmp_path, fingerprint="code-v1")
+        sweep_traces(CASES, executor=SerialExecutor(cache=warm))
+        stale = ResultCache(tmp_path, fingerprint="code-v2")
+        sweep_traces(CASES, executor=SerialExecutor(cache=stale))
+        assert stale.hits == 0
+        assert stale.misses > 0
+
+    def test_resumable_partial_sweep(self, tmp_path):
+        """An interrupted sweep keeps finished entries: a rerun serves
+        them as hits and computes only what is missing."""
+        tasks = [SweepTask("lu", "conflux", n, p) for n, p in CASES]
+        cache = ResultCache(tmp_path, fingerprint="pin")
+        cache.put(tasks[0].cache_token(), run_task(tasks[0]))
+        ex = SerialExecutor(cache=ResultCache(tmp_path, fingerprint="pin"))
+        results = ex.run(tasks)
+        assert ex.cache.hits == 1
+        assert ex.cache.misses == len(tasks) - 1
+        assert results[1].name == "conflux"
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path, fingerprint="pin")
+        token = "some-task"
+        cache.put(token, {"ok": 1})
+        cache._path(token).write_bytes(b"not a pickle")
+        assert cache.get(token) is None
+        cache.put(token, {"ok": 2})
+        assert cache.get(token) == {"ok": 2}
+
+    def test_values_roundtrip_pickle(self, tmp_path):
+        cache = ResultCache(tmp_path, fingerprint="pin")
+        res = run_task(SweepTask("lu", "mkl", 2048, 64))
+        cache.put("t", res)
+        back = cache.get("t")
+        assert back.mean_recv_words == res.mean_recv_words
+
+    def test_code_fingerprint_stable_in_process(self):
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 64
+
+
+class TestFigureOptIn:
+    def test_fig8a_with_executor_matches_serial(self):
+        from repro.analysis import fig8a_comm_volume
+
+        serial = fig8a_comm_volume(n=4096, p_sweep=(16, 64))
+        par = fig8a_comm_volume(
+            n=4096, p_sweep=(16, 64),
+            executor=ProcessPoolSweepExecutor(max_workers=2))
+        assert serial.keys() == par.keys()
+        for name in serial:
+            assert [(pt.nranks, pt.measured_words) for pt in serial[name]] \
+                == [(pt.nranks, pt.measured_words) for pt in par[name]]
