@@ -23,6 +23,13 @@ the serial one bit-for-bit (deterministic task ordering), and on a
 machine with >= 4 cores the sweep is expected to run >= 1.5x faster
 than serial (``--parallel N`` pins the worker count; single-core
 containers record their honest ~1x).
+
+The ``accounting`` block records both trace evaluators over the same
+workload: the closed-form evaluator (the default sweep path — cost
+terms summed analytically per rank, no step log) and the chunked
+reference interpreter.  Their checksums must agree exactly — the
+cost-term IR's bit-for-bit contract — which
+``check_bench_regression.py`` gates alongside the pool-vs-serial one.
 """
 
 from __future__ import annotations
@@ -101,6 +108,17 @@ def run(parallel: int | None = None) -> dict:
         checksum = _checksum(results)
     best = min(times)
 
+    # The reference chunked interpreter over the same workload: its
+    # checksum must equal the closed-form one exactly (best of 2 — it
+    # is the slow path and only its checksum is gated).
+    chunked_times = []
+    chunked_checksum = 0.0
+    for _ in range(2):
+        t0 = time.perf_counter()
+        chunked_results = sweep_traces(CASES, evaluator="chunked")
+        chunked_times.append(time.perf_counter() - t0)
+        chunked_checksum = _checksum(chunked_results)
+
     cpus = default_workers()
     workers = (parallel if parallel is not None
                else min(MIN_CORES_FOR_SPEEDUP, cpus))
@@ -128,6 +146,13 @@ def run(parallel: int | None = None) -> dict:
             "calib_s": round(calibrate(), 4),
             "checksum": checksum,
             "chunk_target": accounting._CHUNK_TARGET,
+        },
+        "accounting": {
+            "mode": "closed",
+            "closed": {"sweep_s": round(best, 3), "checksum": checksum},
+            "chunked": {"sweep_s": round(min(chunked_times), 3),
+                        "checksum": chunked_checksum},
+            "checksum_matches": chunked_checksum == checksum,
         },
         "parallel": {
             "workers": workers,
@@ -167,6 +192,12 @@ def main(argv: list[str] | None = None) -> int:
     failures = []
     if snapshot["speedup_vs_seed"] < 1.0:
         failures.append("trace sweep slower than the seed baseline")
+    acct = snapshot["accounting"]
+    if not acct["checksum_matches"]:
+        failures.append(
+            f"closed-form checksum {acct['closed']['checksum']} != "
+            f"chunked {acct['chunked']['checksum']} — the evaluators "
+            "diverged")
     par = snapshot["parallel"]
     if not par["checksum_matches_serial"]:
         failures.append(

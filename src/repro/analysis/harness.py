@@ -16,15 +16,7 @@ import math
 import warnings
 from typing import Callable
 
-from ..factorizations import confchox_cholesky, conflux_lu
-from ..factorizations.baselines import (
-    candmc_lu,
-    capital_cholesky,
-    scalapack_cholesky,
-    scalapack_lu,
-    slate_lu,
-    slate_cholesky,
-)
+from ..factorizations.baselines import candmc_lu, capital_cholesky
 from ..factorizations.common import FactorizationResult
 from ..machine.perf_model import PIZ_DAINT_XC40, MachineParams, PerfModel
 from ..planner.candidates import config_25d, panel_width_2d
@@ -69,30 +61,90 @@ _config_for = config_25d
 _nb_for = panel_width_2d
 
 
-def _run_conflux(n: int, p: int, c: int) -> FactorizationResult:
-    c_ok, v = _config_for(n, p, c)
-    return conflux_lu(n, p, v=v, c=c_ok, execute=False)
+def _trace(schedule, steps: str, evaluator: str | None,
+           ) -> FactorizationResult:
+    from ..engine.backends import TraceBackend
+
+    return TraceBackend(steps=steps, evaluator=evaluator).run(schedule)
 
 
-def _run_confchox(n: int, p: int, c: int) -> FactorizationResult:
+def _run_conflux(n: int, p: int, c: int, steps: str = "columnar",
+                 evaluator: str | None = None) -> FactorizationResult:
+    from ..factorizations import ConfluxSchedule
+
     c_ok, v = _config_for(n, p, c)
-    return confchox_cholesky(n, p, v=v, c=c_ok, execute=False)
+    return _trace(ConfluxSchedule(n, p, v=v, c=c_ok), steps, evaluator)
+
+
+def _run_confchox(n: int, p: int, c: int, steps: str = "columnar",
+                  evaluator: str | None = None) -> FactorizationResult:
+    from ..factorizations import ConfchoxSchedule
+
+    c_ok, v = _config_for(n, p, c)
+    return _trace(ConfchoxSchedule(n, p, v=v, c=c_ok), steps, evaluator)
+
+
+def _run_mkl_lu(n: int, p: int, c: int, steps: str = "columnar",
+                evaluator: str | None = None) -> FactorizationResult:
+    from ..factorizations.baselines.scalapack_lu import ScalapackLUSchedule
+
+    return _trace(ScalapackLUSchedule(n, p, nb=_nb_for(n)), steps,
+                  evaluator)
+
+
+def _run_slate_lu(n: int, p: int, c: int, steps: str = "columnar",
+                  evaluator: str | None = None) -> FactorizationResult:
+    from ..factorizations.baselines.scalapack_lu import ScalapackLUSchedule
+
+    return _trace(ScalapackLUSchedule(n, p, nb=_nb_for(n), name="slate",
+                                      panel_rebroadcast=False),
+                  steps, evaluator)
+
+
+def _run_mkl_chol(n: int, p: int, c: int, steps: str = "columnar",
+                  evaluator: str | None = None) -> FactorizationResult:
+    from ..factorizations.baselines.scalapack_chol import (
+        ScalapackCholeskySchedule,
+    )
+
+    return _trace(ScalapackCholeskySchedule(n, p, nb=_nb_for(n)), steps,
+                  evaluator)
+
+
+def _run_slate_chol(n: int, p: int, c: int, steps: str = "columnar",
+                    evaluator: str | None = None) -> FactorizationResult:
+    from ..factorizations.baselines.scalapack_chol import (
+        ScalapackCholeskySchedule,
+    )
+
+    return _trace(ScalapackCholeskySchedule(n, p, nb=_nb_for(n),
+                                            name="slate-chol"),
+                  steps, evaluator)
+
+
+def _run_candmc(n: int, p: int, c: int, steps: str = "columnar",
+                evaluator: str | None = None) -> FactorizationResult:
+    # Model baseline (RankAccountant): no trace-evaluator choice.
+    return candmc_lu(n, p, c=c)
+
+
+def _run_capital(n: int, p: int, c: int, steps: str = "columnar",
+                 evaluator: str | None = None) -> FactorizationResult:
+    return capital_cholesky(n, p, c=c)
 
 
 LU_IMPLEMENTATIONS: dict[str, Callable[..., FactorizationResult]] = {
     "conflux": _run_conflux,
-    "mkl": lambda n, p, c: scalapack_lu(n, p, nb=_nb_for(n), execute=False),
-    "slate": lambda n, p, c: slate_lu(n, p, nb=_nb_for(n), execute=False),
-    "candmc": lambda n, p, c: candmc_lu(n, p, c=c),
+    "mkl": _run_mkl_lu,
+    "slate": _run_slate_lu,
+    "candmc": _run_candmc,
 }
 
 CHOLESKY_IMPLEMENTATIONS: dict[str, Callable[..., FactorizationResult]] = {
     "confchox": _run_confchox,
-    "mkl-chol": lambda n, p, c: scalapack_cholesky(n, p, nb=_nb_for(n),
-                                                   execute=False),
-    "slate-chol": lambda n, p, c: slate_cholesky(n, p, nb=_nb_for(n),
-                                                 execute=False),
-    "capital": lambda n, p, c: capital_cholesky(n, p, c=c),
+    "mkl-chol": _run_mkl_chol,
+    "slate-chol": _run_slate_chol,
+    "capital": _run_capital,
 }
 
 
@@ -124,39 +176,53 @@ def best_conflux_config(n: int, p: int,
     return (chosen.params["c"], chosen.params["v"], chosen.predicted_words)
 
 
-def trace_lu(name: str, n: int, p: int,
-             c: int | None = None) -> FactorizationResult:
-    """Trace one LU implementation at paper scale (no numerics)."""
+def trace_lu(name: str, n: int, p: int, c: int | None = None,
+             steps: str = "columnar",
+             evaluator: str | None = None) -> FactorizationResult:
+    """Trace one LU implementation at paper scale (no numerics).
+
+    ``steps``/``evaluator`` select the trace path: the default keeps a
+    columnar step log (what :func:`estimate_time` consumes) through the
+    chunked interpreter; ``steps="none"`` drops the log and evaluates
+    the cost terms in closed form — the O(P) path sweeps use.
+    """
     if name not in LU_IMPLEMENTATIONS:
         raise KeyError(f"unknown LU implementation {name!r}; "
                        f"have {sorted(LU_IMPLEMENTATIONS)}")
     if c is None:
         c = max_replication(p, n)
-    return LU_IMPLEMENTATIONS[name](n, p, c)
+    return LU_IMPLEMENTATIONS[name](n, p, c, steps=steps,
+                                    evaluator=evaluator)
 
 
-def trace_cholesky(name: str, n: int, p: int,
-                   c: int | None = None) -> FactorizationResult:
+def trace_cholesky(name: str, n: int, p: int, c: int | None = None,
+                   steps: str = "columnar",
+                   evaluator: str | None = None) -> FactorizationResult:
     """Trace one Cholesky implementation at paper scale."""
     if name not in CHOLESKY_IMPLEMENTATIONS:
         raise KeyError(f"unknown Cholesky implementation {name!r}; "
                        f"have {sorted(CHOLESKY_IMPLEMENTATIONS)}")
     if c is None:
         c = max_replication(p, n)
-    return CHOLESKY_IMPLEMENTATIONS[name](n, p, c)
+    return CHOLESKY_IMPLEMENTATIONS[name](n, p, c, steps=steps,
+                                          evaluator=evaluator)
 
 
 def sweep_traces(cases: list[tuple[int, int]],
                  lu_impls: tuple[str, ...] = ("conflux", "mkl"),
                  chol_impls: tuple[str, ...] = ("confchox", "mkl-chol"),
-                 executor=None) -> list[FactorizationResult]:
+                 executor=None, steps: str = "none",
+                 evaluator: str | None = None) -> list[FactorizationResult]:
     """Trace every ``(impl, N, P)`` combination of the sweep.
 
     This is the paper-style evaluation loop the figure benchmarks and
-    the ``bench-smoke`` perf snapshot share; each trace runs through the
-    engine's step-vectorized :class:`~repro.engine.backends.TraceBackend`,
-    so the sweep cost is dominated by NumPy array arithmetic rather than
-    per-step Python overhead.
+    the ``bench-smoke`` perf snapshot share.  By default each trace
+    runs ``steps="none"`` — the closed-form evaluator sums every cost
+    term analytically per rank, so a paper-scale point costs O(P)
+    instead of O(steps x P) and no step log is kept.  Pass
+    ``steps="columnar"`` when per-step data is needed downstream, or
+    ``evaluator="chunked"`` to force the reference interpreter (the
+    bench snapshot records both paths' checksums).
 
     ``executor`` accepts a :mod:`repro.runtime` sweep executor (serial
     or process-pool, optionally cache-backed); the result order — and
@@ -164,7 +230,8 @@ def sweep_traces(cases: list[tuple[int, int]],
     """
     from ..runtime.executor import SerialExecutor, SweepTask
 
-    tasks = [SweepTask(kind, name, n, p)
+    extra = (("evaluator", evaluator), ("steps", steps))
+    tasks = [SweepTask(kind, name, n, p, extra=extra)
              for n, p in cases
              for kind, names in (("lu", lu_impls), ("cholesky", chol_impls))
              for name in names]

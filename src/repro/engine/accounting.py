@@ -1,43 +1,72 @@
-"""Step-vectorized trace accounting.
+"""Cost-term IR for trace accounting, with two evaluators.
 
-:class:`~repro.factorizations.common.RankAccountant` vectorizes the
-analytic accounting over *ranks*; a paper-scale trace still pays a Python
-loop over the ``N/v`` steps (thousands of small NumPy calls).
-:class:`StepAccounting` removes that loop: a schedule's
-:meth:`~repro.engine.schedule.Schedule.accounting` writes whole
-``(steps, ranks)`` matrices at once — the step index is a column vector,
-the grid coordinates are row vectors, and every per-step formula
-broadcasts.  Totals land in a :class:`~repro.machine.stats.CommStats`
-and the per-step maxima/totals become the same
-:class:`~repro.machine.stats.StepLog` the per-step loop would have
-produced, so the BSP performance model is unaffected.
+The schedules' analytic accounting used to *write* raw
+``(steps, ranks)`` NumPy matrices (step-column times coordinate-row
+broadcasts).  That made every sweep pay O(steps x P) array work per
+term — the dominant cost of paper-scale ``(impl, N, P)`` sweeps.  This
+module replaces the raw matrices with a small declarative IR: a
+schedule's :meth:`~repro.engine.schedule.Schedule.accounting` *emits*
+:class:`CostTerm` objects through the :class:`StepAccounting` builder,
+and an evaluator reduces them.
 
-Two refinements keep paper-scale sweeps fast and memory-bounded:
+A term's per-(step, rank) value factorizes as::
 
-* contributions that are *rank-uniform* (a scalar or a ``(steps, 1)``
-  column — most of Algorithm 1's machine-wide reduce-scatter and 1D
-  scatter terms) are accumulated as per-step columns, never
-  materializing a ``(steps, ranks)`` matrix; folding them back into
-  per-rank totals and per-step maxima is exact because a uniform add
-  shifts every rank by the same amount;
-* the step axis is processed in chunks (``steps * P`` can exceed 10^8
-  at paper scale), so the schedule's accounting function is called once
-  per chunk with ``acct.t`` holding that chunk's step indices.
-  Formulas must therefore depend only on ``acct.t`` (and constants),
-  never on state mutated across calls — true of every analytic schedule
-  in this repo.
+    words(t, r) = coeff * step(t) * gate(t, r) * own(t, r) * const(r)
+
+* ``coeff`` — one float scalar, applied exactly once per term;
+* ``step(t)`` — an integer-valued step profile (:class:`StepFn`):
+  constant, affine ``c0 + c1 t``, or an explicit per-step column (e.g.
+  the tournament's butterfly-exchange counts), restricted to a
+  half-open step range (how ``(n11 > 0)``-style phase gates are
+  expressed);
+* ``gate(t, r)`` — a conjunction of cyclic coordinate masks
+  ``coord_axis == t mod dim`` (or their negations): the
+  "panel column of step t" / "pivot layer of step t" predicates;
+* ``own(t, r)`` — up to two cyclic-ownership factors counting the
+  rank's block-cyclic tiles in ``[t+1, nsteps)`` along a grid axis
+  (``tiles_owned``); and
+* ``const(r)`` — an optional per-rank constant vector (e.g. the
+  step-independent ``laswp`` tile counts).
+
+Message counts ride along per term: where the term's words are
+positive, ``msgs(t) = msgs_coeff * msgs_step(t)`` messages are charged
+— the same "messages follow words" rule the raw-matrix path applied.
+
+Two evaluators consume the IR:
+
+* the **chunked interpreter** (:meth:`StepAccounting.run`) — the
+  reference backend.  It materializes each term's ``(chunk, ranks)``
+  factors numerically, exactly like the retired raw-matrix path, and
+  additionally produces the per-step log (columnar or records);
+* the **closed-form evaluator** (:meth:`StepAccounting.run_closed`) —
+  reduces each term's sum over steps analytically per rank: affine
+  profiles via exact arithmetic-series sums, gated/owned terms via
+  per-residue-class contraction (``O(steps + P)`` work, never an
+  ``O(steps x P)`` allocation).  No step log exists on this path.
+
+The two agree **bit-for-bit** on the communication counters
+(received/sent words and message counts): every words/msgs profile is
+integer-valued, both evaluators accumulate those integers exactly
+(float64 sums of integers below 2^53 are associativity-free), and the
+single float ``coeff`` multiplies the identical integer total in the
+identical term order.  Flop terms may carry non-integer step columns
+(the 2D panel-LU count), where agreement is to float rounding instead;
+the parity suite pins both guarantees.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+import dataclasses
+import math
+from typing import Callable, Sequence
 
 import numpy as np
 
 from ..machine.grid import ProcessorGrid2D, ProcessorGrid3D
-from ..machine.stats import CommStats, StepRecord
+from ..machine.stats import STEP_FIELDS, CommStats, NullStepLog, StepRecord
 
-__all__ = ["StepAccounting", "butterfly_pair_exchanges"]
+__all__ = ["StepAccounting", "StepFn", "CostTerm",
+           "butterfly_pair_exchanges"]
 
 
 def butterfly_pair_exchanges(m: np.ndarray | int) -> np.ndarray:
@@ -65,18 +94,90 @@ def butterfly_pair_exchanges(m: np.ndarray | int) -> np.ndarray:
         q *= 2
     return total
 
-#: Target elements per (chunk, ranks) scratch matrix.  Sized so the
-#: handful of live accumulators stay cache-resident: large chunks turn
-#: the accounting memory-bandwidth-bound and end up *slower*.
+
+#: Target elements per (chunk, ranks) scratch matrix of the chunked
+#: interpreter.  Sized so the handful of live accumulators stay
+#: cache-resident: large chunks turn the accounting memory-bandwidth-
+#: bound and end up *slower*.
 _CHUNK_TARGET = 131_072
+
+#: Grid-axis letters: pi ('i'), pj ('j'), pk ('k').
+_AXES = "ijk"
+
+
+@dataclasses.dataclass(frozen=True)
+class StepFn:
+    """A per-step base profile on ``[lo, hi)`` (zero elsewhere).
+
+    Either affine — ``c0 + c1 * t`` — or an explicit ``column`` of
+    per-step values covering all ``nsteps`` steps.  Words/msgs profiles
+    are integer-valued (validated at emission), which is what makes the
+    evaluators' agreement exact; flop profiles may be fractional
+    (``exact`` is False then).
+    """
+
+    c0: float = 0.0
+    c1: float = 0.0
+    column: np.ndarray | None = None
+    lo: int = 0
+    hi: int = 0
+
+    @property
+    def exact(self) -> bool:
+        """True when every value is an integer (exact summation)."""
+        if self.column is None:
+            return float(self.c0).is_integer() and \
+                float(self.c1).is_integer()
+        return bool(np.all(self.column == np.floor(self.column)))
+
+    def values(self, t0: int, t1: int) -> np.ndarray:
+        """Profile values for steps ``[t0, t1)`` as a float column."""
+        t = np.arange(t0, t1, dtype=np.float64)
+        if self.column is not None:
+            vals = np.asarray(self.column[t0:t1], dtype=np.float64)
+        else:
+            vals = self.c0 + self.c1 * t
+        live = (t >= self.lo) & (t < self.hi)
+        return np.where(live, vals, 0.0)
+
+
+@dataclasses.dataclass(frozen=True)
+class CostTerm:
+    """One declarative accounting contribution (see module docstring).
+
+    ``gate`` is a tuple of axis atoms — ``"j"`` for
+    ``coord_j == t mod cols``, ``"!j"`` for its negation; ``own`` names
+    the axes carrying a cyclic tiles-owned factor over ``[t+1, nsteps)``;
+    ``rank_const`` is an optional per-rank constant vector.  ``msgs``
+    terms (``msgs_coeff`` / ``msgs_step``) charge messages wherever the
+    term's words are positive; flop terms carry none.
+    """
+
+    counter: str                      # "recv" | "sent" | "flops"
+    coeff: float
+    step: StepFn
+    gate: tuple[str, ...] = ()
+    own: tuple[str, ...] = ()
+    rank_const: np.ndarray | None = None
+    msgs_coeff: float = 0.0
+    msgs_step: StepFn | None = None
+
+    @property
+    def uniform(self) -> bool:
+        """Rank-independent (no gate, no ownership, no constants)."""
+        return not self.gate and not self.own and self.rank_const is None
 
 
 class StepAccounting:
-    """Accumulates per-(step, rank) trace costs for one chunk of steps.
+    """Builder and evaluators for a schedule's cost terms.
 
-    The grid coordinate arrays ``pi``/``pj``/``pk`` are row vectors of
-    length ``P``; :attr:`t` is a ``(chunk, 1)`` column of step indices.
-    Any expression combining them broadcasts to ``(chunk, P)``.
+    A schedule's ``accounting(acct)`` runs exactly once per evaluation:
+    it declares terms via :meth:`add_recv` / :meth:`add_sent` /
+    :meth:`add_flops` and profile constructors :meth:`const` /
+    :meth:`affine` / :meth:`column`.  The evaluators —
+    :meth:`run` (chunked interpreter, reference) and :meth:`run_closed`
+    (closed-form) — then reduce the emitted terms into a
+    :class:`~repro.machine.stats.CommStats`.
     """
 
     def __init__(self, grid: ProcessorGrid3D | ProcessorGrid2D,
@@ -93,123 +194,408 @@ class StepAccounting:
         self.pj = pj.reshape(-1)
         self.pk = pk.reshape(-1)
         self.nranks = grid.size
-        self.t: np.ndarray = np.zeros((0, 1))
-        self._chunk = 0
-        self._uni: dict[str, np.ndarray] = {}
-        self._full: dict[str, np.ndarray] = {}
+        self._terms: list[CostTerm] = []
 
     # ------------------------------------------------------------------
-    def tiles_owned(self, total_tiles: int, first: np.ndarray | int,
-                    coord: np.ndarray, nprocs: int) -> np.ndarray:
-        """Per-(step, rank) count of cyclic tile indices in
-        ``[first, total)`` owned by grid coordinate ``coord``.
+    # Axis helpers
+    # ------------------------------------------------------------------
+    def _axis_dim(self, axis: str) -> int:
+        return {"i": self.grid.rows, "j": self.grid.cols,
+                "k": self.grid.layers}[axis]
 
-        ``first`` may be a ``(chunk, 1)`` column (e.g. ``t + 1``), making
-        the result a full ``(chunk, P)`` matrix.
-        """
-        remaining = np.maximum(0, total_tiles - np.asarray(first))
-        offset = (coord - np.asarray(first)) % nprocs
-        return np.maximum(0, (remaining - offset + nprocs - 1) // nprocs)
+    def _axis_coords(self, axis: str) -> np.ndarray:
+        return {"i": self.pi, "j": self.pj, "k": self.pk}[axis]
 
     # ------------------------------------------------------------------
-    def _bump(self, words_key: str, msgs_key: str | None,
-              words: np.ndarray | float,
-              msgs: np.ndarray | float) -> None:
-        w = np.asarray(words, dtype=np.float64)
-        m = np.asarray(msgs, dtype=np.float64)
-        uniform = (w.ndim == 0 or (w.ndim == 2 and w.shape[1] == 1)) and \
-                  (m.ndim == 0 or (m.ndim == 2 and m.shape[1] == 1))
-        if uniform:
-            wc = w if w.ndim == 0 else w[:, 0]
-            mc = m if m.ndim == 0 else m[:, 0]
-            self._uni[words_key] += wc
-            if msgs_key is not None:
-                self._uni[msgs_key] += np.where(wc > 0, mc, 0.0)
-            return
-        full = self._full
-        if words_key not in full:
-            shape = (self._chunk, self.nranks)
-            full[words_key] = np.zeros(shape)
-            if msgs_key is not None:
-                full.setdefault(msgs_key, np.zeros(shape))
-        wb = np.broadcast_to(w, (self._chunk, self.nranks))
-        full[words_key] += wb
-        if msgs_key is not None:
-            if msgs_key not in full:
-                full[msgs_key] = np.zeros((self._chunk, self.nranks))
-            full[msgs_key] += np.where(
-                wb > 0, np.broadcast_to(m, wb.shape), 0.0)
+    # Profile constructors
+    # ------------------------------------------------------------------
+    def const(self, lo: int = 0, hi: int | None = None) -> StepFn:
+        """The unit profile: 1 on ``[lo, hi)`` (default: every step)."""
+        return self.affine(1.0, 0.0, lo=lo, hi=hi)
 
-    def add_recv(self, words: np.ndarray | float,
-                 msgs: np.ndarray | float = 1.0) -> None:
-        self._bump("recv", "rmsgs", words, msgs)
+    def affine(self, c0: float, c1: float = 0.0, lo: int = 0,
+               hi: int | None = None) -> StepFn:
+        """``c0 + c1 * t`` on ``[lo, hi)``; coefficients must be
+        integers (the exactness contract of the words counters)."""
+        if not (float(c0).is_integer() and float(c1).is_integer()):
+            raise ValueError(
+                f"affine profile needs integer coefficients, got "
+                f"({c0}, {c1}); fold fractions into the term coeff")
+        return StepFn(c0=float(c0), c1=float(c1), lo=int(lo),
+                      hi=self.nsteps if hi is None else int(hi))
 
-    def add_sent(self, words: np.ndarray | float,
-                 msgs: np.ndarray | float = 1.0) -> None:
-        self._bump("sent", "smsgs", words, msgs)
+    def column(self, values: np.ndarray, lo: int = 0,
+               hi: int | None = None) -> StepFn:
+        """An explicit per-step column covering all ``nsteps`` steps."""
+        col = np.asarray(values, dtype=np.float64)
+        if col.shape != (self.nsteps,):
+            raise ValueError(f"column needs shape ({self.nsteps},), "
+                             f"got {col.shape}")
+        return StepFn(column=col, lo=int(lo),
+                      hi=self.nsteps if hi is None else int(hi))
 
-    def add_flops(self, flops: np.ndarray | float) -> None:
-        self._bump("flops", None, flops, 0.0)
+    def tiles_owned_static(self, axis: str) -> np.ndarray:
+        """Per-rank count of cyclic tiles in ``[0, nsteps)`` owned along
+        ``axis`` — a step-independent rank constant."""
+        m = self._axis_dim(axis)
+        coords = self._axis_coords(axis)
+        return np.maximum(
+            0, (self.nsteps - coords + m - 1) // m).astype(np.float64)
 
+    # ------------------------------------------------------------------
+    # Term emission
+    # ------------------------------------------------------------------
+    def _add(self, counter: str, coeff: float, step: StepFn | None,
+             gate: Sequence[str], own: Sequence[str],
+             rank_const: np.ndarray | None, msgs_coeff: float,
+             msgs_step: StepFn | None) -> None:
+        if not math.isfinite(coeff):
+            raise ValueError(f"non-finite coeff {coeff}")
+        if counter != "flops" and coeff < 0:
+            raise ValueError(f"negative {counter} coeff {coeff}")
+        step = step if step is not None else self.const()
+        if counter != "flops" and not step.exact:
+            raise ValueError(
+                "words profiles must be integer-valued (the exactness "
+                "contract); scale the column and move the fraction into "
+                "coeff")
+        if msgs_step is not None and not msgs_step.exact:
+            raise ValueError("msgs profiles must be integer-valued")
+        gate = tuple(gate)
+        own = tuple(own)
+        seen_axes = set()
+        for atom in gate:
+            axis = atom.lstrip("!")
+            if axis not in _AXES or len(atom) - len(axis) > 1:
+                raise ValueError(f"bad gate atom {atom!r}")
+            if axis in seen_axes:
+                raise ValueError(f"duplicate gate axis {axis!r}")
+            seen_axes.add(axis)
+        if len(set(own)) != len(own) or not set(own) <= set(_AXES):
+            raise ValueError(f"bad ownership axes {own!r}")
+        if rank_const is not None:
+            rank_const = np.asarray(rank_const, dtype=np.float64)
+            if rank_const.shape != (self.nranks,):
+                raise ValueError(
+                    f"rank_const needs shape ({self.nranks},)")
+            if np.any(rank_const < 0):
+                raise ValueError("rank_const must be non-negative")
+        if counter == "flops":
+            msgs_coeff, msgs_step = 0.0, None
+        elif msgs_coeff > 0 and msgs_step is None:
+            msgs_step = self.const(lo=step.lo, hi=step.hi)
+        self._terms.append(CostTerm(
+            counter=counter, coeff=float(coeff), step=step, gate=gate,
+            own=own, rank_const=rank_const, msgs_coeff=float(msgs_coeff),
+            msgs_step=msgs_step))
+
+    def add_recv(self, coeff: float, step: StepFn | None = None,
+                 gate: Sequence[str] = (), own: Sequence[str] = (),
+                 rank_const: np.ndarray | None = None,
+                 msgs: float = 1.0,
+                 msgs_step: StepFn | None = None) -> None:
+        """Received words ``coeff * step * gate * own * rank_const``,
+        plus ``msgs * msgs_step`` messages wherever words are
+        positive."""
+        self._add("recv", coeff, step, gate, own, rank_const, msgs,
+                  msgs_step)
+
+    def add_sent(self, coeff: float, step: StepFn | None = None,
+                 gate: Sequence[str] = (), own: Sequence[str] = (),
+                 rank_const: np.ndarray | None = None,
+                 msgs: float = 1.0,
+                 msgs_step: StepFn | None = None) -> None:
+        self._add("sent", coeff, step, gate, own, rank_const, msgs,
+                  msgs_step)
+
+    def add_flops(self, coeff: float, step: StepFn | None = None,
+                  gate: Sequence[str] = (), own: Sequence[str] = (),
+                  rank_const: np.ndarray | None = None) -> None:
+        self._add("flops", coeff, step, gate, own, rank_const, 0.0, None)
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _collect(self, accounting: Callable[["StepAccounting"], None],
+                 ) -> list[CostTerm]:
+        self._terms = []
+        accounting(self)
+        terms, self._terms = self._terms, []
+        return terms
+
+    def _own_matrix(self, axis: str, t: np.ndarray) -> np.ndarray:
+        """``(len(t), dim)`` cyclic tiles-owned counts: residue ``a``
+        owns ``#{j in [t+1, nsteps): j = a (mod dim)}`` tiles."""
+        m = self._axis_dim(axis)
+        first = (t + 1)[:, None].astype(np.int64)
+        res = np.arange(m, dtype=np.int64)[None, :]
+        remaining = np.maximum(0, self.nsteps - first)
+        offset = (res - first) % m
+        return np.maximum(
+            0, (remaining - offset + m - 1) // m).astype(np.float64)
+
+    def _rank_factor(self, term: CostTerm,
+                     t: np.ndarray) -> np.ndarray | None:
+        """The term's rank-dependent factor as a dense ``(chunk, P)``
+        matrix (the interpreter's reference semantics), or None for a
+        rank-uniform term."""
+        if term.uniform:
+            return None
+        fac = np.ones((t.size, self.nranks))
+        tc = t[:, None]
+        for atom in term.gate:
+            axis = atom.lstrip("!")
+            cond = self._axis_coords(axis)[None, :] == \
+                tc % self._axis_dim(axis)
+            fac = fac * np.where(atom.startswith("!"), ~cond, cond)
+        for axis in term.own:
+            own = self._own_matrix(axis, t)
+            fac = fac * own[:, self._axis_coords(axis)]
+        if term.rank_const is not None:
+            fac = fac * term.rank_const[None, :]
+        return fac
+
+    # ------------------------------------------------------------------
+    # Chunked interpreter (reference backend)
     # ------------------------------------------------------------------
     def run(self, accounting: Callable[["StepAccounting"], None],
             stats: CommStats,
             step_label: Callable[[int], str]) -> None:
-        """Evaluate ``accounting`` chunk by chunk, flushing into ``stats``.
+        """Evaluate the emitted terms chunk by chunk into ``stats``.
 
-        ``stats`` receives the per-rank totals plus one
-        :class:`StepRecord` per step, exactly as the per-step
-        ``begin_step``/``end_step`` loop would have recorded.
+        Per-rank totals accumulate in *base space* — the integer
+        ``step * gate * own`` products — with each term's ``coeff``
+        applied exactly once at the end, in emission order; that is the
+        contract the closed-form evaluator reproduces bit-for-bit.  The
+        per-step log (skipped when ``stats`` records no steps) applies
+        coefficients per step and folds rank-uniform columns into the
+        full-matrix aggregates, exactly as the raw-matrix path did.
         """
-        chunk = max(1, min(self.nsteps, _CHUNK_TARGET // max(1, self.nranks)))
-        for s0 in range(0, self.nsteps, chunk):
-            s1 = min(self.nsteps, s0 + chunk)
-            self._chunk = s1 - s0
-            self.t = np.arange(s0, s1, dtype=np.float64)[:, None]
-            self._uni = {k: np.zeros(self._chunk)
-                         for k in ("recv", "sent", "flops", "rmsgs", "smsgs")}
-            self._full = {}
-            accounting(self)
-            self._flush(stats, step_label, s0)
-        self._uni = {}
-        self._full = {}
+        terms = self._collect(accounting)
+        nt, P, T = len(terms), self.nranks, self.nsteps
+        want_steps = not isinstance(stats.steps, NullStepLog)
+        base_tot = np.zeros((nt, P))
+        msgs_tot = np.zeros((nt, P))
+        chunk = max(1, min(T, _CHUNK_TARGET // max(1, P)))
+        for s0 in range(0, T, chunk):
+            s1 = min(T, s0 + chunk)
+            t = np.arange(s0, s1, dtype=np.int64)
+            # Per-step accumulators for the log: rank-uniform columns
+            # stay columns, full matrices share one buffer per counter
+            # (single allocation site — the old msgs double-allocation
+            # cannot recur).
+            uni: dict[str, np.ndarray] = {}
+            full: dict[str, np.ndarray] = {}
 
-    def _series(self, key: str) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """(per-rank totals, per-step max, per-step total) of one counter.
+            def full_buf(key: str, n: int = s1 - s0) -> np.ndarray:
+                if key not in full:
+                    full[key] = np.zeros((n, P))
+                return full[key]
 
-        A rank-uniform contribution adds the same amount to every rank,
-        so it shifts the per-step max by itself and the per-step total
-        by ``P`` times itself — folding the uniform column back in after
-        the full matrix is aggregated is exact.
+            for i, term in enumerate(terms):
+                base = term.step.values(s0, s1)
+                fac = self._rank_factor(term, t)
+                mbase = (term.msgs_step.values(s0, s1)
+                         if term.msgs_step is not None else None)
+                if fac is None:
+                    base_tot[i] += base.sum()
+                    words = term.coeff * base
+                    if mbase is not None:
+                        msgs_tot[i] += np.where(words > 0, mbase,
+                                                0.0).sum()
+                    if want_steps:
+                        uni[term.counter] = uni.get(
+                            term.counter, 0.0) + words
+                        if mbase is not None and term.counter == "recv":
+                            uni["rmsgs"] = uni.get("rmsgs", 0.0) + \
+                                term.msgs_coeff * np.where(
+                                    words > 0, mbase, 0.0)
+                    continue
+                mat = base[:, None] * fac
+                base_tot[i] += mat.sum(axis=0)
+                words = term.coeff * mat
+                if mbase is not None:
+                    mmat = np.where(words > 0, mbase[:, None], 0.0)
+                    msgs_tot[i] += mmat.sum(axis=0)
+                if want_steps:
+                    full_buf(term.counter)[...] += words
+                    if mbase is not None and term.counter == "recv":
+                        full_buf("rmsgs")[...] += term.msgs_coeff * mmat
+            if want_steps:
+                self._flush_steps(stats, step_label, s0, s1, uni, full)
+        # Totals: coeff once per term, in emission order.
+        arrays = {"recv": (stats.recv_words, stats.recv_msgs),
+                  "sent": (stats.sent_words, stats.sent_msgs),
+                  "flops": (stats.flops, None)}
+        for i, term in enumerate(terms):
+            words_arr, msgs_arr = arrays[term.counter]
+            words_arr += term.coeff * base_tot[i]
+            if term.msgs_step is not None and msgs_arr is not None:
+                msgs_arr += term.msgs_coeff * msgs_tot[i]
+
+    def _flush_steps(self, stats: CommStats,
+                     step_label: Callable[[int], str], s0: int, s1: int,
+                     uni: dict[str, np.ndarray],
+                     full: dict[str, np.ndarray]) -> None:
+        """One chunk's per-step maxima/totals into the step log.
+
+        A rank-uniform column adds the same amount to every rank, so it
+        shifts the per-step max by itself and the per-step total by
+        ``P`` times itself — folding it in after aggregating the full
+        matrix is exact.
         """
-        uni = self._uni[key]
-        full = self._full.get(key)
-        if full is None:
-            per_rank = np.full(self.nranks, uni.sum())
-            return per_rank, uni.copy(), uni * self.nranks
-        return (full.sum(axis=0) + uni.sum(),
-                full.max(axis=1) + uni,
-                full.sum(axis=1) + uni * self.nranks)
+        n, P = s1 - s0, self.nranks
+        zeros = np.zeros(n)
 
-    def _flush(self, stats: CommStats, step_label: Callable[[int], str],
-               s0: int) -> None:
-        recv_r, recv_max, recv_tot = self._series("recv")
-        sent_r, sent_max, sent_tot = self._series("sent")
-        flops_r, flops_max, flops_tot = self._series("flops")
-        rmsgs_r, msgs_max, msgs_tot = self._series("rmsgs")
-        smsgs_r, _, _ = self._series("smsgs")
-        stats.recv_words += recv_r
-        stats.sent_words += sent_r
-        stats.flops += flops_r
-        stats.recv_msgs += rmsgs_r
-        stats.sent_msgs += smsgs_r
-        for i in range(self._chunk):
-            stats.steps.append(StepRecord(
-                label=step_label(s0 + i),
-                flops_max=float(flops_max[i]), flops_total=float(flops_tot[i]),
-                recv_words_max=float(recv_max[i]),
-                recv_words_total=float(recv_tot[i]),
-                sent_words_max=float(sent_max[i]),
-                sent_words_total=float(sent_tot[i]),
-                msgs_max=float(msgs_max[i]), msgs_total=float(msgs_tot[i]),
-            ))
+        def series(key: str) -> tuple[np.ndarray, np.ndarray]:
+            u = np.broadcast_to(np.asarray(uni.get(key, zeros)), (n,))
+            f = full.get(key)
+            if f is None:
+                return u, u * P
+            return f.max(axis=1) + u, f.sum(axis=1) + u * P
+
+        recv_max, recv_tot = series("recv")
+        sent_max, sent_tot = series("sent")
+        flops_max, flops_tot = series("flops")
+        msgs_max, msgs_tot = series("rmsgs")
+        cols = dict(zip(STEP_FIELDS, (
+            flops_max, flops_tot, recv_max, recv_tot, sent_max, sent_tot,
+            msgs_max, msgs_tot)))
+        log = stats.steps
+        if hasattr(log, "extend"):
+            log.extend(step_label, s0, n, **cols)
+        else:
+            for i in range(n):
+                log.append(StepRecord(
+                    label=step_label(s0 + i),
+                    **{f: float(cols[f][i]) for f in STEP_FIELDS}))
+
+    # ------------------------------------------------------------------
+    # Closed-form evaluator
+    # ------------------------------------------------------------------
+    def run_closed(self, accounting: Callable[["StepAccounting"], None],
+                   stats: CommStats) -> None:
+        """Reduce every term's sum over steps analytically per rank.
+
+        No ``(steps, ranks)`` matrix is ever allocated: uniform terms
+        reduce to exact arithmetic-series sums, gated/owned terms to
+        per-residue-class contractions of at most ``(steps, dim)``
+        intermediates.  ``stats`` must not request a step log — there
+        is no per-step data on this path.
+        """
+        if not isinstance(stats.steps, NullStepLog):
+            raise ValueError(
+                "the closed-form evaluator produces no step log; use "
+                "CommStats(steps='none') or the chunked interpreter")
+        terms = self._collect(accounting)
+        arrays = {"recv": (stats.recv_words, stats.recv_msgs),
+                  "sent": (stats.sent_words, stats.sent_msgs),
+                  "flops": (stats.flops, None)}
+        for term in terms:
+            words_arr, msgs_arr = arrays[term.counter]
+            words_arr += term.coeff * self._closed_sum(term, msgs=False)
+            if term.msgs_step is not None and msgs_arr is not None:
+                msgs_arr += term.msgs_coeff * self._closed_sum(
+                    term, msgs=True)
+
+    def _closed_sum(self, term: CostTerm,
+                    msgs: bool) -> np.ndarray | float:
+        """Exact per-rank sum over steps of the term's base product.
+
+        For ``msgs`` the base becomes the msgs profile restricted to
+        the term's support (``words > 0``): step values where the words
+        profile is positive, ownership factors replaced by their
+        positivity indicators, rank constants likewise.
+        """
+        step = term.step
+        lo, hi = max(0, step.lo), min(self.nsteps, step.hi)
+        if hi <= lo or (msgs and term.coeff <= 0):
+            return 0.0
+        # Pure-affine uniform terms get true closed forms (exact
+        # integer arithmetic); everything else reduces an O(steps)
+        # column.
+        if term.uniform and step.column is None and not msgs:
+            total = self._affine_series(step, lo, hi)
+            return total
+        base = step.values(lo, hi)
+        if msgs:
+            mstep = term.msgs_step
+            base = mstep.values(lo, hi) * (base > 0)
+        t = np.arange(lo, hi, dtype=np.int64)
+        if term.uniform:
+            total = float(base.sum())
+            return total
+        # Split the involved axes: a positively-gated axis without
+        # ownership contributes a per-step target residue (indexed); an
+        # axis with ownership and/or a negated gate needs its dense
+        # (chunk, dim) weight matrix.
+        w = base.astype(np.float64)
+        gate_of = {a.lstrip("!"): a for a in term.gate}
+        axes = list(dict.fromkeys(
+            [a.lstrip("!") for a in term.gate] + list(term.own)))
+        idx_dims: list[int] = []
+        idx_list: list[np.ndarray] = []
+        dense: list[np.ndarray] = []
+        dense_dims: list[int] = []
+        dense_axes: list[str] = []
+        idx_axes: list[str] = []
+        for axis in axes:
+            m = self._axis_dim(axis)
+            has_own = axis in term.own
+            atom = gate_of.get(axis)
+            own_m = None
+            if has_own:
+                own_m = self._own_matrix(axis, t)
+                if msgs:
+                    own_m = (own_m > 0).astype(np.float64)
+            if atom is not None and not atom.startswith("!"):
+                r_t = (t % m).astype(np.int64)
+                if own_m is not None:
+                    w = w * own_m[np.arange(t.size), r_t]
+                idx_list.append(r_t)
+                idx_dims.append(m)
+                idx_axes.append(axis)
+            else:
+                weight = (own_m if own_m is not None
+                          else np.ones((t.size, m)))
+                if atom is not None:          # negated gate
+                    weight = weight.copy()
+                    weight[np.arange(t.size), (t % m).astype(np.int64)] \
+                        = 0.0
+                dense.append(weight)
+                dense_dims.append(m)
+                dense_axes.append(axis)
+        if len(dense) > 2 or (len(dense) == 2 and idx_list):
+            raise NotImplementedError(
+                "closed form supports at most two dense axes and no "
+                "index axes alongside a dense pair")
+        # Contract into C over (idx axes..., dense axes...).
+        if not dense:
+            if idx_dims:
+                C = np.zeros(idx_dims)
+                np.add.at(C, tuple(idx_list), w)
+            else:        # rank_const-only term: scalar step sum
+                C = w.sum()
+        elif len(dense) == 1:
+            tmp = w[:, None] * dense[0]
+            if idx_list:
+                C = np.zeros(tuple(idx_dims) + (dense_dims[0],))
+                np.add.at(C, tuple(idx_list), tmp)
+            else:
+                C = tmp.sum(axis=0)
+        else:
+            C = (w[:, None] * dense[0]).T @ dense[1]
+        coords = [self._axis_coords(a) for a in idx_axes + dense_axes]
+        per_rank = C[tuple(coords)] if coords else \
+            np.full(self.nranks, float(C))
+        if term.rank_const is not None:
+            rc = term.rank_const
+            per_rank = per_rank * ((rc > 0) if msgs else rc)
+        return per_rank
+
+    @staticmethod
+    def _affine_series(step: StepFn, lo: int, hi: int) -> float:
+        """Exact ``sum_{t=lo}^{hi-1} (c0 + c1 t)`` in integer math."""
+        length = hi - lo
+        t_sum = (lo + hi - 1) * length // 2
+        return float(int(step.c0) * length + int(step.c1) * t_sum)

@@ -110,10 +110,25 @@ def _result_cls():
 
 
 class TraceBackend:
-    """Analytic accounting only — no numerics, any problem scale."""
+    """Analytic accounting only — no numerics, any problem scale.
+
+    ``steps`` picks the step-log flavour: ``"columnar"`` (default —
+    per-step maxima as lazy NumPy columns, what the BSP perf model
+    consumes), ``"records"`` (eager legacy records), or ``"none"``
+    (no log at all — this selects the closed-form evaluator, the O(P)
+    path sweeps and the planner use).  ``evaluator`` overrides the
+    reduction explicitly (``"closed"`` / ``"chunked"``), e.g. to run
+    the chunked reference interpreter without a step log.
+    """
+
+    def __init__(self, steps: str = "columnar",
+                 evaluator: str | None = None) -> None:
+        self.steps = steps
+        self.evaluator = evaluator
 
     def run(self, schedule: Schedule) -> "FactorizationResult":
-        stats = schedule.trace_stats()
+        stats = schedule.trace_stats(steps=self.steps,
+                                     evaluator=self.evaluator)
         return _result_cls()(
             schedule.name, schedule.n, schedule.nranks, schedule.mem_words,
             stats, schedule.params())

@@ -86,22 +86,44 @@ class Schedule(abc.ABC):
         return {}
 
     # ------------------------------------------------------------------
-    # Trace view (vectorized analytic accounting)
+    # Trace view (declarative cost terms)
     # ------------------------------------------------------------------
     @abc.abstractmethod
     def accounting(self, acct: StepAccounting) -> None:
-        """Record the analytic cost of the chunk of steps in ``acct.t``.
+        """Emit the schedule's cost terms (called once per evaluation).
 
-        Called once per step chunk; expressions must broadcast
-        ``acct.t`` (a ``(chunk, 1)`` column) against the ``(P,)`` grid
-        coordinate rows ``acct.pi`` / ``acct.pj`` / ``acct.pk``.
+        Declare every analytic per-step cost through the term IR of
+        :class:`~repro.engine.accounting.StepAccounting` — coefficient
+        times integer step profile, gated by cyclic coordinate masks
+        and cyclic-ownership factors.  No per-step state: the emitted
+        terms describe *all* steps at once and are reduced by either
+        the chunked interpreter or the closed-form evaluator.
         """
 
-    def trace_stats(self) -> CommStats:
-        """Run the full accounting into a fresh :class:`CommStats`."""
-        stats = CommStats(self.nranks)
+    def trace_stats(self, steps: str = "columnar",
+                    evaluator: str | None = None) -> CommStats:
+        """Run the accounting into a fresh :class:`CommStats`.
+
+        ``steps`` selects the step-log flavour (``"none"`` /
+        ``"columnar"`` / ``"records"``); ``evaluator`` the reduction
+        (``"closed"`` / ``"chunked"``).  By default ``steps="none"``
+        picks the closed-form evaluator (no per-step data exists
+        there), anything else the chunked interpreter.
+        """
+        if evaluator is None:
+            evaluator = "closed" if steps == "none" else "chunked"
+        if evaluator == "closed" and steps != "none":
+            raise ValueError(
+                "the closed-form evaluator produces no step log; "
+                "request steps='none' or evaluator='chunked'")
+        stats = CommStats(self.nranks, steps=steps)
         acct = StepAccounting(self.grid, self.steps())
-        acct.run(self.accounting, stats, self.step_label)
+        if evaluator == "closed":
+            acct.run_closed(self.accounting, stats)
+        elif evaluator == "chunked":
+            acct.run(self.accounting, stats, self.step_label)
+        else:
+            raise ValueError(f"unknown evaluator {evaluator!r}")
         return stats
 
     # ------------------------------------------------------------------

@@ -93,40 +93,39 @@ class ScalapackCholeskySchedule(Schedule):
     # ------------------------------------------------------------------
     def accounting(self, acct: StepAccounting) -> None:
         n, nb = self.n, self.nb
-        pr, pc = self.grid.rows, self.grid.cols
+        pr = self.grid.rows
         steps = self.steps()
-        k = acct.t
-        nrem = n - k * nb
-        n11 = nrem - nb
-        on_qcol = (acct.pj == k % pc).astype(float)
-        diag_owner = on_qcol * (acct.pi == k % pr)
-        row_tiles = acct.tiles_owned(steps, k + 1, acct.pi, pr)
-        col_tiles = acct.tiles_owned(steps, k + 1, acct.pj, pc)
-        rows_per = nrem / pr
+        trailing = acct.affine(n, -nb, hi=steps - 1)   # while n11 > 0
+        has_trail = acct.const(hi=steps - 1)
 
         # Diagonal potrf + broadcast down the panel's grid column (the
         # diagonal owner is the root and receives nothing).
-        acct.add_flops(diag_owner * flops.potrf_flops(nb))
-        acct.add_recv((on_qcol - diag_owner) * nb * nb * (n11 > 0), msgs=1.0)
+        acct.add_flops(flops.potrf_flops(nb), gate=("i", "j"))
+        acct.add_recv(float(nb * nb), step=has_trail, gate=("!i", "j"),
+                      msgs=1.0)
 
-        # Panel trsm on the owning grid column.
-        acct.add_flops(on_qcol * flops.trsm_flops(nb, rows_per) * (n11 > 0))
+        # Panel trsm on the owning grid column (nb x nrem/Pr share).
+        acct.add_flops(nb * nb / pr, step=trailing, gate=("j",))
 
         # L panel broadcast along grid rows (left syrk factor): the
         # panel-owning grid column roots every broadcast and already
         # holds its tiles (g - 1 receivers, as the machine counts).
-        acct.add_recv((1.0 - on_qcol) * row_tiles * nb * nb * (n11 > 0),
-                      msgs=1.0)
+        acct.add_recv(float(nb * nb), step=has_trail, gate=("!j",),
+                      own=("i",), msgs=1.0)
         # Transposed right factor along grid columns: a tile's owner
         # sits inside its own fan-out group exactly when the tile's
         # block row lands on the panel's grid column — those owners
-        # (spread over the column's Pr ranks) receive nothing.
-        own_fanout = acct.tiles_owned(steps, k + 1, k % pc, pc)
-        acct.add_recv((col_tiles - on_qcol * own_fanout / pr) * nb * nb
-                      * (n11 > 0), msgs=1.0)
+        # (spread over the column's Pr ranks) receive nothing.  Off the
+        # panel column a rank receives all its trailing column tiles;
+        # on it, the fan-out tiles equal its own tiles, leaving a
+        # (Pr-1)/Pr share.
+        acct.add_recv(float(nb * nb), step=has_trail, gate=("!j",),
+                      own=("j",), msgs=1.0)
+        acct.add_recv(nb * nb * (pr - 1.0) / pr, step=has_trail,
+                      gate=("j",), own=("j",), msgs=1.0)
 
         # Local triangular trailing update (gemmt-like: half the tiles).
-        acct.add_flops((row_tiles * nb) * (col_tiles * nb) * nb)
+        acct.add_flops(float(nb ** 3), own=("i", "j"))
 
     # ------------------------------------------------------------------
     def dense_init(self, a: np.ndarray | None,

@@ -128,15 +128,9 @@ class ScalapackLUSchedule(Schedule):
         n, nb = self.n, self.nb
         pr, pc = self.grid.rows, self.grid.cols
         steps = self.steps()
-        k = acct.t
-        nrem = n - k * nb
-        n11 = nrem - nb
-        on_qcol = (acct.pj == k % pc).astype(float)
-        on_qrow = (acct.pi == k % pr).astype(float)
-        diag_owner = on_qcol * (acct.pi == k % pr)
-        col_tiles = acct.tiles_owned(steps, k + 1, acct.pj, pc)
-        all_col_tiles = acct.tiles_owned(steps, 0, acct.pj, pc)
-        rows_per = nrem / pr
+        nrem = acct.affine(n, -nb)            # trailing rows incl. panel
+        trailing = acct.affine(n, -nb, hi=steps - 1)   # while n11 > 0
+        has_trail = acct.const(hi=steps - 1)
 
         # Panel factorization (grid column q_col): nb pivot-search
         # allreduces (2 words each: value + index) over Pr ranks, plus
@@ -144,15 +138,22 @@ class ScalapackLUSchedule(Schedule):
         # trailing entries from the diagonal owner to the g - 1 column
         # ranks still holding rows below it).
         lg_pr = math.ceil(math.log2(max(2, pr)))
-        acct.add_recv(on_qcol * 2.0 * nb * lg_pr, msgs=nb * lg_pr)
-        acct.add_recv(on_qcol * nb * (nb + 1) / 2.0 * (pr - 1) / pr, msgs=nb)
-        acct.add_flops(on_qcol * flops.getrf_flops(rows_per, nb))
+        acct.add_recv(2.0 * nb * lg_pr, gate=("j",), msgs=nb * lg_pr)
+        acct.add_recv(nb * (nb + 1) / 2.0 * (pr - 1) / pr, gate=("j",),
+                      msgs=nb)
+        # dgetrf of the (nrem/Pr x nb) local panel share; the branchy
+        # LAPACK count is not affine in nrem, so it rides as an explicit
+        # flop column (the one non-integer profile in the engine).
+        k_idx = np.arange(steps, dtype=np.float64)
+        acct.add_flops(1.0, step=acct.column(
+            flops.getrf_flops((n - k_idx * nb) / pr, nb)), gate=("j",))
         if self.panel_rebroadcast:
             # MKL-style column-by-column panel broadcast: the panel column
             # ranks see the multipliers twice overall.  Each tile's owner
             # is the broadcast root and receives nothing, so the column
             # ranks carry a (Pr-1)/Pr share.
-            acct.add_recv(on_qcol * rows_per * nb * (pr - 1) / pr, msgs=nb)
+            acct.add_recv(nb * (pr - 1.0) / pr / pr, step=nrem,
+                          gate=("j",), msgs=nb)
 
         # Pivot row swaps across the whole matrix (``laswp`` touches the
         # factored columns too): nb row pairs exchanged between grid
@@ -161,31 +162,32 @@ class ScalapackLUSchedule(Schedule):
         # probability (Pr-1)/Pr, both rows move, and a given rank's grid
         # row is one of the two involved with probability 2/Pr — one
         # received row-width each time.
-        acct.add_recv(2.0 * nb * (all_col_tiles * nb) * (pr - 1) / pr / pr,
-                      msgs=nb)
+        acct.add_recv(2.0 * nb * nb * (pr - 1.0) / pr / pr,
+                      rank_const=acct.tiles_owned_static("j"), msgs=nb)
 
         # L panel broadcast along grid rows: a rank receives the rows of
         # the panel matching its trailing row ownership — except the
         # panel-owning grid column, which is each broadcast's root and
         # already holds its tiles (g - 1 receivers, as the machine
         # counts).
-        acct.add_recv((1.0 - on_qcol) * rows_per * nb * (n11 > 0), msgs=1.0)
+        acct.add_recv(nb / pr, step=trailing, gate=("!j",), msgs=1.0)
 
         # Diagonal tile shipped along the owner grid row for the U trsm
         # (the diagonal owner is the root and receives nothing).
-        acct.add_recv((on_qrow - diag_owner) * nb * nb * (n11 > 0),
+        acct.add_recv(float(nb * nb), step=has_trail, gate=("i", "!j"),
                       msgs=1.0)
 
         # U row panel: trsm on the owner grid row, broadcast along grid
         # columns to the ranks matching its trailing column ownership;
         # the owning grid row is every broadcast's root and receives
         # nothing.
-        acct.add_flops(on_qrow * (nb * nb * (col_tiles * nb)) * (n11 > 0))
-        acct.add_recv((1.0 - on_qrow) * col_tiles * nb * nb * (n11 > 0),
-                      msgs=1.0)
+        acct.add_flops(float(nb ** 3), step=has_trail, gate=("i",),
+                       own=("j",))
+        acct.add_recv(float(nb * nb), step=has_trail, gate=("!i",),
+                      own=("j",), msgs=1.0)
 
         # Trailing update (local gemm).
-        acct.add_flops(2.0 * rows_per * (col_tiles * nb) * nb)
+        acct.add_flops(2.0 * nb * nb / pr, step=nrem, own=("j",))
 
     # ------------------------------------------------------------------
     def dense_init(self, a: np.ndarray | None,

@@ -100,49 +100,43 @@ class ConfchoxSchedule(Schedule):
     # Trace view
     # ------------------------------------------------------------------
     def accounting(self, acct: StepAccounting) -> None:
-        """Per-rank accounting, mirroring COnfLUX minus pivoting.
+        """Cost terms mirroring COnfLUX minus pivoting.
 
         Cholesky has no masking, so trailing *rows* are tile-aligned too
-        and counted exactly via cyclic ownership.
+        and counted exactly via the cyclic-ownership factors on both
+        grid axes.
         """
         n, v, c = self.n, self.v, self.c
-        grid = self.grid
-        pr, pc = grid.rows, grid.cols
-        steps = self.steps()
-        t = acct.t
-        nrem = n - t * v
-        n11 = nrem - v
-        row_tiles = acct.tiles_owned(steps, t + 1, acct.pi, pr)
-        col_tiles = acct.tiles_owned(steps, t + 1, acct.pj, pc)
-        diag_owner = ((acct.pi == t % pr) & (acct.pj == t % pc)
-                      & (acct.pk == t % c)).astype(float)
+        planes = v // c
+        nrem = acct.affine(n, -v)
+        n11 = acct.affine(n - v, -v)
+        diag_owner = ("i", "j", "k")          # A00's owner at step t
 
         # Reduce the block column (nrem x v) over layers (machine-wide
         # reduce-scatter, as in COnfLUX step 1).
-        acct.add_recv(nrem * v * (c - 1.0) / self.nranks)
-        acct.add_sent(nrem * v * (c - 1.0) / self.nranks)
+        acct.add_recv(v * (c - 1.0) / self.nranks, step=nrem)
+        acct.add_sent(v * (c - 1.0) / self.nranks, step=nrem)
 
         # Local potrf of A00 on its owner; broadcast of the factor
         # (v^2 per rank, Table 1) and potrf flops v^3/6 at the owner.
-        acct.add_flops(diag_owner * flops.potrf_flops(v))
+        acct.add_flops(flops.potrf_flops(v), gate=diag_owner)
         acct.add_recv(float(v * v))
 
         # Scatter A10 (n11 x v) 1D over all ranks + local trsm.
-        acct.add_recv(n11 * v / self.nranks)
-        acct.add_flops(flops.trsm_flops(v, n11 / self.nranks))
+        acct.add_recv(v / self.nranks, step=n11)
+        acct.add_flops(v * v / self.nranks, step=n11)
 
         # Distribute A10 for the symmetric update: each rank needs the
         # row-part matching its trailing row tiles and the column-part
         # matching its trailing column tiles, restricted to its layer's
         # v/c planes — same volume as COnfLUX's two panels.
-        planes = v / c
-        acct.add_recv(row_tiles * v * planes)
-        acct.add_recv(col_tiles * v * planes)
+        acct.add_recv(float(v * planes), own=("i",))
+        acct.add_recv(float(v * planes), own=("j",))
 
         # Trailing gemmt: triangular output, half the gemm flops; each
         # rank updates only its lower-triangular share, so roughly half
         # its tile products contribute.
-        acct.add_flops((row_tiles * v) * (col_tiles * v) * planes)
+        acct.add_flops(float(v * v * planes), own=("i", "j"))
 
     # ------------------------------------------------------------------
     # Dense view

@@ -188,49 +188,50 @@ class ConfluxSchedule(Schedule):
         return float(resident + panel + 4 * chunk + small)
 
     # ------------------------------------------------------------------
-    # Trace view: exact per-rank accounting, vectorized over all steps
+    # Trace view: exact per-rank accounting as declarative cost terms
     # ------------------------------------------------------------------
     def accounting(self, acct: StepAccounting) -> None:
-        """Analytic cost of the 11 sub-steps for every step at once.
+        """Emit the cost terms of the 11 sub-steps.
 
         Masked (not yet pivoted) rows are spread uniformly over the grid
         rows — the paper's "with high probability, pivots are evenly
-        distributed" assumption; columns are tile-aligned and counted
-        exactly via cyclic tile ownership.  ``acct.t`` is a column of
-        step indices, so every expression below is a ``(steps, ranks)``
-        matrix.
+        distributed" assumption — so panel shares appear as affine
+        ``nrem = N - t v`` profiles with ``1/Pr`` folded into the
+        coefficient; columns are tile-aligned and counted exactly via
+        the cyclic-ownership factor ``own=("j",)``.
         """
         n, v, c = self.n, self.v, self.c
         grid = self.grid
         pr, pc = grid.rows, grid.cols
         p1 = pr * pc
         steps = self.steps()
-        t = acct.t
-        nrem = n - t * v          # unfactored rows (and columns)
-        n11 = nrem - v            # trailing extent after each panel
-        col_tiles = acct.tiles_owned(steps, t + 1, acct.pj, pc)
-        rows_per_gridrow = nrem / pr          # masked rows, uniform split
+        planes = v // c                       # reduction planes per layer
+        nrem = acct.affine(n, -v)             # unfactored rows (and cols)
+        n11 = acct.affine(n - v, -v)          # trailing extent per step
+        # getrf of the (max(nrem/Pr, v) x v) local candidate panel is
+        # linear in the row count m: v^2 m + K_getrf.
+        k_getrf = -v ** 3 / 3.0 - v * v / 2.0 + 5.0 * v / 6.0
+        m_rows = acct.column(np.maximum(
+            n - v * np.arange(steps, dtype=np.int64), v * pr))
 
         if self.nranks == 1:
-            # A single rank communicates nothing; only the compute terms
-            # below apply.
-            acct.add_flops(flops.getrf_flops(np.maximum(rows_per_gridrow, v),
-                                             v))
-            acct.add_flops(flops.trsm_flops(v, n11) * 2.0)
-            acct.add_flops(2.0 * rows_per_gridrow * (col_tiles * v)
-                           * (v / c))
+            # A single rank communicates nothing; only the compute
+            # terms apply (pr = pc = 1: every tile is local).
+            acct.add_flops(float(v * v), step=m_rows)
+            acct.add_flops(k_getrf)
+            acct.add_flops(2.0 * v * v, step=n11)
+            acct.add_flops(2.0 * v * planes, step=nrem, own=("j",))
             return
 
-        on_qcol = (acct.pj == t % pc).astype(float)
-        on_piv_layer = on_qcol * (acct.pk == t % c)
+        piv_layer = ("j", "k")   # panel column of step t, pivot layer
 
         # Step 1: reduce the block column (nrem x v) over layers.  The
         # fine-grained block-cyclic layout spreads the panel over the
         # whole machine, so the reduction is a machine-wide
         # reduce-scatter: (c-1) of the c partial copies move, evenly over
         # all P ranks (the paper's (N-tv)*v*M/N^2 per-processor cost).
-        acct.add_recv(nrem * v * (c - 1.0) / self.nranks)
-        acct.add_sent(nrem * v * (c - 1.0) / self.nranks)
+        acct.add_recv(v * (c - 1.0) / self.nranks, step=nrem)
+        acct.add_sent(v * (c - 1.0) / self.nranks, step=nrem)
 
         # Step 2: tournament pivoting on [*, q_col, k_piv]: candidate
         # blocks (v rows plus their global row ids, hence width v + 1)
@@ -239,49 +240,52 @@ class ConfluxSchedule(Schedule):
         # rows) with high probability — and ragged participant counts
         # drop pairings, so the exact per-step exchange total of
         # :func:`~repro.engine.accounting.butterfly_pair_exchanges`
-        # replaces the old ceil(log2(Pr))-rounds-at-every-rank
-        # idealization, spread uniformly over the panel column's
-        # pivot-layer ranks.
-        m_t = np.minimum(pr, np.minimum(n // v, nrem))
-        exch = butterfly_pair_exchanges(m_t).astype(np.float64)
-        tour_words = v * (v + 1.0) * exch / pr
-        acct.add_recv(on_piv_layer * tour_words, msgs=exch / pr)
-        acct.add_sent(on_piv_layer * tour_words, msgs=exch / pr)
-        local_lu = flops.getrf_flops(np.maximum(rows_per_gridrow, v), v)
-        rounds_t = np.ceil(np.log2(np.maximum(m_t, 1.0)))
-        playoff = rounds_t * flops.getrf_flops(2 * v, v) * m_t / pr
-        acct.add_flops(on_piv_layer * (local_lu + playoff))
+        # replaces a rounds-at-every-rank idealization, spread uniformly
+        # over the panel column's pivot-layer ranks.
+        m_t = np.minimum(pr, np.minimum(
+            n // v, n - v * np.arange(steps, dtype=np.int64)))
+        exch = acct.column(butterfly_pair_exchanges(m_t))
+        acct.add_recv(v * (v + 1.0) / pr, step=exch, gate=piv_layer,
+                      msgs=1.0 / pr, msgs_step=exch)
+        acct.add_sent(v * (v + 1.0) / pr, step=exch, gate=piv_layer,
+                      msgs=1.0 / pr, msgs_step=exch)
+        acct.add_flops(v * v / pr, step=m_rows, gate=piv_layer)
+        acct.add_flops(k_getrf, gate=piv_layer)
+        rounds_t = np.ceil(np.log2(np.maximum(m_t, 1)))
+        acct.add_flops(flops.getrf_flops(2 * v, v) / pr,
+                       step=acct.column(rounds_t * m_t), gate=piv_layer)
 
         # Step 3: broadcast factored A00 (v^2) + v pivot indices to all.
         acct.add_recv(float(v * v + v))
-        acct.add_sent(on_piv_layer * (v * v + v) * math.log2(max(2, p1 * c)),
+        acct.add_sent((v * v + v) * math.log2(max(2, p1 * c)),
+                      gate=piv_layer,
                       msgs=math.ceil(math.log2(max(2, p1 * c))))
 
         # Step 4: scatter A10 ((nrem - v) x v) 1D over all P ranks.
-        acct.add_recv(n11 * v / self.nranks)
+        acct.add_recv(v / self.nranks, step=n11)
 
         # Step 5: reduce the v pivot rows (v x n11) over layers — same
         # machine-wide reduce-scatter convention as step 1 (pivot rows
         # are spread evenly over the ranks with high probability).
-        acct.add_recv(v * n11 * (c - 1.0) / self.nranks)
-        acct.add_sent(v * n11 * (c - 1.0) / self.nranks)
+        acct.add_recv(v * (c - 1.0) / self.nranks, step=n11)
+        acct.add_sent(v * (c - 1.0) / self.nranks, step=n11)
 
         # Step 6: scatter A01 (v x n11) 1D over all P ranks.
-        acct.add_recv(v * n11 / self.nranks)
+        acct.add_recv(v / self.nranks, step=n11)
 
         # Steps 7 and 9: local trsm on the 1D-decomposed panels.
-        acct.add_flops(flops.trsm_flops(v, n11 / self.nranks) * 2.0)
+        acct.add_flops(2.0 * v * v / self.nranks, step=n11)
 
         # Step 8: distribute A10 — each rank needs the rows matching its
         # local trailing tiles restricted to its layer's v/c planes.
-        planes = v / c
-        acct.add_recv(rows_per_gridrow * planes * (n11 > 0))
+        acct.add_recv(planes / pr, step=acct.affine(n, -v, hi=steps - 1))
 
         # Step 10: distribute A01 — the columns matching local tiles.
-        acct.add_recv(col_tiles * v * planes)
+        acct.add_recv(float(v * planes), own=("j",))
 
-        # Step 11: local Schur update (gemm, 2mnk flops), no communication.
-        acct.add_flops(2.0 * rows_per_gridrow * (col_tiles * v) * planes)
+        # Step 11: local Schur update (gemm, 2mnk flops), no
+        # communication.
+        acct.add_flops(2.0 * v * planes / pr, step=nrem, own=("j",))
 
     # ------------------------------------------------------------------
     # Dense view: global-view numerics

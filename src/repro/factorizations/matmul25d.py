@@ -132,13 +132,13 @@ class Matmul25DSchedule(Schedule):
         # Panel rings charge g - 1 receivers — a rank never receives
         # the strip pieces it owns, so each ring is a (Pc-1)/Pc resp.
         # (Pr-1)/Pr share, exactly as the machine counts.
-        in_round = (acct.t < self.rounds).astype(float)
-        acct.add_recv(in_round * rows_local * s * (pc - 1.0) / pc)
-        acct.add_recv(in_round * cols_local * s * (pr - 1.0) / pr)
-        acct.add_flops(in_round * 2.0 * rows_local * cols_local * s)
-        in_reduce = 1.0 - in_round
-        acct.add_recv(in_reduce * n * n * (c - 1.0) / self.nranks)
-        acct.add_sent(in_reduce * n * n * (c - 1.0) / self.nranks)
+        in_round = acct.const(hi=self.rounds)
+        acct.add_recv(rows_local * s * (pc - 1.0) / pc, step=in_round)
+        acct.add_recv(cols_local * s * (pr - 1.0) / pr, step=in_round)
+        acct.add_flops(2.0 * rows_local * cols_local * s, step=in_round)
+        in_reduce = acct.const(lo=self.rounds)
+        acct.add_recv(n * n * (c - 1.0) / self.nranks, step=in_reduce)
+        acct.add_sent(n * n * (c - 1.0) / self.nranks, step=in_reduce)
 
     # ------------------------------------------------------------------
     def dense_init(self, a: np.ndarray | tuple | None,

@@ -34,7 +34,13 @@ from .grid import (
     replication_factor,
 )
 from .perf_model import PIZ_DAINT_XC40, MachineParams, PerfModel, TimeBreakdown
-from .stats import CommStats, StepLog, StepRecord
+from .stats import (
+    ColumnarStepLog,
+    CommStats,
+    NullStepLog,
+    StepLog,
+    StepRecord,
+)
 from .store import RankStore
 
 __all__ = [
@@ -44,6 +50,8 @@ __all__ = [
     "collective_cost_model",
     "CommStats",
     "StepLog",
+    "ColumnarStepLog",
+    "NullStepLog",
     "StepRecord",
     "RankStore",
     "ProcessorGrid2D",

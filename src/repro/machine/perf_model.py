@@ -26,6 +26,8 @@ from __future__ import annotations
 
 import dataclasses
 
+import numpy as np
+
 from .stats import StepLog, StepRecord
 
 __all__ = ["MachineParams", "PIZ_DAINT_XC40", "PerfModel", "TimeBreakdown"]
@@ -111,14 +113,21 @@ class PerfModel:
     def __init__(self, params: MachineParams = PIZ_DAINT_XC40) -> None:
         self.params = params
 
-    def step_time(self, rec: StepRecord, local_words: float) -> tuple[float, float, float]:
-        """(compute, bandwidth, latency) seconds of one superstep."""
+    def _step_times(self, flops_max, recv_words_max, msgs_max,
+                    local_words: float):
+        """(compute, bandwidth, latency) of supersteps — the one BSP
+        per-step formula, elementwise over scalars or arrays."""
         p = self.params
         eff = p.blas_efficiency(local_words)
-        t_comp = rec.flops_max / (p.peak_flops * eff)
-        t_bw = rec.recv_words_max * p.word_bytes / p.bandwidth_bytes
-        t_lat = rec.msgs_max * p.latency_s
+        t_comp = flops_max / (p.peak_flops * eff)
+        t_bw = recv_words_max * p.word_bytes / p.bandwidth_bytes
+        t_lat = msgs_max * p.latency_s
         return t_comp, t_bw, t_lat
+
+    def step_time(self, rec: StepRecord, local_words: float) -> tuple[float, float, float]:
+        """(compute, bandwidth, latency) seconds of one superstep."""
+        return self._step_times(rec.flops_max, rec.recv_words_max,
+                                rec.msgs_max, local_words)
 
     def evaluate(self, log: StepLog, nranks: int,
                  local_words: float) -> TimeBreakdown:
@@ -127,7 +136,11 @@ class PerfModel:
         Parameters
         ----------
         log:
-            Per-superstep maxima recorded by the algorithm.
+            Per-superstep maxima recorded by the algorithm.  Must hold
+            at least one step: a trace run evaluated with
+            ``steps="none"`` (the closed-form sweep default) carries no
+            per-step data, and silently timing it would return nonsense
+            — re-trace with ``steps="columnar"`` instead.
         nranks:
             Number of ranks ``P`` (for the peak of the whole machine).
         local_words:
@@ -136,17 +149,32 @@ class PerfModel:
         """
         if nranks <= 0:
             raise ValueError("nranks must be positive")
+        if len(log) == 0:
+            raise ValueError(
+                "cannot evaluate an empty step log — the result was "
+                "traced with steps='none' (no per-step maxima exist); "
+                "re-run the trace with steps='columnar'")
         p = self.params
-        comp = bw = lat = total = 0.0
-        flops_total = 0.0
-        for rec in log:
-            t_comp, t_bw, t_lat = self.step_time(rec, local_words)
-            step = max(t_comp, (1.0 - p.overlap) * t_bw) + t_lat
-            comp += t_comp
-            bw += t_bw
-            lat += t_lat
-            total += step
-            flops_total += rec.flops_total
+        if hasattr(log, "column"):
+            # Columnar log: whole-run array arithmetic, no per-step
+            # record materialization.
+            flops_max = log.column("flops_max")
+            recv_max = log.column("recv_words_max")
+            msgs_max = log.column("msgs_max")
+            flops_total = float(log.column("flops_total").sum())
+        else:
+            recs = list(log)
+            flops_max = np.array([r.flops_max for r in recs])
+            recv_max = np.array([r.recv_words_max for r in recs])
+            msgs_max = np.array([r.msgs_max for r in recs])
+            flops_total = float(sum(r.flops_total for r in recs))
+        t_comp, t_bw, t_lat = self._step_times(flops_max, recv_max,
+                                               msgs_max, local_words)
+        comp = float(t_comp.sum())
+        bw = float(t_bw.sum())
+        lat = float(t_lat.sum())
+        total = float((np.maximum(t_comp, (1.0 - p.overlap) * t_bw)
+                       + t_lat).sum())
         if total <= 0:
             total = max(lat, 1e-30)
         achieved = flops_total / total

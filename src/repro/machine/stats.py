@@ -11,20 +11,33 @@ operations (for the compute term).
 
 Counters are plain ``numpy`` arrays of length ``P`` so that recording is
 O(1) per event and aggregation (max / total / per-rank) is vectorized.
-A :class:`StepLog` optionally captures per-superstep maxima, which the
+A step log optionally captures per-superstep maxima, which the
 BSP-style performance model (:mod:`repro.machine.perf_model`) consumes.
+Three step-log flavours exist, selected by ``CommStats(steps=...)``:
+
+* ``"records"`` — the eager :class:`StepLog` of :class:`StepRecord`
+  objects (one Python object per superstep; the machine's incremental
+  ``begin_step``/``end_step`` bracketing uses this);
+* ``"columnar"`` — :class:`ColumnarStepLog`: per-field NumPy columns
+  with *lazy* :class:`StepRecord` materialization, so a trace run can
+  flush whole chunks of steps as arrays and the perf model can consume
+  the columns vectorized, without ever building ``N/v`` records;
+* ``"none"`` — :class:`NullStepLog`: appends are dropped.  Sweeps and
+  the planner use this together with the closed-form trace evaluator,
+  where no per-step data exists in the first place.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterator, Sequence
+from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
 from .exceptions import RankError
 
-__all__ = ["CommStats", "StepRecord", "StepLog"]
+__all__ = ["CommStats", "StepRecord", "StepLog", "ColumnarStepLog",
+           "NullStepLog"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -97,6 +110,144 @@ class StepLog:
         return float(sum(getattr(r, field) for r in self._records))
 
 
+#: The numeric fields of a StepRecord, in declaration order.
+STEP_FIELDS = ("flops_max", "flops_total", "recv_words_max",
+               "recv_words_total", "sent_words_max", "sent_words_total",
+               "msgs_max", "msgs_total")
+
+
+class ColumnarStepLog:
+    """Step log stored as per-field NumPy columns.
+
+    Trace evaluators flush whole chunks of steps at once through
+    :meth:`extend`; labels stay *lazy* — a segment stores the label
+    factory and its step range, and the string (like the
+    :class:`StepRecord` itself) is only built when a caller actually
+    indexes or iterates the log.  The perf model reads the columns
+    directly via :meth:`column`, so the common paths never materialize
+    a single record.
+    """
+
+    def __init__(self) -> None:
+        # Label segments: ("lazy", fn, start, count) | ("list", [str]).
+        self._labels: list[tuple] = []
+        self._blocks: dict[str, list[np.ndarray]] = {f: [] for f
+                                                     in STEP_FIELDS}
+        self._cache: dict[str, np.ndarray] = {}
+        self._n = 0
+
+    # -- writing -------------------------------------------------------
+    def append(self, record: StepRecord) -> None:
+        for f in STEP_FIELDS:
+            self._blocks[f].append(np.array([getattr(record, f)]))
+        self._labels.append(("list", [record.label]))
+        self._cache.clear()
+        self._n += 1
+
+    def extend(self, label_fn: Callable[[int], str], start: int,
+               count: int, **columns: np.ndarray) -> None:
+        """Append ``count`` steps at once; ``columns`` maps each field
+        of :data:`STEP_FIELDS` to a ``(count,)`` array.  Labels are
+        deferred: ``label_fn(start + i)`` names step ``i``."""
+        if count <= 0:
+            return
+        for f in STEP_FIELDS:
+            col = np.asarray(columns[f], dtype=np.float64)
+            if col.shape != (count,):
+                raise ValueError(f"column {f!r}: expected ({count},), "
+                                 f"got {col.shape}")
+            self._blocks[f].append(col)
+        self._labels.append(("lazy", label_fn, start, count))
+        self._cache.clear()
+        self._n += count
+
+    # -- reading -------------------------------------------------------
+    def column(self, field: str) -> np.ndarray:
+        """The whole log's values of one field, as one array."""
+        if field not in self._blocks:
+            raise KeyError(field)
+        if field not in self._cache:
+            blocks = self._blocks[field]
+            self._cache[field] = (np.concatenate(blocks) if blocks
+                                  else np.zeros(0))
+        return self._cache[field]
+
+    def label(self, idx: int) -> str:
+        if idx < 0:
+            idx += self._n
+        if not 0 <= idx < self._n:
+            raise IndexError(idx)
+        at = 0
+        for seg in self._labels:
+            if seg[0] == "lazy":
+                _, fn, start, count = seg
+                if idx < at + count:
+                    return fn(start + (idx - at))
+                at += count
+            else:
+                _, labels = seg
+                if idx < at + len(labels):
+                    return labels[idx - at]
+                at += len(labels)
+        raise IndexError(idx)  # pragma: no cover - defended above
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __getitem__(self, idx: int) -> StepRecord:
+        if idx < 0:
+            idx += self._n
+        if not 0 <= idx < self._n:
+            raise IndexError(idx)
+        values = {f: float(self.column(f)[idx]) for f in STEP_FIELDS}
+        return StepRecord(label=self.label(idx), **values)
+
+    def __iter__(self) -> Iterator[StepRecord]:
+        for i in range(self._n):
+            yield self[i]
+
+    @property
+    def records(self) -> Sequence[StepRecord]:
+        return tuple(self)
+
+    def total(self, field: str) -> float:
+        return float(self.column(field).sum())
+
+
+class NullStepLog:
+    """A step log that records nothing (``steps="none"``)."""
+
+    def append(self, record: StepRecord) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+    def __iter__(self) -> Iterator[StepRecord]:
+        return iter(())
+
+    def __getitem__(self, idx: int) -> StepRecord:
+        raise IndexError("NullStepLog records no steps")
+
+    @property
+    def records(self) -> Sequence[StepRecord]:
+        return ()
+
+    def total(self, field: str) -> float:
+        return 0.0
+
+
+def _make_step_log(mode: str):
+    if mode == "records":
+        return StepLog()
+    if mode == "columnar":
+        return ColumnarStepLog()
+    if mode == "none":
+        return NullStepLog()
+    raise ValueError(f"unknown steps mode {mode!r}; "
+                     "use 'none', 'columnar' or 'records'")
+
+
 class CommStats:
     """Exact per-rank counters for a machine with ``nranks`` processors.
 
@@ -105,16 +256,17 @@ class CommStats:
     trace-mode accounting in the factorization modules are its clients.
     """
 
-    def __init__(self, nranks: int) -> None:
+    def __init__(self, nranks: int, steps: str = "records") -> None:
         if nranks <= 0:
             raise RankError(f"need at least one rank, got {nranks}")
         self.nranks = int(nranks)
+        self.steps_mode = steps
         self.sent_words = np.zeros(nranks, dtype=np.float64)
         self.recv_words = np.zeros(nranks, dtype=np.float64)
         self.sent_msgs = np.zeros(nranks, dtype=np.float64)
         self.recv_msgs = np.zeros(nranks, dtype=np.float64)
         self.flops = np.zeros(nranks, dtype=np.float64)
-        self.steps = StepLog()
+        self.steps = _make_step_log(steps)
         # Open-step accumulators (delta since begin_step).
         self._step_label: str | None = None
         self._snap: tuple[np.ndarray, ...] | None = None
@@ -258,7 +410,7 @@ class CommStats:
         for arr in (self.sent_words, self.recv_words, self.sent_msgs,
                     self.recv_msgs, self.flops):
             arr[:] = 0.0
-        self.steps = StepLog()
+        self.steps = _make_step_log(self.steps_mode)
         self._step_label = None
         self._snap = None
 

@@ -6,15 +6,21 @@ divisor-aware ``c``/``v`` candidates for the 2.5D algorithms, panel
 widths for the 2D baselines, strip widths for the 2.5D matmul — prunes
 the ones whose declared :meth:`~repro.engine.schedule.Schedule.required_words`
 (plus the API's layout copies) exceed the budget, scores the survivors
-with the validated full cost models of :mod:`repro.models.costmodels`
-and the alpha-beta-gamma :class:`~repro.machine.perf_model.PerfModel`,
-and returns a :class:`Plan`: the chosen configuration plus the ranked
+with the engine's closed-form trace evaluation and the
+alpha-beta-gamma :class:`~repro.machine.perf_model.PerfModel`, and
+returns a :class:`Plan`: the chosen configuration plus the ranked
 alternatives.
 
-The ranking key is the paper's primary metric — predicted received
-words per rank — with the perf-model time estimate as tie-break (it
-separates configurations whose volumes agree, e.g. SUMMA strip widths,
-which trade only message counts).  Feasibility here is exactly
+The ranking key is the paper's primary metric — *counted* received
+words per rank: every candidate's schedule is evaluated through the
+engine's closed-form trace evaluator
+(:meth:`~repro.engine.schedule.Schedule.trace_stats` with
+``steps="none"``), which sums the schedule's declarative cost terms
+analytically per rank in O(P) — the same accounting the trace backend
+produces, so the planner ranks by what a run would actually count, not
+by a separate analytic model.  The perf-model time estimate tie-breaks
+configurations whose volumes agree (e.g. SUMMA strip widths, which
+trade only message counts).  Feasibility here is exactly
 :mod:`repro.api`'s pre-flight gate: a configuration the planner rejects
 for a budget ``M`` is one ``pdgetrf``/``pdpotrf``/``pdgemm`` would
 refuse up front on a machine enforcing ``M`` (pass ``api_copies`` for
@@ -28,7 +34,6 @@ import math
 from typing import Any
 
 from ..machine.perf_model import PIZ_DAINT_XC40, MachineParams, PerfModel
-from ..models import costmodels as cm
 from .candidates import (
     panel_candidates,
     replication_candidates,
@@ -51,9 +56,9 @@ class PlannedConfig:
     ``impl`` is the :mod:`repro.api` implementation name the config
     routes to; ``params`` are the keyword arguments that reproduce it
     (``v``/``c`` for the 2.5D schedules, ``nb`` for the 2D baselines,
-    ``s``/``c`` for the matmul).  ``predicted_words`` comes from the
-    validated full cost model (received words per rank),
-    ``predicted_time_s`` from the alpha-beta-gamma model, and
+    ``s``/``c`` for the matmul).  ``predicted_words`` is the *counted*
+    received-words-per-rank of the candidate's closed-form trace
+    evaluation, ``predicted_time_s`` the alpha-beta-gamma estimate, and
     ``mem_margin`` is the budget headroom left above the schedule's
     ``required_words`` plus the API's layout copies (``inf`` on an
     unbounded machine).
@@ -111,16 +116,23 @@ def _rank_key(cfg: PlannedConfig) -> tuple:
             tuple(sorted(cfg.params.items())))
 
 
-def _score(impl: str, schedule, params: dict[str, Any], words: float,
+def _score(impl: str, schedule, params: dict[str, Any],
            flops_per_rank: float, msgs: float, budget: float,
            api_copies: int, machine_params: MachineParams,
            ) -> PlannedConfig | None:
-    """Feasibility-check and score one instantiated candidate."""
+    """Feasibility-check and score one instantiated candidate.
+
+    The memory gate runs first (it is cheap); survivors are ranked by
+    their *counted* per-rank received words from the closed-form trace
+    evaluation — O(P) per candidate, no step log, no (steps x P)
+    matrices — with the alpha-beta-gamma time as tie-break.
+    """
     n, p = schedule.n, schedule.nranks
     needed = schedule.required_words() + api_copies * float(n) * n / p
     margin = budget - needed
     if margin < 0:
         return None
+    words = schedule.trace_stats(steps="none").mean_recv_words
     time_s = PerfModel(machine_params).time_closed_form(
         flops_per_rank, words, msgs, local_words=float(n) * n / p)
     return PlannedConfig(
@@ -172,8 +184,7 @@ def plan_lu(n: int, p: int, mem_words: float | None = None,
                 except ValueError:
                     continue
                 cfg = _score(
-                    "conflux", sched, {"v": v, "c": c},
-                    cm.conflux_full_model(n, p, c, v), flops,
+                    "conflux", sched, {"v": v, "c": c}, flops,
                     msgs=(n // v) * (3 + _lg(p)), budget=budget,
                     api_copies=api_copies, machine_params=machine_params)
                 if cfg:
@@ -188,8 +199,7 @@ def plan_lu(n: int, p: int, mem_words: float | None = None,
             except ValueError:
                 continue
             cfg = _score(
-                "scalapack", sched, {"nb": nb},
-                cm.slate_lu_full_model(n, p, nb), flops,
+                "scalapack", sched, {"nb": nb}, flops,
                 msgs=n * _lg(p) + 4 * (n // nb), budget=budget,
                 api_copies=api_copies, machine_params=machine_params)
             if cfg:
@@ -219,8 +229,7 @@ def plan_cholesky(n: int, p: int, mem_words: float | None = None,
                 except ValueError:
                     continue
                 cfg = _score(
-                    "confchox", sched, {"v": v, "c": c},
-                    cm.confchox_full_model(n, p, c, v), flops,
+                    "confchox", sched, {"v": v, "c": c}, flops,
                     msgs=(n // v) * (3 + _lg(p)), budget=budget,
                     api_copies=api_copies, machine_params=machine_params)
                 if cfg:
@@ -232,8 +241,7 @@ def plan_cholesky(n: int, p: int, mem_words: float | None = None,
             except ValueError:
                 continue
             cfg = _score(
-                "scalapack", sched, {"nb": nb},
-                cm.mkl_cholesky_full_model(n, p, nb), flops,
+                "scalapack", sched, {"nb": nb}, flops,
                 msgs=4 * (n // nb), budget=budget,
                 api_copies=api_copies, machine_params=machine_params)
             if cfg:
@@ -262,8 +270,7 @@ def plan_gemm(n: int, p: int, mem_words: float | None = None,
             except ValueError:
                 continue
             cfg = _score(
-                "25d", sched, {"s": s, "c": c},
-                cm.summa_25d_full_model(n, p, c, s), flops,
+                "25d", sched, {"s": s, "c": c}, flops,
                 msgs=2.0 * sched.rounds + c, budget=budget,
                 api_copies=api_copies, machine_params=machine_params)
             if cfg:

@@ -80,6 +80,20 @@ class TestVerdicts:
     def test_slowdown_within_threshold_passes(self, gate):
         assert gate(snapshot(1.0), snapshot(1.2)) == 0
 
+    def test_sub_noise_floor_slowdown_passes(self, gate, cbr):
+        """A sub-second sweep can miss the relative threshold on timer
+        noise alone; the absolute NOISE_FLOOR_S guard keeps the gate
+        quiet until whole fractions of a second move."""
+        base, fresh = 0.08, 0.12        # 1.5x relative, 0.04s absolute
+        assert fresh > cbr.MAX_SLOWDOWN * base
+        assert gate(snapshot(base), snapshot(fresh)) == 0
+
+    def test_absolute_regression_on_fast_sweep_fails(self, gate, capsys):
+        """A real closed-form-path regression costs whole seconds and
+        still fails, noise floor notwithstanding."""
+        assert gate(snapshot(0.08), snapshot(1.0)) == 1
+        assert "slowed" in capsys.readouterr().err
+
     def test_both_failures_reported(self, gate, capsys):
         code = gate(snapshot(1.0, checksum=1.0),
                     snapshot(2.0, checksum=2.0))
@@ -100,6 +114,23 @@ class TestVerdicts:
         fresh["parallel"] = {"checksum": 1000.0,
                              "checksum_matches_serial": True}
         assert gate(snapshot(1.0), fresh) == 0
+
+    def test_evaluator_divergence_fails(self, gate, capsys):
+        """Closed-form vs chunked checksum equality is gated exactly."""
+        fresh = snapshot(1.0)
+        fresh["accounting"] = {"closed": {"checksum": 1000.0},
+                               "chunked": {"checksum": 1000.5}}
+        assert gate(snapshot(1.0), fresh) == 1
+        assert "evaluators diverged" in capsys.readouterr().err
+
+    def test_evaluator_equality_passes(self, gate):
+        fresh = snapshot(1.0)
+        fresh["accounting"] = {"closed": {"checksum": 1000.0},
+                               "chunked": {"checksum": 1000.0}}
+        assert gate(snapshot(1.0), fresh) == 0
+
+    def test_old_snapshot_without_accounting_block_passes(self, gate):
+        assert gate(snapshot(1.0), snapshot(1.0)) == 0
 
 
 def cbr_slowdown() -> float:

@@ -88,8 +88,11 @@ class TestBestConfluxConfigShim:
             best_conflux_config(16384, 1024)
 
     def test_return_shape_and_values(self):
-        """Same (c, v, predicted_words) triple as the retired search:
-        the planner's conflux-only plan is the source of truth."""
+        """Same (c, v, predicted_words) triple as the planner's
+        conflux-only plan — the source of truth.  The planner now ranks
+        by *counted* closed-form trace volumes, so the shim's cost sits
+        within the validated model's accuracy band of the analytic
+        ``conflux_full_model`` rather than equal to it."""
         from repro.analysis.harness import best_conflux_config
         from repro.models.costmodels import conflux_full_model
         from repro.planner import plan_lu
@@ -99,10 +102,12 @@ class TestBestConfluxConfigShim:
             c, v, cost = best_conflux_config(16384, 1024)
         assert 1024 % c == 0
         assert 16384 % v == 0 and v % c == 0
-        assert cost == pytest.approx(conflux_full_model(16384, 1024, c, v))
+        assert cost == pytest.approx(conflux_full_model(16384, 1024, c, v),
+                                     rel=0.02)
         chosen = plan_lu(16384, 1024, mem_words=32 * 2 ** 30 / 8,
                          impls=("conflux",)).chosen
         assert (chosen.params["c"], chosen.params["v"]) == (c, v)
+        assert cost == chosen.predicted_words
 
     def test_infeasible_still_value_error(self):
         from repro.analysis.harness import best_conflux_config

@@ -23,44 +23,72 @@ from repro.machine.stats import CommStats
 
 class TestStepAccounting:
     def test_uniform_and_full_paths_agree(self):
-        """A rank-uniform term recorded as a column equals the same term
-        materialized as a full (steps, ranks) matrix."""
+        """A rank-uniform term (no rank factors) equals the same term
+        forced down the full-matrix path via a trivial rank constant —
+        both in the totals and in the per-step log fold."""
         grid = ProcessorGrid3D(2, 2, 2)
         results = []
         for expand in (False, True):
-            stats = CommStats(grid.size)
+            stats = CommStats(grid.size, steps="columnar")
             acct = StepAccounting(grid, 6)
 
             def accounting(a, expand=expand):
-                w = 3.0 * (a.t + 1)                   # (chunk, 1)
-                if expand:
-                    w = w * np.ones(a.nranks)         # force full path
-                a.add_recv(w, msgs=2.0)
-                a.add_flops(w * (a.pi + 1))           # always full
+                rc = np.ones(a.nranks) if expand else None
+                a.add_recv(3.0, step=a.affine(1, 1), rank_const=rc,
+                           msgs=2.0)
+                a.add_flops(1.0, step=a.affine(1, 1),
+                            rank_const=np.asarray(a.pi + 1, dtype=float))
 
             acct.run(accounting, stats, lambda t: f"t={t}")
             results.append(stats)
         u, f = results
-        assert np.allclose(u.recv_words, f.recv_words)
-        assert np.allclose(u.recv_msgs, f.recv_msgs)
-        assert np.allclose(u.flops, f.flops)
+        assert np.array_equal(u.recv_words, f.recv_words)
+        assert np.array_equal(u.recv_msgs, f.recv_msgs)
+        assert np.array_equal(u.flops, f.flops)
         for ru, rf in zip(u.steps, f.steps):
             assert ru.recv_words_max == rf.recv_words_max
             assert ru.recv_words_total == rf.recv_words_total
             assert ru.msgs_max == rf.msgs_max
 
+    def test_full_after_uniform_transition(self):
+        """Regression for the old double-allocation bug: a uniform term
+        followed by a full-matrix term on the *same* counter must fold
+        into one per-step aggregate (max = full max + uniform shift),
+        and message matrices must allocate exactly once."""
+        grid = ProcessorGrid3D(2, 2, 1)
+        stats = CommStats(grid.size, steps="columnar")
+        acct = StepAccounting(grid, 4)
+
+        def accounting(a):
+            a.add_recv(5.0, msgs=2.0)                    # uniform
+            a.add_recv(7.0, gate=("j",), msgs=3.0)       # full, same key
+
+        acct.run(accounting, stats, lambda t: f"t={t}")
+        # Every rank: 4 steps x 5 words uniform; the step-t panel
+        # column (2 of 4 ranks per step) adds 7.
+        on_col = 4 * 5.0 + 2 * 7.0      # each rank is q_col every 2nd t
+        assert np.array_equal(stats.recv_words, np.full(4, on_col))
+        assert np.array_equal(stats.recv_msgs,
+                              np.full(4, 4 * 2.0 + 2 * 3.0))
+        for rec in stats.steps:
+            assert rec.recv_words_max == 5.0 + 7.0
+            assert rec.recv_words_total == 4 * 5.0 + 2 * 7.0
+            assert rec.msgs_max == 2.0 + 3.0
+
     def test_chunking_invariant(self, monkeypatch):
-        """Totals and the step log must not depend on the chunk size."""
+        """Totals and the step log must not depend on the chunk size —
+        the per-rank counters bit-for-bit (integer base sums), the
+        per-step maxima to the last ulp too."""
         import repro.engine.accounting as accounting_mod
 
         sched = ConfluxSchedule(128, 8, v=8, c=2)
         base = TraceBackend().run(sched)
         monkeypatch.setattr(accounting_mod, "_CHUNK_TARGET", 8)
         small = TraceBackend().run(ConfluxSchedule(128, 8, v=8, c=2))
-        assert np.allclose(base.comm.recv_words, small.comm.recv_words)
+        assert np.array_equal(base.comm.recv_words, small.comm.recv_words)
         assert len(base.step_log) == len(small.step_log)
         for rb, rs in zip(base.step_log, small.step_log):
-            assert rb.recv_words_max == pytest.approx(rs.recv_words_max)
+            assert rb.recv_words_max == rs.recv_words_max
             assert rb.label == rs.label
 
     def test_step_labels(self):
@@ -68,6 +96,21 @@ class TestStepAccounting:
         labels = [r.label for r in res.step_log]
         assert labels[-1] == "reduce"
         assert labels[0] == "summa-0"
+
+    def test_closed_form_matches_chunked(self):
+        """The acceptance property at engine level: identical counters
+        from both evaluators on a real schedule."""
+        a = ConfluxSchedule(128, 16, v=16, c=4).trace_stats(steps="none")
+        b = ConfluxSchedule(128, 16, v=16, c=4).trace_stats(
+            steps="none", evaluator="chunked")
+        assert np.array_equal(a.recv_words, b.recv_words)
+        assert np.array_equal(a.recv_msgs, b.recv_msgs)
+        assert np.array_equal(a.flops, b.flops)
+
+    def test_closed_form_refuses_step_log(self):
+        with pytest.raises(ValueError, match="no step log"):
+            ConfluxSchedule(64, 8, v=8, c=2).trace_stats(
+                steps="columnar", evaluator="closed")
 
 
 class TestBackends:

@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.machine import CommStats, RankError
-from repro.machine.stats import StepRecord
+from repro.machine.stats import (
+    STEP_FIELDS,
+    ColumnarStepLog,
+    NullStepLog,
+    StepRecord,
+)
 
 
 class TestCommStatsBasics:
@@ -140,6 +145,32 @@ class TestSteps:
         assert len(s.steps) == 3
         assert s.steps[1].label == "s1"
 
+    def test_steps_mode_selects_log_flavour(self):
+        assert isinstance(CommStats(2).steps.records, tuple)
+        assert isinstance(CommStats(2, steps="columnar").steps,
+                          ColumnarStepLog)
+        assert isinstance(CommStats(2, steps="none").steps, NullStepLog)
+        with pytest.raises(ValueError, match="steps mode"):
+            CommStats(2, steps="sometimes")
+
+    def test_reset_keeps_steps_mode(self):
+        s = CommStats(2, steps="columnar")
+        s.begin_step("a")
+        s.end_step()
+        s.reset()
+        assert isinstance(s.steps, ColumnarStepLog)
+        assert len(s.steps) == 0
+
+    def test_none_mode_drops_step_records(self):
+        s = CommStats(2, steps="none")
+        s.begin_step("a")
+        s.record_recv(0, 5)
+        rec = s.end_step()
+        assert rec.recv_words_max == 5      # the record is still returned
+        assert len(s.steps) == 0            # ...but not retained
+        with pytest.raises(IndexError):
+            s.steps[0]
+
     def test_step_record_merged(self):
         a = StepRecord("a", flops_max=10, flops_total=20, recv_words_max=5,
                        recv_words_total=9)
@@ -150,3 +181,59 @@ class TestSteps:
         assert m.flops_total == 24
         assert m.recv_words_max == 8
         assert m.recv_words_total == 17
+
+
+class TestColumnarStepLog:
+    def _filled(self):
+        log = ColumnarStepLog()
+        cols = {f: np.arange(3, dtype=float) + i
+                for i, f in enumerate(STEP_FIELDS)}
+        log.extend(lambda t: f"t={t}", 0, 3, **cols)
+        return log
+
+    def test_extend_and_columns(self):
+        log = self._filled()
+        assert len(log) == 3
+        assert np.array_equal(log.column("flops_max"), [0.0, 1.0, 2.0])
+        # recv_words_max is STEP_FIELDS[2] -> values [2, 3, 4]
+        assert log.total("recv_words_max") == 9.0
+
+    def test_lazy_records_and_labels(self):
+        log = self._filled()
+        rec = log[1]
+        assert rec.label == "t=1"
+        assert rec.flops_max == 1.0
+        assert log[-1].label == "t=2"
+        assert [r.label for r in log] == ["t=0", "t=1", "t=2"]
+        assert len(log.records) == 3
+
+    def test_append_record_interleaves(self):
+        log = self._filled()
+        log.append(StepRecord("extra", recv_words_max=9.0))
+        assert len(log) == 4
+        assert log[3].label == "extra"
+        assert log.column("recv_words_max")[3] == 9.0
+
+    def test_extend_shape_checked(self):
+        log = ColumnarStepLog()
+        cols = {f: np.zeros(3) for f in STEP_FIELDS}
+        cols["msgs_max"] = np.zeros(2)
+        with pytest.raises(ValueError, match="msgs_max"):
+            log.extend(str, 0, 3, **cols)
+
+    def test_out_of_range(self):
+        log = self._filled()
+        with pytest.raises(IndexError):
+            log[3]
+        with pytest.raises(KeyError):
+            log.column("nope")
+
+
+class TestNullStepLog:
+    def test_everything_is_empty(self):
+        log = NullStepLog()
+        log.append(StepRecord("x", flops_max=1.0))
+        assert len(log) == 0
+        assert list(log) == []
+        assert log.records == ()
+        assert log.total("flops_max") == 0.0

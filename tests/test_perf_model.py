@@ -85,11 +85,25 @@ class TestPerfModel:
         out = model.evaluate(log, nranks=4, local_words=2.0 ** 27)
         assert 0 < out.peak_fraction < 1
 
-    def test_empty_log(self):
+    def test_empty_log_rejected(self):
+        """A result traced with steps='none' (the closed-form sweep
+        default) has no per-step maxima; silently timing it would
+        return nonsense, so the model refuses."""
         model = PerfModel()
-        out = model.evaluate(make_log([]), nranks=1, local_words=1.0)
-        assert out.total_s > 0
-        assert out.achieved_flops == 0
+        with pytest.raises(ValueError, match="empty step log"):
+            model.evaluate(make_log([]), nranks=1, local_words=1.0)
+
+    def test_columnar_log_matches_records(self):
+        from repro.factorizations import ConfluxSchedule
+
+        model = PerfModel()
+        col = ConfluxSchedule(96, 12, v=12, c=3).trace_stats(
+            steps="columnar")
+        rec = ConfluxSchedule(96, 12, v=12, c=3).trace_stats(
+            steps="records")
+        a = model.evaluate(col.steps, 12, 96 * 96 / 12)
+        b = model.evaluate(rec.steps, 12, 96 * 96 / 12)
+        assert a == b
 
     def test_nranks_validation(self):
         model = PerfModel()
