@@ -60,6 +60,10 @@ bench-check:
 	$(PY) scripts/check_bench_regression.py $(PARALLEL_FLAG)
 
 ## Print the planner's pick (schedule + parameters + predicted cost)
-## for a smoke (N, P, M) grid; fails if planning breaks.
+## for a smoke (N, P, M) grid; fails if planning breaks or blows the
+## wall-time budget (the batched closed-form path plans the grid in
+## well under a second — the budget catches interpreter work sneaking
+## back onto the scoring hot path).
+PLAN_BUDGET_S ?= 20
 plan:
-	$(PY) scripts/plan_grid.py
+	$(PY) scripts/plan_grid.py --budget-s $(PLAN_BUDGET_S)

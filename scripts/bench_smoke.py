@@ -19,10 +19,13 @@ the refreshed ``BENCH_engine.json`` alongside the change (see
 ``check_bench_regression.py --update``).
 
 The ``parallel`` block records the pool path: its checksum must equal
-the serial one bit-for-bit (deterministic task ordering), and on a
-machine with >= 4 cores the sweep is expected to run >= 1.5x faster
-than serial (``--parallel N`` pins the worker count; single-core
-containers record their honest ~1x).
+the serial one bit-for-bit (deterministic task ordering).  With a
+single worker there is no concurrency to measure, so ``speedup`` is
+recorded only when ``workers >= 2`` — a 1-worker container reports the
+pool's spawn/IPC cost as ``pool_overhead_s`` instead of a misleading
+sub-1x "speedup".  On a machine with >= 4 cores the sweep is expected
+to run >= 1.5x faster than serial (``--parallel N`` pins the worker
+count).
 
 The ``accounting`` block records both trace evaluators over the same
 workload: the closed-form evaluator (the default sweep path — cost
@@ -30,6 +33,12 @@ terms summed analytically per rank, no step log) and the chunked
 reference interpreter.  Their checksums must agree exactly — the
 cost-term IR's bit-for-bit contract — which
 ``check_bench_regression.py`` gates alongside the pool-vs-serial one.
+
+The ``planner`` block times the auto-planner over a paper-scale grid
+twice — the batched :class:`~repro.engine.accounting.TermBatch` pass
+and the per-config reference loop — and records the chosen-plan
+checksum of each; ``check_bench_regression.py`` gates their equality
+(the batch evaluator must pick bit-identical plans).
 """
 
 from __future__ import annotations
@@ -68,6 +77,13 @@ REPS = 3
 MIN_PARALLEL_SPEEDUP = 1.5
 MIN_CORES_FOR_SPEEDUP = 4
 
+#: The planner-grid workload: every feasible candidate of all three
+#: planners at three paper-scale points (>= 100 candidates total),
+#: scored once through the batched TermBatch pass and once through the
+#: per-config reference loop.
+PLANNER_GRID = [(4096, 64), (16384, 1024), (65536, 4096)]
+PLANNER_API_COPIES = 3
+
 
 def calibrate() -> float:
     """Machine-speed probe: a fixed NumPy workload shaped like the
@@ -95,6 +111,25 @@ def calibrate() -> float:
 
 def _checksum(results) -> float:
     return sum(r.mean_recv_words for r in results)
+
+
+def _plan_grid(batched: bool) -> tuple[float, int, float]:
+    """Run all three planners over ``PLANNER_GRID``; returns
+    ``(wall_s, candidates, chosen_checksum)``."""
+    from repro.analysis.harness import NODE_MEM_WORDS
+    from repro.planner import plan_cholesky, plan_gemm, plan_lu
+
+    t0 = time.perf_counter()
+    plans = []
+    for n, p in PLANNER_GRID:
+        for planner in (plan_lu, plan_cholesky, plan_gemm):
+            plans.append(planner(n, p, NODE_MEM_WORDS,
+                                 api_copies=PLANNER_API_COPIES,
+                                 batched=batched))
+    wall = time.perf_counter() - t0
+    cands = sum(len(plan.ranked) for plan in plans)
+    checksum = sum(plan.chosen.predicted_words for plan in plans)
+    return wall, cands, checksum
 
 
 def run(parallel: int | None = None) -> dict:
@@ -134,6 +169,16 @@ def run(parallel: int | None = None) -> dict:
         par_checksum = _checksum(par_results)
     par_s = min(par_times)
 
+    # The planner grid: batched TermBatch scoring vs the per-config
+    # reference loop (best of 2 each; the chosen-plan checksums must
+    # match bit-for-bit).
+    loop_s, loop_cands, loop_checksum = min(
+        (_plan_grid(batched=False) for _ in range(2)),
+        key=lambda r: r[0])
+    bat_s, bat_cands, bat_checksum = min(
+        (_plan_grid(batched=True) for _ in range(2)),
+        key=lambda r: r[0])
+
     return {
         "workload": {
             "cases": CASES,
@@ -159,9 +204,25 @@ def run(parallel: int | None = None) -> dict:
             "cpus": cpus,
             "sweep_s": round(par_s, 3),
             "all_reps_s": [round(t, 3) for t in par_times],
-            "speedup": round(best / par_s, 2),
+            # With one worker the pool measures spawn/IPC cost, not
+            # concurrency: report the overhead and omit the speedup.
+            "speedup": (round(best / par_s, 2) if workers >= 2
+                        else None),
+            "pool_overhead_s": round(max(0.0, par_s - best), 3),
             "checksum": par_checksum,
             "checksum_matches_serial": par_checksum == checksum,
+        },
+        "planner": {
+            "grid": PLANNER_GRID,
+            "api_copies": PLANNER_API_COPIES,
+            "candidates": bat_cands,
+            "batched_s": round(bat_s, 3),
+            "per_config_s": round(loop_s, 3),
+            "speedup": round(loop_s / bat_s, 1),
+            "chosen_checksum": bat_checksum,
+            "per_config_checksum": loop_checksum,
+            "chosen_matches": (bat_checksum == loop_checksum
+                               and bat_cands == loop_cands),
         },
         "seed": SEED_BASELINE,
         "speedup_vs_seed": round(SEED_BASELINE["sweep_s"] / best, 2),
@@ -205,13 +266,21 @@ def main(argv: list[str] | None = None) -> int:
             f"{snapshot['engine']['checksum']}")
     # Gate the speedup only when both the machine and the pinned pool
     # are wide enough to expect one (PARALLEL=1 on a 16-core box is a
-    # request, not a regression).
-    if (par["cpus"] >= MIN_CORES_FOR_SPEEDUP
+    # request, not a regression; a 1-worker pool records no speedup at
+    # all, only its overhead).
+    if (par["speedup"] is not None
+            and par["cpus"] >= MIN_CORES_FOR_SPEEDUP
             and par["workers"] >= MIN_CORES_FOR_SPEEDUP
             and par["speedup"] < MIN_PARALLEL_SPEEDUP):
         failures.append(
             f"parallel speedup {par['speedup']} < {MIN_PARALLEL_SPEEDUP} "
             f"with {par['workers']} workers on {par['cpus']} cores")
+    planner = snapshot["planner"]
+    if not planner["chosen_matches"]:
+        failures.append(
+            f"planner batched checksum {planner['chosen_checksum']} != "
+            f"per-config {planner['per_config_checksum']} — the batch "
+            "evaluator changed plan selection")
     for f in failures:
         print(f"ERROR: {f}", file=sys.stderr)
     return 1 if failures else 0

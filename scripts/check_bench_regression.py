@@ -20,7 +20,10 @@ committed ``BENCH_engine.json``:
 * **evaluator equality** — the closed-form trace evaluator's checksum
   must equal the chunked reference interpreter's *exactly* (the
   cost-term IR's bit-for-bit contract), alongside the existing
-  pool-vs-serial equality gate.
+  pool-vs-serial equality gate;
+* **planner parity** — the batched ``TermBatch`` planner pass must pick
+  plans with a chosen-plan checksum *exactly* equal to the per-config
+  reference loop's.
 
 Used by CI's ``bench-smoke`` job and ``make bench-check``.
 
@@ -129,6 +132,14 @@ def main(argv: list[str] | None = None) -> int:
             f"closed-form checksum {acct['closed']['checksum']} != "
             f"chunked {acct['chunked']['checksum']} — the two trace "
             "evaluators diverged")
+    # The batched planner must pick bit-identical plans to the
+    # per-config reference loop (the TermBatch parity contract).
+    planner = fresh.get("planner")
+    if planner and not planner["chosen_matches"]:
+        failures.append(
+            f"planner batched checksum {planner['chosen_checksum']} != "
+            f"per-config {planner['per_config_checksum']} — the batch "
+            "evaluator changed plan selection")
     for f in failures:
         print(f"ERROR: {f}", file=sys.stderr)
     if not failures:

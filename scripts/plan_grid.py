@@ -6,12 +6,21 @@ that planning stays total: every feasible grid point must produce a
 plan, infeasible points must be *reported* infeasible (never crash),
 and each plan's predicted volume must be the minimum of its ranked
 alternatives.
+
+``--budget-s`` turns the run into a wall-time gate: planning the whole
+grid must finish inside the budget, so a regression that drops the
+batched closed-form path (e.g. per-config interpreter work sneaking
+back into scoring) fails the build rather than just drifting the bench
+snapshot.  The grid plans in well under a second batched; the default
+CI budget leaves two orders of magnitude headroom for runner noise.
 """
 
 from __future__ import annotations
 
+import argparse
 import pathlib
 import sys
+import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
@@ -38,9 +47,17 @@ PLANNERS = [("lu", plan_lu), ("cholesky", plan_cholesky),
             ("gemm", plan_gemm)]
 
 
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--budget-s", type=float, default=None, metavar="S",
+        help="fail if planning the whole grid takes longer than S "
+             "seconds of wall time (Makefile pass-through: "
+             "make plan PLAN_BUDGET_S=S)")
+    args = parser.parse_args(argv)
     rows = []
     failures = []
+    t0 = time.perf_counter()
     for n, p, mem in GRID:
         for label, planner in PLANNERS:
             try:
@@ -59,10 +76,17 @@ def main() -> int:
                 failures.append(
                     f"{label} N={n} P={p}: chosen config is not "
                     "volume-minimal among the ranked alternatives")
+    wall = time.perf_counter() - t0
     print(format_table(
         ["problem", "N", "P", "M (words)", "impl", "params",
          "pred words", "pred time s"],
         rows, title="Planner picks over the smoke (N, P, M) grid"))
+    print(f"[planned {len(rows)} points in {wall:.3f}s]")
+    if args.budget_s is not None and wall > args.budget_s:
+        failures.append(
+            f"planner grid took {wall:.2f}s, over the {args.budget_s:g}s "
+            "wall-time budget — the batched closed-form scoring path "
+            "regressed")
     for f in failures:
         print(f"ERROR: {f}", file=sys.stderr)
     return 1 if failures else 0

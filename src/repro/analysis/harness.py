@@ -25,7 +25,7 @@ __all__ = [
     "LU_IMPLEMENTATIONS", "CHOLESKY_IMPLEMENTATIONS",
     "NODE_MEM_WORDS", "RANKS_PER_NODE",
     "max_replication", "feasible", "best_conflux_config",
-    "trace_lu", "trace_cholesky", "sweep_traces",
+    "trace_lu", "trace_cholesky", "trace_case", "sweep_traces",
     "MemoryFeasibility", "memory_feasibility",
     "estimate_time", "TimedRun", "format_table",
 ]
@@ -68,58 +68,94 @@ def _trace(schedule, steps: str, evaluator: str | None,
     return TraceBackend(steps=steps, evaluator=evaluator).run(schedule)
 
 
-def _run_conflux(n: int, p: int, c: int, steps: str = "columnar",
-                 evaluator: str | None = None) -> FactorizationResult:
+def _sched_conflux(n: int, p: int, c: int):
     from ..factorizations import ConfluxSchedule
 
     c_ok, v = _config_for(n, p, c)
-    return _trace(ConfluxSchedule(n, p, v=v, c=c_ok), steps, evaluator)
+    return ConfluxSchedule(n, p, v=v, c=c_ok)
+
+
+def _sched_confchox(n: int, p: int, c: int):
+    from ..factorizations import ConfchoxSchedule
+
+    c_ok, v = _config_for(n, p, c)
+    return ConfchoxSchedule(n, p, v=v, c=c_ok)
+
+
+def _sched_mkl_lu(n: int, p: int, c: int):
+    from ..factorizations.baselines.scalapack_lu import ScalapackLUSchedule
+
+    return ScalapackLUSchedule(n, p, nb=_nb_for(n))
+
+
+def _sched_slate_lu(n: int, p: int, c: int):
+    from ..factorizations.baselines.scalapack_lu import ScalapackLUSchedule
+
+    return ScalapackLUSchedule(n, p, nb=_nb_for(n), name="slate",
+                               panel_rebroadcast=False)
+
+
+def _sched_mkl_chol(n: int, p: int, c: int):
+    from ..factorizations.baselines.scalapack_chol import (
+        ScalapackCholeskySchedule,
+    )
+
+    return ScalapackCholeskySchedule(n, p, nb=_nb_for(n))
+
+
+def _sched_slate_chol(n: int, p: int, c: int):
+    from ..factorizations.baselines.scalapack_chol import (
+        ScalapackCholeskySchedule,
+    )
+
+    return ScalapackCholeskySchedule(n, p, nb=_nb_for(n),
+                                     name="slate-chol")
+
+
+#: Engine-schedule builders per implementation name — the batchable
+#: subset of the registries below (the model baselines candmc/capital
+#: have no cost-term stream to batch).
+_LU_SCHEDULES = {
+    "conflux": _sched_conflux,
+    "mkl": _sched_mkl_lu,
+    "slate": _sched_slate_lu,
+}
+
+_CHOL_SCHEDULES = {
+    "confchox": _sched_confchox,
+    "mkl-chol": _sched_mkl_chol,
+    "slate-chol": _sched_slate_chol,
+}
+
+
+def _run_conflux(n: int, p: int, c: int, steps: str = "columnar",
+                 evaluator: str | None = None) -> FactorizationResult:
+    return _trace(_sched_conflux(n, p, c), steps, evaluator)
 
 
 def _run_confchox(n: int, p: int, c: int, steps: str = "columnar",
                   evaluator: str | None = None) -> FactorizationResult:
-    from ..factorizations import ConfchoxSchedule
-
-    c_ok, v = _config_for(n, p, c)
-    return _trace(ConfchoxSchedule(n, p, v=v, c=c_ok), steps, evaluator)
+    return _trace(_sched_confchox(n, p, c), steps, evaluator)
 
 
 def _run_mkl_lu(n: int, p: int, c: int, steps: str = "columnar",
                 evaluator: str | None = None) -> FactorizationResult:
-    from ..factorizations.baselines.scalapack_lu import ScalapackLUSchedule
-
-    return _trace(ScalapackLUSchedule(n, p, nb=_nb_for(n)), steps,
-                  evaluator)
+    return _trace(_sched_mkl_lu(n, p, c), steps, evaluator)
 
 
 def _run_slate_lu(n: int, p: int, c: int, steps: str = "columnar",
                   evaluator: str | None = None) -> FactorizationResult:
-    from ..factorizations.baselines.scalapack_lu import ScalapackLUSchedule
-
-    return _trace(ScalapackLUSchedule(n, p, nb=_nb_for(n), name="slate",
-                                      panel_rebroadcast=False),
-                  steps, evaluator)
+    return _trace(_sched_slate_lu(n, p, c), steps, evaluator)
 
 
 def _run_mkl_chol(n: int, p: int, c: int, steps: str = "columnar",
                   evaluator: str | None = None) -> FactorizationResult:
-    from ..factorizations.baselines.scalapack_chol import (
-        ScalapackCholeskySchedule,
-    )
-
-    return _trace(ScalapackCholeskySchedule(n, p, nb=_nb_for(n)), steps,
-                  evaluator)
+    return _trace(_sched_mkl_chol(n, p, c), steps, evaluator)
 
 
 def _run_slate_chol(n: int, p: int, c: int, steps: str = "columnar",
                     evaluator: str | None = None) -> FactorizationResult:
-    from ..factorizations.baselines.scalapack_chol import (
-        ScalapackCholeskySchedule,
-    )
-
-    return _trace(ScalapackCholeskySchedule(n, p, nb=_nb_for(n),
-                                            name="slate-chol"),
-                  steps, evaluator)
+    return _trace(_sched_slate_chol(n, p, c), steps, evaluator)
 
 
 def _run_candmc(n: int, p: int, c: int, steps: str = "columnar",
@@ -208,6 +244,49 @@ def trace_cholesky(name: str, n: int, p: int, c: int | None = None,
                                           evaluator=evaluator)
 
 
+def trace_case(n: int, p: int,
+               lu_impls: tuple[str, ...] = ("conflux", "mkl"),
+               chol_impls: tuple[str, ...] = ("confchox", "mkl-chol"),
+               steps: str = "none",
+               evaluator: str | None = None) -> list[FactorizationResult]:
+    """Trace one ``(N, P)`` case's whole flavour set, batched.
+
+    Results come back in ``[*lu_impls, *chol_impls]`` order.  On the
+    hot path (``steps="none"`` with the default closed-form evaluator)
+    every engine schedule of the case is collected into one
+    :class:`~repro.engine.accounting.TermBatch` and reduced in a single
+    vectorized pass — bit-identical to tracing each implementation on
+    its own, which any other ``steps``/``evaluator`` combination (and
+    the model baselines candmc/capital, which have no cost-term
+    stream) falls back to.
+    """
+    from ..engine.accounting import TermBatch
+
+    c = max_replication(p, n)
+    entries = [("lu", name) for name in lu_impls] + \
+        [("cholesky", name) for name in chol_impls]
+    tracers = {"lu": trace_lu, "cholesky": trace_cholesky}
+    builders = {"lu": _LU_SCHEDULES, "cholesky": _CHOL_SCHEDULES}
+    batchable = steps == "none" and evaluator in (None, "closed")
+    results: list[FactorizationResult | None] = [None] * len(entries)
+    batch, slots = TermBatch(), []
+    for pos, (kind, name) in enumerate(entries):
+        builder = builders[kind].get(name) if batchable else None
+        if builder is None:
+            results[pos] = tracers[kind](name, n, p, c=c, steps=steps,
+                                         evaluator=evaluator)
+            continue
+        sched = builder(n, p, c)
+        batch.add(sched)
+        slots.append((pos, sched))
+    if slots:
+        for (pos, sched), stats in zip(slots, batch.evaluate()):
+            results[pos] = FactorizationResult(
+                sched.name, sched.n, sched.nranks, sched.mem_words,
+                stats, sched.params())
+    return results
+
+
 def sweep_traces(cases: list[tuple[int, int]],
                  lu_impls: tuple[str, ...] = ("conflux", "mkl"),
                  chol_impls: tuple[str, ...] = ("confchox", "mkl-chol"),
@@ -216,13 +295,13 @@ def sweep_traces(cases: list[tuple[int, int]],
     """Trace every ``(impl, N, P)`` combination of the sweep.
 
     This is the paper-style evaluation loop the figure benchmarks and
-    the ``bench-smoke`` perf snapshot share.  By default each trace
-    runs ``steps="none"`` — the closed-form evaluator sums every cost
-    term analytically per rank, so a paper-scale point costs O(P)
-    instead of O(steps x P) and no step log is kept.  Pass
-    ``steps="columnar"`` when per-step data is needed downstream, or
-    ``evaluator="chunked"`` to force the reference interpreter (the
-    bench snapshot records both paths' checksums).
+    the ``bench-smoke`` perf snapshot share.  Each ``(N, P)`` case is
+    one sweep task whose flavour set evaluates through
+    :func:`trace_case` — on the default ``steps="none"`` closed-form
+    path that is a single batched :class:`TermBatch` reduction per
+    case.  Pass ``steps="columnar"`` when per-step data is needed
+    downstream, or ``evaluator="chunked"`` to force the reference
+    interpreter (the bench snapshot records both paths' checksums).
 
     ``executor`` accepts a :mod:`repro.runtime` sweep executor (serial
     or process-pool, optionally cache-backed); the result order — and
@@ -230,12 +309,13 @@ def sweep_traces(cases: list[tuple[int, int]],
     """
     from ..runtime.executor import SerialExecutor, SweepTask
 
-    extra = (("evaluator", evaluator), ("steps", steps))
-    tasks = [SweepTask(kind, name, n, p, extra=extra)
-             for n, p in cases
-             for kind, names in (("lu", lu_impls), ("cholesky", chol_impls))
-             for name in names]
-    return (executor or SerialExecutor()).run(tasks)
+    extra = (("lu_impls", tuple(lu_impls)),
+             ("chol_impls", tuple(chol_impls)),
+             ("evaluator", evaluator), ("steps", steps))
+    tasks = [SweepTask("case", "all", n, p, extra=extra)
+             for n, p in cases]
+    results = (executor or SerialExecutor()).run(tasks)
+    return [res for case in results for res in case]
 
 
 @dataclasses.dataclass(frozen=True)

@@ -1,4 +1,4 @@
-"""Cost-term IR for trace accounting, with two evaluators.
+"""Cost-term IR for trace accounting: closed-form and reference evaluators.
 
 The schedules' analytic accounting used to *write* raw
 ``(steps, ranks)`` NumPy matrices (step-column times coordinate-row
@@ -35,14 +35,27 @@ positive, ``msgs(t) = msgs_coeff * msgs_step(t)`` messages are charged
 Two evaluators consume the IR:
 
 * the **chunked interpreter** (:meth:`StepAccounting.run`) — the
-  reference backend.  It materializes each term's ``(chunk, ranks)``
-  factors numerically, exactly like the retired raw-matrix path, and
-  additionally produces the per-step log (columnar or records);
-* the **closed-form evaluator** (:meth:`StepAccounting.run_closed`) —
+  parity-test reference backend, off every hot path.  It materializes
+  each term's ``(chunk, ranks)`` factors numerically, exactly like the
+  retired raw-matrix path, and produces the per-step log from them;
+* the **closed-form evaluator** (:meth:`StepAccounting.run_closed`,
+  :meth:`StepAccounting.run_analytic` when a step log is requested) —
   reduces each term's sum over steps analytically per rank: affine
   profiles via exact arithmetic-series sums, gated/owned terms via
-  per-residue-class contraction (``O(steps + P)`` work, never an
-  ``O(steps x P)`` allocation).  No step log exists on this path.
+  residue-class moment contractions built on the decomposition
+  ``own(a, t) = q(t) + beta(a, t mod m)`` (full remaining cycles plus
+  a periodic partial-cycle window; double-ownership products expand
+  into moments and one ``beta_i M0 beta_j^T`` bilinear).  ``O(steps +
+  P)`` work, never an ``O(steps x P)`` allocation; step logs derive
+  analytically from per-residue-class value columns with per-step
+  maxima bitwise equal to the interpreter's.
+
+:class:`TermBatch` stacks the terms of many candidate configs and
+reduces the whole grid in one pass — the rank-uniform affine terms of
+every config flatten into shared arrays for a single vectorized
+arithmetic-series evaluation — which is what makes the planner's
+candidate scoring and the sweep harness' per-case flavour sets cheap;
+the batch is bit-identical to looping :meth:`run_closed` per config.
 
 The two agree **bit-for-bit** on the communication counters
 (received/sent words and message counts): every words/msgs profile is
@@ -57,6 +70,7 @@ the parity suite pins both guarantees.
 from __future__ import annotations
 
 import dataclasses
+import itertools
 import math
 from typing import Callable, Sequence
 
@@ -65,7 +79,7 @@ import numpy as np
 from ..machine.grid import ProcessorGrid2D, ProcessorGrid3D
 from ..machine.stats import STEP_FIELDS, CommStats, NullStepLog, StepRecord
 
-__all__ = ["StepAccounting", "StepFn", "CostTerm",
+__all__ = ["StepAccounting", "StepFn", "CostTerm", "TermBatch",
            "butterfly_pair_exchanges"]
 
 
@@ -101,8 +115,37 @@ def butterfly_pair_exchanges(m: np.ndarray | int) -> np.ndarray:
 #: bound and end up *slower*.
 _CHUNK_TARGET = 131_072
 
+#: Magnitude bound under which float64 sums of integers are exact; the
+#: residue-class fast paths fall back to the dense reference reduction
+#: when a term's intermediate moments could cross it.
+_EXACT_GUARD = 2.0 ** 52
+
 #: Grid-axis letters: pi ('i'), pj ('j'), pk ('k').
 _AXES = "ijk"
+
+#: Shared flattened coordinate vectors per grid shape.  Candidate grids
+#: re-use a handful of shapes across hundreds of configs; the meshgrid
+#: was a measurable slice of per-config setup cost.  Entries are
+#: read-only views handed to every StepAccounting with that shape.
+_COORD_CACHE: dict[tuple[int, int, int],
+                   tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+
+
+def _grid_coords(rows: int, cols: int,
+                 layers: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    key = (rows, cols, layers)
+    hit = _COORD_CACHE.get(key)
+    if hit is None:
+        pk, pi, pj = np.meshgrid(
+            np.arange(layers), np.arange(rows), np.arange(cols),
+            indexing="ij")
+        hit = (pi.reshape(-1), pj.reshape(-1), pk.reshape(-1))
+        for arr in hit:
+            arr.setflags(write=False)
+        if len(_COORD_CACHE) >= 256:     # bound a pathological sweep
+            _COORD_CACHE.clear()
+        _COORD_CACHE[key] = hit
+    return hit
 
 
 @dataclasses.dataclass(frozen=True)
@@ -186,15 +229,16 @@ class StepAccounting:
             grid = ProcessorGrid3D(grid.rows, grid.cols, 1)
         self.grid = grid
         self.nsteps = int(nsteps)
-        pk, pi, pj = np.meshgrid(
-            np.arange(grid.layers), np.arange(grid.rows),
-            np.arange(grid.cols), indexing="ij")
         # Flattening (pk, pi, pj) row-major matches ProcessorGrid3D.rank.
-        self.pi = pi.reshape(-1)
-        self.pj = pj.reshape(-1)
-        self.pk = pk.reshape(-1)
+        self.pi, self.pj, self.pk = _grid_coords(
+            grid.rows, grid.cols, grid.layers)
         self.nranks = grid.size
         self._terms: list[CostTerm] = []
+        # Per-instance keys reused across this accounting's terms by
+        # the residue-class kernels (many terms share gate axes).
+        self._rank_keys: dict[tuple[str, ...], np.ndarray] = {}
+        self._step_keys: dict[tuple, np.ndarray] = {}
+        self._own_windows: dict[str, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # Axis helpers
@@ -325,14 +369,18 @@ class StepAccounting:
 
     def _own_matrix(self, axis: str, t: np.ndarray) -> np.ndarray:
         """``(len(t), dim)`` cyclic tiles-owned counts: residue ``a``
-        owns ``#{j in [t+1, nsteps): j = a (mod dim)}`` tiles."""
+        owns ``#{j in [t+1, nsteps): j = a (mod dim)}`` tiles.
+
+        Computed as ``q + [a in window]``: every residue owns
+        ``q = (nsteps - 1 - t) // dim`` full cycles of the remaining
+        steps, and the ``(nsteps - 1 - t) mod dim`` residues of the
+        partial cycle starting at ``t + 1`` own one more (the same
+        decomposition the closed-form kernels use analytically)."""
         m = self._axis_dim(axis)
-        first = (t + 1)[:, None].astype(np.int64)
-        res = np.arange(m, dtype=np.int64)[None, :]
-        remaining = np.maximum(0, self.nsteps - first)
-        offset = (res - first) % m
-        return np.maximum(
-            0, (remaining - offset + m - 1) // m).astype(np.float64)
+        rem = self.nsteps - 1 - t
+        res = np.arange(m, dtype=np.int64)
+        window = ((res[None, :] - t[:, None] - 1) % m) < (rem % m)[:, None]
+        return ((rem // m)[:, None] + window).astype(np.float64)
 
     def _rank_factor(self, term: CostTerm,
                      t: np.ndarray) -> np.ndarray | None:
@@ -599,3 +647,602 @@ class StepAccounting:
         length = hi - lo
         t_sum = (lo + hi - 1) * length // 2
         return float(int(step.c0) * length + int(step.c1) * t_sum)
+
+    # ------------------------------------------------------------------
+    # Residue-class fast reductions (the batch evaluator's kernels)
+    # ------------------------------------------------------------------
+    def _term_total(self, term: CostTerm, msgs: bool) -> np.ndarray | float:
+        """One term's per-rank step sum: the residue-class fast path
+        when the term's shape supports it, else the dense
+        :meth:`_closed_sum` reference.  Both accumulate the same exact
+        integers, so the result is bit-identical either way."""
+        fast = self._fast_sum(term, msgs)
+        return self._closed_sum(term, msgs) if fast is None else fast
+
+    def _fast_sum(self, term: CostTerm,
+                  msgs: bool) -> np.ndarray | float | None:
+        """Closed-form per-rank sum without any dense ``(steps, dim)``
+        intermediate, or None when the term needs the reference path
+        (two ownership axes, fractional profiles, or moments large
+        enough to threaten float64 integer exactness).
+
+        Ownership sums collapse analytically: with ``m`` the axis size
+        and ``a`` a residue, ``own(a, t) = C_tot(a) - c_le(a, t)`` where
+        ``C_tot(a) = ceil((nsteps - a) / m)`` and
+        ``c_le(a, t) = (t - a - ((t - a) mod m)) / m + 1`` counts the
+        multiples of ``m`` plus ``a`` at or below ``t``.  Summed against
+        per-residue weight moments (bincounts of ``w`` and ``w * t``)
+        this reduces every gated/owned contraction to ``O(steps + dims)``
+        exact integer arithmetic; negated gates expand by
+        inclusion-exclusion over the at-most-two negated axes.
+        """
+        step = term.step
+        lo, hi = max(0, step.lo), min(self.nsteps, step.hi)
+        if hi <= lo or (msgs and term.coeff <= 0):
+            return 0.0
+        if term.uniform and step.column is None and not msgs:
+            return self._affine_series(step, lo, hi)
+        if not step.exact:
+            return None
+        base = step.values(lo, hi)
+        if msgs:
+            base = term.msgs_step.values(lo, hi) * (base > 0)
+        if term.uniform:
+            return float(base.sum())
+        amax = float(np.abs(base).max()) if base.size else 0.0
+        t = np.arange(lo, hi, dtype=np.int64)
+        if len(term.own) > 1:
+            # An ungated two-axis ownership product (the trailing-update
+            # flops terms) splits over own = q + beta with beta periodic
+            # in t; anything richer keeps the dense reference.
+            if len(term.own) != 2 or term.gate or msgs:
+                return None
+            qcap_i = self.nsteps // self._axis_dim(term.own[0]) + 1
+            qcap_j = self.nsteps // self._axis_dim(term.own[1]) + 1
+            if amax * (hi - lo) * qcap_i * qcap_j >= _EXACT_GUARD:
+                return None
+            total = self._own_pair_reduce(base.astype(np.float64), t,
+                                          term.own[0], term.own[1])
+            if term.rank_const is not None:
+                total = total * term.rank_const
+            return total
+        if amax * (hi - lo) * max(hi, 1) >= _EXACT_GUARD:
+            return None
+        gate_pos = [a for a in term.gate if not a.startswith("!")]
+        gate_neg = [a.lstrip("!") for a in term.gate if a.startswith("!")]
+        own_ax = term.own[0] if term.own else None
+        total = np.zeros(self.nranks)
+        for r in range(len(gate_neg) + 1):
+            for sub in itertools.combinations(gate_neg, r):
+                part = self._residue_reduce(
+                    base, t, gate_pos + list(sub), own_ax, msgs)
+                total = total + (-part if r % 2 else part)
+        if term.rank_const is not None:
+            rc = term.rank_const
+            total = total * ((rc > 0) if msgs else rc)
+        return total
+
+    def _residue_reduce(self, w: np.ndarray, t: np.ndarray,
+                        pos_axes: list[str], own_ax: str | None,
+                        msgs: bool) -> np.ndarray | float:
+        """``sum_t w(t) [coord_x = t mod m_x for x in pos_axes] *
+        own(own_ax)`` contracted onto ranks (ownership becomes its
+        positivity indicator for ``msgs``)."""
+        if own_ax is None and not pos_axes:
+            return float(w.sum())
+        dims = [self._axis_dim(a) for a in pos_axes]
+        nkeys = 1
+        for m in dims:
+            nkeys *= m
+        axes_key = tuple(pos_axes)
+        rank_key = self._rank_keys.get(axes_key)
+        if rank_key is None:
+            rank_key = np.zeros(self.nranks, dtype=np.int64)
+            for a, m in zip(pos_axes, dims):
+                rank_key = rank_key * m + self._axis_coords(a)
+            self._rank_keys[axes_key] = rank_key
+        t0 = int(t[0]) if t.size else 0
+        step_key = (axes_key, t0, t.size)
+        key = self._step_keys.get(step_key)
+        if key is None:
+            key = np.zeros(t.size, dtype=np.int64)
+            for a, m in zip(pos_axes, dims):
+                key = key * m + t % m
+            self._step_keys[step_key] = key
+        S0 = np.bincount(key, weights=w, minlength=nkeys)
+        if own_ax is None:
+            return S0[rank_key]
+        m_o = self._axis_dim(own_ax)
+        res = np.arange(m_o, dtype=np.int64)
+        c_tot = np.maximum(0, (self.nsteps - res + m_o - 1) // m_o)
+        if own_ax in pos_axes:
+            # The gate pins the own-axis residue, so per bucket the
+            # ownership collapses to c_tot(a) - ((t - a)/m + 1).
+            stride = 1
+            for m in dims[pos_axes.index(own_ax) + 1:]:
+                stride *= m
+            a_key = (np.arange(nkeys, dtype=np.int64) // stride) % m_o
+            if msgs:
+                sub = self._own_tail(w, t, key, nkeys, own_ax, a_key)
+                C = np.where(c_tot[a_key] > 0, S0 - sub, 0.0)
+            else:
+                S1 = np.bincount(key, weights=w * t, minlength=nkeys)
+                C = c_tot[a_key] * S0 - ((S1 - a_key * S0) / m_o + S0)
+            return C[rank_key]
+        if msgs:
+            sub = self._own_tail(w, t, key, nkeys, own_ax)
+            C = np.where((c_tot > 0)[None, :], S0[:, None] - sub, 0.0)
+        else:
+            S1 = np.bincount(key, weights=w * t, minlength=nkeys)
+            joint = np.bincount(key * m_o + t % m_o, weights=w,
+                                minlength=nkeys * m_o).reshape(nkeys, m_o)
+            dmat = ((res[:, None] - res[None, :]) % m_o).astype(np.float64)
+            c_le = ((S1[:, None] - res[None, :] * S0[:, None]
+                     - joint @ dmat) / m_o + S0[:, None])
+            C = c_tot[None, :] * S0[:, None] - c_le
+        return C[rank_key, self._axis_coords(own_ax)]
+
+    def _own_tail(self, w: np.ndarray, t: np.ndarray, key: np.ndarray,
+                  nkeys: int, own_ax: str,
+                  a_key: np.ndarray | None = None) -> np.ndarray:
+        """Ownership-indicator complement: ``sum_{t >= L_a} w`` per
+        (bucket, residue), where ``L_a`` is the last step owned by
+        residue ``a`` — ``own(a, t) > 0`` iff ``t < L_a``, and ``L_a``
+        lands within ``m`` steps of the end, so only the trailing slice
+        of the step range contributes."""
+        m_o = self._axis_dim(own_ax)
+        res = np.arange(m_o, dtype=np.int64)
+        last = self.nsteps - 1 - res
+        valid = last >= 0
+        if not valid.any():
+            return (np.zeros(nkeys) if a_key is not None
+                    else np.zeros((nkeys, m_o)))
+        L = res + m_o * (last // m_o)
+        i0 = int(np.searchsorted(t, int(L[valid].min())))
+        tt, wt, kt = t[i0:], w[i0:], key[i0:]
+        if a_key is not None:
+            ok = (tt >= L[a_key][kt]) & valid[a_key][kt]
+            return np.bincount(kt[ok], weights=wt[ok], minlength=nkeys)
+        mask = (tt[:, None] >= L[None, :]) & valid[None, :]
+        sub = np.zeros((nkeys, m_o))
+        np.add.at(sub, kt, wt[:, None] * mask)
+        return sub
+
+    def _own_window(self, axis: str) -> np.ndarray:
+        """The periodic part of the ownership count as an ``(m, m)``
+        0/1 matrix ``beta[a, r]``: whether residue ``a`` falls in the
+        partial-cycle window at any step ``t`` with ``t mod m == r``.
+        ``own(a, t) = (nsteps - 1 - t) // m + beta[a, t mod m]`` — both
+        operands of the window comparison depend on ``t`` only through
+        its residue, so one matrix covers every step."""
+        beta = self._own_windows.get(axis)
+        if beta is None:
+            m = self._axis_dim(axis)
+            res = np.arange(m, dtype=np.int64)
+            beta = (((res[:, None] - res[None, :] - 1) % m)
+                    < ((self.nsteps - 1 - res[None, :]) % m)
+                    ).astype(np.float64)
+            self._own_windows[axis] = beta
+        return beta
+
+    def _own_pair_reduce(self, w: np.ndarray, t: np.ndarray, ax_i: str,
+                         ax_j: str) -> np.ndarray:
+        """``sum_t w(t) own_i(a, t) own_j(b, t)`` for every residue pair
+        gathered onto ranks, without the dense ``(steps, dim)``
+        matrices.
+
+        Expanding both factors as ``q + beta`` (full cycles plus the
+        periodic window of :meth:`_own_window`) splits the sum into a
+        scalar ``sum w q_i q_j``, two per-residue marginals against the
+        ``w q`` moments, and a bilinear ``beta_i @ M0 @ beta_j^T`` over
+        the joint residue-class weight counts ``M0``.  Every
+        intermediate is an exact integer under the caller's magnitude
+        guard, so the result is bit-identical to the dense reference."""
+        m_i, m_j = self._axis_dim(ax_i), self._axis_dim(ax_j)
+        rem = self.nsteps - 1 - t
+        q_i = (rem // m_i).astype(np.float64)
+        q_j = (rem // m_j).astype(np.float64)
+        r_i, r_j = t % m_i, t % m_j
+        beta_i, beta_j = self._own_window(ax_i), self._own_window(ax_j)
+        cross = float((w * q_i * q_j).sum())
+        marg_i = beta_i @ np.bincount(r_i, weights=w * q_j, minlength=m_i)
+        marg_j = beta_j @ np.bincount(r_j, weights=w * q_i, minlength=m_j)
+        joint = np.bincount(r_i * m_j + r_j, weights=w,
+                            minlength=m_i * m_j).reshape(m_i, m_j)
+        pair = cross + marg_i[:, None] + marg_j[None, :] + \
+            beta_i @ joint @ beta_j.T
+        return pair[self._axis_coords(ax_i), self._axis_coords(ax_j)]
+
+    # ------------------------------------------------------------------
+    # Analytic evaluator: closed-form totals + analytic step columns
+    # ------------------------------------------------------------------
+    def run_analytic(self, accounting: Callable[["StepAccounting"], None],
+                     stats: CommStats,
+                     step_label: Callable[[int], str]) -> None:
+        """Closed-form totals plus an *analytic* per-step log.
+
+        Totals are bit-identical to :meth:`run_closed`.  The step log
+        never materializes a ``(chunk, ranks)`` matrix: along each grid
+        axis the ranks split into a handful of residue classes — gate
+        hit/miss x inside/outside the cyclic ownership window x
+        rank-constant level — and every rank of a class combination
+        carries the *identical* per-step value column.  Each class
+        column repeats the chunked interpreter's float operations
+        element for element, so the per-step **maxima are bitwise
+        equal** to the chunked log; per-step totals multiply analytic
+        class counts instead of summing ranks and agree to float
+        rounding (the parity suite pins both).
+        """
+        terms = self._collect(accounting)
+        arrays = {"recv": (stats.recv_words, stats.recv_msgs),
+                  "sent": (stats.sent_words, stats.sent_msgs),
+                  "flops": (stats.flops, None)}
+        for term in terms:
+            words_arr, msgs_arr = arrays[term.counter]
+            words_arr += term.coeff * self._term_total(term, msgs=False)
+            if term.msgs_step is not None and msgs_arr is not None:
+                msgs_arr += term.msgs_coeff * self._term_total(
+                    term, msgs=True)
+        if not isinstance(stats.steps, NullStepLog):
+            self._analytic_steps(terms, stats, step_label)
+
+    def _rc_axis(self, rank_const: np.ndarray) -> tuple[str, np.ndarray]:
+        """Express a rank constant as a function of one grid axis's
+        coordinate, returning ``(axis, per-coordinate values)``."""
+        for axis in _AXES:
+            vals = np.zeros(self._axis_dim(axis))
+            vals[self._axis_coords(axis)] = rank_const
+            if np.array_equal(vals[self._axis_coords(axis)], rank_const):
+                return axis, vals
+        raise NotImplementedError(
+            "analytic step columns need axis-functional rank constants")
+
+    def _analytic_steps(self, terms: list[CostTerm], stats: CommStats,
+                        step_label: Callable[[int], str]) -> None:
+        T, P = self.nsteps, self.nranks
+        if T == 0:
+            return
+        t = np.arange(T, dtype=np.int64)
+        nonuni = [tm for tm in terms if not tm.uniform]
+        # Rank-uniform columns fold in after aggregation, exactly as the
+        # chunked interpreter's _flush_steps does.
+        uni: dict[str, np.ndarray] = {}
+        for term in terms:
+            if not term.uniform:
+                continue
+            words = term.coeff * term.step.values(0, T)
+            uni[term.counter] = uni.get(term.counter, 0.0) + words
+            if term.msgs_step is not None and term.counter == "recv":
+                mbase = term.msgs_step.values(0, T)
+                uni["rmsgs"] = uni.get("rmsgs", 0.0) + \
+                    term.msgs_coeff * np.where(words > 0, mbase, 0.0)
+        # Map rank constants onto axes; collect the axes any term uses.
+        rc_map: dict[int, tuple[str, int]] = {}
+        axis_funcs: dict[str, list[np.ndarray]] = {a: [] for a in _AXES}
+        for ti, term in enumerate(nonuni):
+            if term.rank_const is None:
+                continue
+            axis, vals = self._rc_axis(term.rank_const)
+            rc_map[ti] = (axis, len(axis_funcs[axis]))
+            axis_funcs[axis].append(vals)
+        gate_axes = {a.lstrip("!") for tm in nonuni for a in tm.gate}
+        own_axes = {a for tm in nonuni for a in tm.own}
+        used = [a for a in _AXES
+                if a in gate_axes or a in own_axes or axis_funcs[a]]
+        info = {a: self._axis_classes(
+            a, t, a in gate_axes, a in own_axes, axis_funcs[a])
+            for a in used}
+        bases = [tm.step.values(0, T) for tm in nonuni]
+        mbases = [tm.msgs_step.values(0, T) if tm.msgs_step is not None
+                  else None for tm in nonuni]
+        need = {tm.counter for tm in nonuni}
+        if any(tm.counter == "recv" and tm.msgs_step is not None
+               for tm in nonuni):
+            need.add("rmsgs")
+        # Per-step maxima: max over existing class combinations of the
+        # combination's (shared) value column.
+        vmax = {c: np.full(T, -np.inf) for c in need}
+        for combo in itertools.product(
+                *(info[a]["classes"] for a in used)):
+            cls = dict(zip(used, combo))
+            exists = np.ones(T, dtype=bool)
+            for c in combo:
+                exists = exists & c["exists"]
+            if not exists.any():
+                continue
+            bufs: dict[str, np.ndarray] = {}
+            for ti, term in enumerate(nonuni):
+                if any((cls[a.lstrip("!")]["gate"] is True)
+                       == a.startswith("!") for a in term.gate):
+                    continue        # gate factor is 0 for this class
+                fac: np.ndarray | float = 1.0
+                for axis in term.own:
+                    fac = fac * cls[axis]["own"]
+                if ti in rc_map:
+                    axis, fi = rc_map[ti]
+                    fac = fac * float(cls[axis]["rc"][fi])
+                words = term.coeff * (bases[ti] * fac)
+                prev = bufs.get(term.counter)
+                bufs[term.counter] = words if prev is None \
+                    else prev + words
+                if term.msgs_step is not None and term.counter == "recv":
+                    mm = term.msgs_coeff * np.where(
+                        words > 0, mbases[ti], 0.0)
+                    prev = bufs.get("rmsgs")
+                    bufs["rmsgs"] = mm if prev is None else prev + mm
+            for c in need:
+                col = bufs.get(c, 0.0)
+                vmax[c] = np.maximum(
+                    vmax[c], np.where(exists, col, -np.inf))
+        # Per-step totals: analytic rank counts per term (to rounding).
+        tot = {c: np.zeros(T) for c in need}
+        for ti, term in enumerate(nonuni):
+            rc = rc_map.get(ti)
+            rcv = (rc[0], axis_funcs[rc[0]][rc[1]]) if rc else None
+            tot[term.counter] += term.coeff * bases[ti] * \
+                self._sum_factor(term, info, T, rcv, msgs=False)
+            if term.msgs_step is not None and term.counter == "recv":
+                pos = (term.coeff > 0) & (bases[ti] > 0)
+                tot["rmsgs"] += term.msgs_coeff * mbases[ti] * pos * \
+                    self._sum_factor(term, info, T, rcv, msgs=True)
+        zeros = np.zeros(T)
+
+        def series(key: str) -> tuple[np.ndarray, np.ndarray]:
+            u = np.broadcast_to(np.asarray(uni.get(key, zeros)), (T,))
+            if key in vmax:
+                return vmax[key] + u, tot[key] + u * P
+            return u, u * P
+
+        recv_max, recv_tot = series("recv")
+        sent_max, sent_tot = series("sent")
+        flops_max, flops_tot = series("flops")
+        msgs_max, msgs_tot = series("rmsgs")
+        cols = dict(zip(STEP_FIELDS, (
+            flops_max, flops_tot, recv_max, recv_tot, sent_max, sent_tot,
+            msgs_max, msgs_tot)))
+        log = stats.steps
+        if hasattr(log, "extend"):
+            log.extend(step_label, 0, T, **cols)
+        else:
+            for i in range(T):
+                log.append(StepRecord(
+                    label=step_label(i),
+                    **{f: float(cols[f][i]) for f in STEP_FIELDS}))
+
+    def _axis_classes(self, axis: str, t: np.ndarray, gate_used: bool,
+                      own_used: bool, funcs: list[np.ndarray]) -> dict:
+        """One axis's residue classes and per-step data.
+
+        A residue class fixes: whether the residue is the step's gate
+        target; whether it falls in the step's cyclic ownership window
+        (``own = q + 1`` inside, ``q`` outside — the gate residue is
+        *never* inside, since the window starts at ``t + 1``); and the
+        level set of the axis's rank-constant functions.  Every class
+        carries its per-step existence mask; empty classes are dropped.
+        """
+        T = t.size
+        m = self._axis_dim(axis)
+        gres = t % m
+        q = B = None
+        if own_used:
+            rem = self.nsteps - 1 - t
+            q = rem // m
+            s = rem % m
+            res = np.arange(m, dtype=np.int64)
+            B = ((res[None, :] - t[:, None] - 1) % m) < s[:, None]
+        if funcs:
+            uniq, labels = np.unique(
+                np.stack(funcs, axis=1), axis=0, return_inverse=True)
+            nclass = uniq.shape[0]
+        else:
+            uniq, labels, nclass = None, np.zeros(m, dtype=np.int64), 1
+        classes = []
+        for g in (True, False) if gate_used else (None,):
+            for wb in (True, False) if own_used else (None,):
+                if g is True and wb is True:
+                    continue
+                for cid in range(nclass):
+                    col = labels == cid
+                    if g is True:
+                        exists = col[gres]
+                    elif own_used:
+                        memb = (B if wb else ~B) & col[None, :]
+                        cnt = memb.sum(axis=1)
+                        if gate_used:
+                            cnt = cnt - np.take_along_axis(
+                                memb, gres[:, None], 1)[:, 0]
+                        exists = cnt > 0
+                    else:
+                        n_in = int(col.sum())
+                        cnt = np.full(T, n_in, dtype=np.int64)
+                        if gate_used:
+                            cnt = cnt - col[gres]
+                        exists = cnt > 0
+                    if not exists.any():
+                        continue
+                    classes.append(dict(
+                        exists=exists, gate=g,
+                        own=(None if not own_used else
+                             (q + (1 if wb else 0)).astype(np.float64)),
+                        rc=(None if uniq is None else uniq[cid])))
+        return dict(m=m, gres=gres, q=q, B=B, classes=classes)
+
+    def _sum_factor(self, term: CostTerm, info: dict, T: int,
+                    rc: tuple[str, np.ndarray] | None,
+                    msgs: bool) -> np.ndarray:
+        """``sum_r fac_r(t)`` as an analytic column: the grid is a full
+        coordinate product, so the rank sum factorizes into per-axis
+        residue sums (``msgs`` swaps every factor for its positivity
+        indicator, counting ranks instead of words)."""
+        axes = list(dict.fromkeys(
+            [a.lstrip("!") for a in term.gate] + list(term.own)
+            + ([rc[0]] if rc else [])))
+        F = np.full(T, float(self.nranks))
+        for axis in axes:
+            d = info[axis]
+            m, gres = d["m"], d["gres"]
+            R = np.ones(m)
+            if rc is not None and rc[0] == axis:
+                R = (rc[1] > 0).astype(np.float64) if msgs else rc[1]
+            O = None
+            if axis in term.own:
+                O = (d["q"][:, None] + d["B"]).astype(np.float64)
+                if msgs:
+                    O = (O > 0).astype(np.float64)
+            if O is None:
+                a_all = np.full(T, float(R.sum()))
+                a_pin = R[gres]
+            else:
+                a_all = O @ R
+                a_pin = np.take_along_axis(O, gres[:, None], 1)[:, 0] \
+                    * R[gres]
+            atom = next((a for a in term.gate if a.lstrip("!") == axis),
+                        None)
+            if atom is None:
+                A = a_all
+            elif atom.startswith("!"):
+                A = a_all - a_pin
+            else:
+                A = a_pin
+            F = F * (A / m)
+        return F
+
+
+def _affine_series_batch(c0: np.ndarray, c1: np.ndarray, lo: np.ndarray,
+                         hi: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized ``sum_{t=lo}^{hi-1} (c0 + c1 t)`` over many terms,
+    with a per-term mask of where float64 integer exactness held (the
+    caller re-reduces the rest through the scalar exact path)."""
+    length = np.maximum(0, hi - lo)
+    tsum = (lo + hi - 1) * length // 2
+    a = c0 * length.astype(np.float64)
+    b = c1 * tsum.astype(np.float64)
+    exact = (np.abs(a) < _EXACT_GUARD) & (np.abs(b) < _EXACT_GUARD) \
+        & (np.abs(tsum) < 2 ** 53)
+    return a + b, exact
+
+
+def _positive_interval(c0: np.ndarray, c1: np.ndarray, lo: np.ndarray,
+                       hi: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Integer interval ``[s0, s1) <= [lo, hi)`` where the affine
+    profile ``c0 + c1 t`` is positive (vectorized, exact)."""
+    c0 = c0.astype(np.int64)
+    c1 = c1.astype(np.int64)
+    s0 = lo.copy()
+    s1 = hi.copy()
+    pos = c1 > 0
+    tmin = (-c0) // np.where(pos, c1, 1) + 1
+    s0 = np.where(pos, np.maximum(s0, tmin), s0)
+    neg = c1 < 0
+    tend = np.where(c0 > 0, (c0 - 1) // np.where(neg, -c1, 1) + 1,
+                    np.int64(0))
+    s1 = np.where(neg, np.minimum(s1, tend), s1)
+    s1 = np.where((c1 == 0) & (c0 <= 0), s0, s1)
+    return s0, np.maximum(s0, s1)
+
+
+class TermBatch:
+    """Batched closed-form evaluation of many candidate schedules.
+
+    The planner and the sweep harness score whole grids of candidate
+    configs; evaluating each one through
+    :meth:`Schedule.trace_stats(steps="none")` repeats per-config
+    Python and small-array overhead hundreds of times.  ``TermBatch``
+    instead *collects* every candidate's emitted :class:`CostTerm`
+    stream (:meth:`add`) and reduces the whole batch at once
+    (:meth:`evaluate`): the rank-uniform affine terms — the bulk of the
+    stream — flatten into shared coefficient/range vectors and reduce
+    with one vectorized arithmetic-series pass, while gated/owned terms
+    reduce through the same exact residue-class kernels the per-config
+    evaluator uses.  Every accumulation repeats ``run_closed``'s exact
+    integer arithmetic and term emission order, so the returned
+    :class:`~repro.machine.stats.CommStats` are **bit-identical** to a
+    per-config ``run_closed`` loop (the parity suite pins this over
+    randomized grids of all five schedules).
+    """
+
+    def __init__(self) -> None:
+        self._accts: list[StepAccounting] = []
+        self._terms: list[list[CostTerm]] = []
+
+    def __len__(self) -> int:
+        return len(self._accts)
+
+    def add(self, schedule) -> int:
+        """Collect one candidate's cost terms; returns its batch index."""
+        acct = StepAccounting(schedule.grid, schedule.steps())
+        self._terms.append(acct._collect(schedule.accounting))
+        self._accts.append(acct)
+        return len(self._accts) - 1
+
+    def evaluate(self) -> list[CommStats]:
+        """Reduce the whole batch; one ``steps='none'``
+        :class:`CommStats` per added candidate, in :meth:`add` order."""
+        words: list[list[float | np.ndarray | None]] = \
+            [[None] * len(ts) for ts in self._terms]
+        msgs: list[list[float | None]] = \
+            [[None] * len(ts) for ts in self._terms]
+        self._reduce_uniform_affine(words, msgs)
+        out = []
+        for e, (acct, terms) in enumerate(zip(self._accts, self._terms)):
+            stats = CommStats(acct.nranks, steps="none")
+            arrays = {"recv": (stats.recv_words, stats.recv_msgs),
+                      "sent": (stats.sent_words, stats.sent_msgs),
+                      "flops": (stats.flops, None)}
+            for i, term in enumerate(terms):
+                w = words[e][i]
+                if w is None:
+                    w = acct._term_total(term, msgs=False)
+                words_arr, msgs_arr = arrays[term.counter]
+                words_arr += term.coeff * w
+                if term.msgs_step is not None and msgs_arr is not None:
+                    mv = msgs[e][i]
+                    if mv is None:
+                        mv = acct._term_total(term, msgs=True)
+                    msgs_arr += term.msgs_coeff * mv
+            out.append(stats)
+        return out
+
+    def _reduce_uniform_affine(self, words: list[list],
+                               msgs: list[list]) -> None:
+        """One vectorized arithmetic-series pass across every config's
+        rank-uniform affine terms; message counts reduce over the exact
+        integer interval where the words profile is positive.  Terms
+        whose moments could round (mask from the series kernel) stay
+        ``None`` and re-reduce through the scalar exact path."""
+        sel = [(e, i, tm)
+               for e, ts in enumerate(self._terms)
+               for i, tm in enumerate(ts)
+               if tm.uniform and tm.step.column is None
+               and (tm.msgs_step is None or tm.msgs_step.column is None)]
+        if not sel:
+            return
+        nst = np.array([self._accts[e].nsteps for e, _, _ in sel],
+                       dtype=np.int64)
+        c0 = np.array([tm.step.c0 for _, _, tm in sel])
+        c1 = np.array([tm.step.c1 for _, _, tm in sel])
+        lo = np.maximum(0, np.array([tm.step.lo for _, _, tm in sel],
+                                    dtype=np.int64))
+        hi = np.minimum(nst, np.array([tm.step.hi for _, _, tm in sel],
+                                      dtype=np.int64))
+        wtot, wok = _affine_series_batch(c0, c1, lo, hi)
+        have_m = np.array([tm.msgs_step is not None for _, _, tm in sel])
+        coeff_pos = np.array([tm.coeff > 0 for _, _, tm in sel])
+        mc0 = np.array([0.0 if tm.msgs_step is None else tm.msgs_step.c0
+                        for _, _, tm in sel])
+        mc1 = np.array([0.0 if tm.msgs_step is None else tm.msgs_step.c1
+                        for _, _, tm in sel])
+        mlo = np.array([0 if tm.msgs_step is None else tm.msgs_step.lo
+                        for _, _, tm in sel], dtype=np.int64)
+        mhi = np.array([0 if tm.msgs_step is None else tm.msgs_step.hi
+                        for _, _, tm in sel], dtype=np.int64)
+        s0, s1 = _positive_interval(c0, c1, lo, hi)
+        i0 = np.maximum(s0, mlo)
+        i1 = np.maximum(i0, np.minimum(s1, mhi))
+        mtot, mok = _affine_series_batch(mc0, mc1, i0, i1)
+        mtot = np.where(coeff_pos, mtot, 0.0)
+        for k, (e, i, tm) in enumerate(sel):
+            if wok[k]:
+                words[e][i] = float(wtot[k])
+            if have_m[k] and (mok[k] or not coeff_pos[k]):
+                msgs[e][i] = float(mtot[k])

@@ -115,10 +115,10 @@ class TraceBackend:
     ``steps`` picks the step-log flavour: ``"columnar"`` (default —
     per-step maxima as lazy NumPy columns, what the BSP perf model
     consumes), ``"records"`` (eager legacy records), or ``"none"``
-    (no log at all — this selects the closed-form evaluator, the O(P)
-    path sweeps and the planner use).  ``evaluator`` overrides the
-    reduction explicitly (``"closed"`` / ``"chunked"``), e.g. to run
-    the chunked reference interpreter without a step log.
+    (no log at all).  Every flavour defaults to the O(steps + P)
+    closed-form evaluator — step columns derive analytically too —
+    so ``evaluator`` only matters to select the chunked reference
+    interpreter explicitly (``"chunked"``), e.g. for parity checks.
     """
 
     def __init__(self, steps: str = "columnar",

@@ -106,20 +106,22 @@ class Schedule(abc.ABC):
 
         ``steps`` selects the step-log flavour (``"none"`` /
         ``"columnar"`` / ``"records"``); ``evaluator`` the reduction
-        (``"closed"`` / ``"chunked"``).  By default ``steps="none"``
-        picks the closed-form evaluator (no per-step data exists
-        there), anything else the chunked interpreter.
+        (``"closed"`` / ``"chunked"``).  The closed-form evaluator is
+        the default: totals reduce analytically per rank, and a
+        requested step log is derived analytically too (per-step maxima
+        bitwise equal to the chunked interpreter, totals to rounding).
+        The chunked interpreter remains as the parity-test reference
+        backend.
         """
         if evaluator is None:
-            evaluator = "closed" if steps == "none" else "chunked"
-        if evaluator == "closed" and steps != "none":
-            raise ValueError(
-                "the closed-form evaluator produces no step log; "
-                "request steps='none' or evaluator='chunked'")
+            evaluator = "closed"
         stats = CommStats(self.nranks, steps=steps)
         acct = StepAccounting(self.grid, self.steps())
         if evaluator == "closed":
-            acct.run_closed(self.accounting, stats)
+            if steps == "none":
+                acct.run_closed(self.accounting, stats)
+            else:
+                acct.run_analytic(self.accounting, stats, self.step_label)
         elif evaluator == "chunked":
             acct.run(self.accounting, stats, self.step_label)
         else:

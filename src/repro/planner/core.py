@@ -33,6 +33,7 @@ import dataclasses
 import math
 from typing import Any
 
+from ..engine.accounting import TermBatch
 from ..machine.perf_model import PIZ_DAINT_XC40, MachineParams, PerfModel
 from .candidates import (
     panel_candidates,
@@ -116,29 +117,47 @@ def _rank_key(cfg: PlannedConfig) -> tuple:
             tuple(sorted(cfg.params.items())))
 
 
-def _score(impl: str, schedule, params: dict[str, Any],
-           flops_per_rank: float, msgs: float, budget: float,
-           api_copies: int, machine_params: MachineParams,
-           ) -> PlannedConfig | None:
-    """Feasibility-check and score one instantiated candidate.
+def _score_candidates(cands: list[tuple], flops_per_rank: float,
+                      budget: float, api_copies: int,
+                      machine_params: MachineParams,
+                      batched: bool) -> list[PlannedConfig]:
+    """Memory-gate then score instantiated ``(impl, schedule, params,
+    msgs)`` candidates.
 
     The memory gate runs first (it is cheap); survivors are ranked by
-    their *counted* per-rank received words from the closed-form trace
-    evaluation — O(P) per candidate, no step log, no (steps x P)
-    matrices — with the alpha-beta-gamma time as tie-break.
+    their *counted* per-rank received words — with ``batched`` (the
+    default everywhere) every survivor's cost-term stream reduces in
+    one :class:`TermBatch` pass, bit-identical to the per-config
+    ``batched=False`` loop the parity gates compare against — with the
+    alpha-beta-gamma time as tie-break.
     """
-    n, p = schedule.n, schedule.nranks
-    needed = schedule.required_words() + api_copies * float(n) * n / p
-    margin = budget - needed
-    if margin < 0:
-        return None
-    words = schedule.trace_stats(steps="none").mean_recv_words
-    time_s = PerfModel(machine_params).time_closed_form(
-        flops_per_rank, words, msgs, local_words=float(n) * n / p)
-    return PlannedConfig(
-        impl=impl, schedule=type(schedule).__name__, params=params,
-        predicted_words=words, predicted_time_s=time_s,
-        required_words=needed, mem_margin=margin)
+    survivors = []
+    for impl, sched, params, msgs in cands:
+        n, p = sched.n, sched.nranks
+        needed = sched.required_words() + api_copies * float(n) * n / p
+        margin = budget - needed
+        if margin >= 0:
+            survivors.append((impl, sched, params, msgs, needed, margin))
+    if batched:
+        batch = TermBatch()
+        for _, sched, *_ in survivors:
+            batch.add(sched)
+        words_list = [st.mean_recv_words for st in batch.evaluate()]
+    else:
+        words_list = [sched.trace_stats(steps="none").mean_recv_words
+                      for _, sched, *_ in survivors]
+    model = PerfModel(machine_params)
+    configs = []
+    for (impl, sched, params, msgs, needed, margin), words in zip(
+            survivors, words_list):
+        n, p = sched.n, sched.nranks
+        time_s = model.time_closed_form(
+            flops_per_rank, words, msgs, local_words=float(n) * n / p)
+        configs.append(PlannedConfig(
+            impl=impl, schedule=type(sched).__name__, params=params,
+            predicted_words=words, predicted_time_s=time_s,
+            required_words=needed, mem_margin=margin))
+    return configs
 
 
 def _finish(problem: str, n: int, p: int, budget: float,
@@ -160,7 +179,8 @@ def _lg(p: int) -> int:
 def plan_lu(n: int, p: int, mem_words: float | None = None,
             machine_params: MachineParams = PIZ_DAINT_XC40,
             api_copies: int = 0,
-            impls: tuple[str, ...] = ("conflux", "scalapack")) -> Plan:
+            impls: tuple[str, ...] = ("conflux", "scalapack"),
+            batched: bool = True) -> Plan:
     """Plan an LU factorization: COnfLUX (2.5D tournament pivoting) vs
     the 2D partial-pivoting baseline, every feasible parameterization.
 
@@ -169,13 +189,15 @@ def plan_lu(n: int, p: int, mem_words: float | None = None,
     :func:`repro.api.pdgetrf` keeps alive, so feasibility here equals
     its pre-flight gate.  ``impls`` restricts the search (the
     ``best_conflux_config`` shim plans with ``("conflux",)``).
+    ``batched=False`` scores candidates one at a time — the reference
+    loop the batched-parity gates compare against.
     """
     from ..factorizations import ConfluxSchedule
     from ..factorizations.baselines.scalapack_lu import ScalapackLUSchedule
 
     budget = math.inf if mem_words is None else float(mem_words)
     flops = 2.0 * n ** 3 / (3.0 * p)
-    configs: list[PlannedConfig] = []
+    cands: list[tuple] = []
     if "conflux" in impls:
         for c in replication_candidates(p, n, budget):
             for v in tile_candidates(n, c):
@@ -183,12 +205,8 @@ def plan_lu(n: int, p: int, mem_words: float | None = None,
                     sched = ConfluxSchedule(n, p, v=v, c=c)
                 except ValueError:
                     continue
-                cfg = _score(
-                    "conflux", sched, {"v": v, "c": c}, flops,
-                    msgs=(n // v) * (3 + _lg(p)), budget=budget,
-                    api_copies=api_copies, machine_params=machine_params)
-                if cfg:
-                    configs.append(cfg)
+                cands.append(("conflux", sched, {"v": v, "c": c},
+                              (n // v) * (3 + _lg(p))))
     if "scalapack" in impls:
         for nb in panel_candidates(n):
             try:
@@ -198,12 +216,10 @@ def plan_lu(n: int, p: int, mem_words: float | None = None,
                                             panel_rebroadcast=False)
             except ValueError:
                 continue
-            cfg = _score(
-                "scalapack", sched, {"nb": nb}, flops,
-                msgs=n * _lg(p) + 4 * (n // nb), budget=budget,
-                api_copies=api_copies, machine_params=machine_params)
-            if cfg:
-                configs.append(cfg)
+            cands.append(("scalapack", sched, {"nb": nb},
+                          n * _lg(p) + 4 * (n // nb)))
+    configs = _score_candidates(cands, flops, budget, api_copies,
+                                machine_params, batched)
     return _finish("lu", n, p, budget, configs)
 
 
@@ -211,7 +227,7 @@ def plan_cholesky(n: int, p: int, mem_words: float | None = None,
                   machine_params: MachineParams = PIZ_DAINT_XC40,
                   api_copies: int = 0,
                   impls: tuple[str, ...] = ("confchox", "scalapack"),
-                  ) -> Plan:
+                  batched: bool = True) -> Plan:
     """Plan a Cholesky factorization: COnfCHOX vs the 2D baseline."""
     from ..factorizations import ConfchoxSchedule
     from ..factorizations.baselines.scalapack_chol import (
@@ -220,7 +236,7 @@ def plan_cholesky(n: int, p: int, mem_words: float | None = None,
 
     budget = math.inf if mem_words is None else float(mem_words)
     flops = n ** 3 / (3.0 * p)
-    configs: list[PlannedConfig] = []
+    cands: list[tuple] = []
     if "confchox" in impls:
         for c in replication_candidates(p, n, budget):
             for v in tile_candidates(n, c):
@@ -228,30 +244,24 @@ def plan_cholesky(n: int, p: int, mem_words: float | None = None,
                     sched = ConfchoxSchedule(n, p, v=v, c=c)
                 except ValueError:
                     continue
-                cfg = _score(
-                    "confchox", sched, {"v": v, "c": c}, flops,
-                    msgs=(n // v) * (3 + _lg(p)), budget=budget,
-                    api_copies=api_copies, machine_params=machine_params)
-                if cfg:
-                    configs.append(cfg)
+                cands.append(("confchox", sched, {"v": v, "c": c},
+                              (n // v) * (3 + _lg(p))))
     if "scalapack" in impls:
         for nb in panel_candidates(n):
             try:
                 sched = ScalapackCholeskySchedule(n, p, nb=nb)
             except ValueError:
                 continue
-            cfg = _score(
-                "scalapack", sched, {"nb": nb}, flops,
-                msgs=4 * (n // nb), budget=budget,
-                api_copies=api_copies, machine_params=machine_params)
-            if cfg:
-                configs.append(cfg)
+            cands.append(("scalapack", sched, {"nb": nb},
+                          4 * (n // nb)))
+    configs = _score_candidates(cands, flops, budget, api_copies,
+                                machine_params, batched)
     return _finish("cholesky", n, p, budget, configs)
 
 
 def plan_gemm(n: int, p: int, mem_words: float | None = None,
               machine_params: MachineParams = PIZ_DAINT_XC40,
-              api_copies: int = 0) -> Plan:
+              api_copies: int = 0, batched: bool = True) -> Plan:
     """Plan a square matmul: the 2.5D SUMMA over (c, s) candidates.
 
     Volume is independent of the strip width ``s`` (rounds x strip is
@@ -262,17 +272,15 @@ def plan_gemm(n: int, p: int, mem_words: float | None = None,
 
     budget = math.inf if mem_words is None else float(mem_words)
     flops = 2.0 * n ** 3 / p
-    configs: list[PlannedConfig] = []
+    cands: list[tuple] = []
     for c in replication_candidates(p, n, budget, copies=3):
         for s in strip_candidates(n, c):
             try:
                 sched = Matmul25DSchedule(n, p, s=s, c=c)
             except ValueError:
                 continue
-            cfg = _score(
-                "25d", sched, {"s": s, "c": c}, flops,
-                msgs=2.0 * sched.rounds + c, budget=budget,
-                api_copies=api_copies, machine_params=machine_params)
-            if cfg:
-                configs.append(cfg)
+            cands.append(("25d", sched, {"s": s, "c": c},
+                          2.0 * sched.rounds + c))
+    configs = _score_candidates(cands, flops, budget, api_copies,
+                                machine_params, batched)
     return _finish("gemm", n, p, budget, configs)

@@ -42,10 +42,11 @@ class SweepTask:
     """One unit of sweep work, picklable and content-addressable.
 
     ``kind`` selects the computation (``"lu"`` / ``"cholesky"`` trace a
-    harness implementation; ``"feasibility"`` evaluates the
-    memory-budget rows of one (N, P) point); ``impl`` names the
-    implementation within the kind; ``extra`` carries any further
-    keyword parameters as a sorted tuple of pairs.
+    harness implementation; ``"case"`` batch-traces one (N, P) point's
+    whole flavour set; ``"feasibility"`` evaluates the memory-budget
+    rows of one (N, P) point); ``impl`` names the implementation within
+    the kind (``"all"`` for the per-point kinds); ``extra`` carries any
+    further keyword parameters as a sorted tuple of pairs.
     """
 
     kind: str
@@ -68,6 +69,8 @@ def run_task(task: SweepTask) -> Any:
         return harness.trace_lu(task.impl, task.n, task.p, **kw)
     if task.kind == "cholesky":
         return harness.trace_cholesky(task.impl, task.n, task.p, **kw)
+    if task.kind == "case":
+        return harness.trace_case(task.n, task.p, **kw)
     if task.kind == "feasibility":
         return harness.memory_feasibility([(task.n, task.p)], **kw)
     raise ValueError(f"unknown sweep task kind {task.kind!r}")

@@ -1,0 +1,92 @@
+"""Analytic step columns: the closed-form evaluator's per-step log vs
+the chunked interpreter's.
+
+The analytic path repeats the interpreter's float operations on one
+column per residue class instead of one per rank, so per-step *maxima*
+are bitwise equal; per-step *totals* multiply analytic class counts and
+agree to float rounding.  The BSP perf model must therefore time both
+logs identically (to rounding) — that is what lets the chunked
+interpreter retire from every sweep/planner hot path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.machine import PerfModel
+from repro.machine.stats import STEP_FIELDS
+
+
+def _five_schedules():
+    from repro.factorizations import (
+        ConfchoxSchedule,
+        ConfluxSchedule,
+        Matmul25DSchedule,
+    )
+    from repro.factorizations.baselines.scalapack_chol import (
+        ScalapackCholeskySchedule,
+    )
+    from repro.factorizations.baselines.scalapack_lu import (
+        ScalapackLUSchedule,
+    )
+
+    return [
+        ConfluxSchedule(128, 16, v=16, c=4),
+        ConfchoxSchedule(128, 16, v=16, c=4),
+        Matmul25DSchedule(96, 16, s=24, c=4),
+        ScalapackLUSchedule(96, 12, nb=8),
+        ScalapackLUSchedule(96, 12, nb=8, panel_rebroadcast=True),
+        ScalapackCholeskySchedule(96, 12, nb=8),
+    ]
+
+
+MAX_FIELDS = [f for f in STEP_FIELDS if f.endswith("_max")]
+TOTAL_FIELDS = [f for f in STEP_FIELDS if f.endswith("_total")]
+
+
+@pytest.mark.parametrize("sched", _five_schedules(),
+                         ids=lambda s: s.name)
+class TestAnalyticStepColumns:
+    def test_maxima_bitwise_equal_to_chunked(self, sched):
+        closed = sched.trace_stats(steps="columnar", evaluator="closed")
+        chunked = sched.trace_stats(steps="columnar", evaluator="chunked")
+        assert len(closed.steps) == len(chunked.steps)
+        for field in MAX_FIELDS:
+            assert np.array_equal(closed.steps.column(field),
+                                  chunked.steps.column(field)), field
+
+    def test_totals_agree_to_rounding(self, sched):
+        closed = sched.trace_stats(steps="columnar", evaluator="closed")
+        chunked = sched.trace_stats(steps="columnar", evaluator="chunked")
+        for field in TOTAL_FIELDS:
+            assert np.allclose(closed.steps.column(field),
+                               chunked.steps.column(field),
+                               rtol=1e-12, atol=0.0), field
+
+    def test_labels_match(self, sched):
+        closed = sched.trace_stats(steps="columnar", evaluator="closed")
+        chunked = sched.trace_stats(steps="columnar", evaluator="chunked")
+        for i in (0, len(closed.steps) - 1):
+            assert closed.steps.label(i) == chunked.steps.label(i)
+
+    def test_perf_model_times_both_logs_identically(self, sched):
+        model = PerfModel()
+        local_words = sched.n * sched.n / sched.nranks
+        a = model.evaluate(
+            sched.trace_stats(steps="columnar", evaluator="closed").steps,
+            sched.nranks, local_words)
+        b = model.evaluate(
+            sched.trace_stats(steps="columnar", evaluator="chunked").steps,
+            sched.nranks, local_words)
+        assert a.total_s == pytest.approx(b.total_s, rel=1e-9)
+        assert a.peak_fraction == pytest.approx(b.peak_fraction, rel=1e-9)
+
+    def test_records_flavour_matches_columnar(self, sched):
+        """The analytic path serves eager records too; both flavours
+        carry the same numbers."""
+        col = sched.trace_stats(steps="columnar", evaluator="closed")
+        rec = sched.trace_stats(steps="records", evaluator="closed")
+        assert len(col.steps) == len(rec.steps)
+        last = len(col.steps) - 1
+        for field in STEP_FIELDS:
+            assert col.steps.column(field)[last] == pytest.approx(
+                getattr(rec.steps.records[last], field), rel=1e-12)

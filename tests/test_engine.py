@@ -107,10 +107,22 @@ class TestStepAccounting:
         assert np.array_equal(a.recv_msgs, b.recv_msgs)
         assert np.array_equal(a.flops, b.flops)
 
-    def test_closed_form_refuses_step_log(self):
-        with pytest.raises(ValueError, match="no step log"):
-            ConfluxSchedule(64, 8, v=8, c=2).trace_stats(
-                steps="columnar", evaluator="closed")
+    def test_closed_form_step_log_matches_chunked(self):
+        """The closed evaluator now serves step logs analytically:
+        per-step maxima bitwise equal to the chunked interpreter's
+        columns, totals to rounding."""
+        a = ConfluxSchedule(64, 8, v=8, c=2).trace_stats(
+            steps="columnar", evaluator="closed")
+        b = ConfluxSchedule(64, 8, v=8, c=2).trace_stats(
+            steps="columnar", evaluator="chunked")
+        assert np.array_equal(a.steps.column("recv_words_max"),
+                              b.steps.column("recv_words_max"))
+        assert np.array_equal(a.steps.column("flops_max"),
+                              b.steps.column("flops_max"))
+        assert np.allclose(a.steps.column("recv_words_total"),
+                           b.steps.column("recv_words_total"),
+                           rtol=1e-12)
+        assert np.array_equal(a.recv_words, b.recv_words)
 
 
 class TestBackends:

@@ -86,12 +86,14 @@ class TestProcessPool:
 
 class TestResultCache:
     def test_miss_then_hit(self, tmp_path):
+        # One sweep task (and so one cache entry) per (N, P) case — the
+        # whole flavour set batch-evaluates inside the task.
         cache = ResultCache(tmp_path)
         ex = SerialExecutor(cache=cache)
         first = sweep_traces(CASES, executor=ex)
-        assert cache.hits == 0 and cache.misses == len(first)
+        assert cache.hits == 0 and cache.misses == len(CASES)
         second = sweep_traces(CASES, executor=ex)
-        assert cache.hits == len(first)
+        assert cache.hits == len(CASES)
         assert_results_equal(first, second)
 
     def test_stale_fingerprint_recomputes(self, tmp_path):
