@@ -8,7 +8,7 @@ PY ?= python
 # ratchet it up when coverage improves, never lower it silently.
 COV_FLOOR ?= 85
 
-.PHONY: test lint coverage bench-smoke bench-check plan
+.PHONY: test lint coverage bench-smoke bench-check plan atlas
 
 # Worker count for the process-pool sweep path; empty = script default
 # (min(4, cores)).  Usage: make bench-smoke PARALLEL=4
@@ -67,3 +67,11 @@ bench-check:
 PLAN_BUDGET_S ?= 20
 plan:
 	$(PY) scripts/plan_grid.py --budget-s $(PLAN_BUDGET_S)
+
+## Build the smoke grid into a plan atlas under ATLAS_DIR (resumable,
+## content-addressed — a code edit cold-starts it) and verify a
+## PlanService serves every lattice point bit-identical to live
+## planning.  CI runs this before `make plan`.
+ATLAS_DIR ?= .atlas-smoke
+atlas:
+	$(PY) scripts/plan_grid.py --atlas $(ATLAS_DIR) --budget-s $(PLAN_BUDGET_S)

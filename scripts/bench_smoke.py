@@ -39,6 +39,19 @@ twice — the batched :class:`~repro.engine.accounting.TermBatch` pass
 and the per-config reference loop — and records the chosen-plan
 checksum of each; ``check_bench_regression.py`` gates their equality
 (the batch evaluator must pick bit-identical plans).
+
+The ``atlas`` block measures the serving layer: a small plan atlas is
+cold-built into a temp dir (``build_s``), then a
+:class:`~repro.planner.PlanService` over it answers ~1k synthetic
+queries — a mix of exact lattice hits and off-lattice budgets that
+snap to a dominated lattice point (``p50_us``/``p99_us``/``hit_rate``;
+no query may fall back to live planning).  A second pass over the same
+queries is pure LRU (``cached_p50_us``), which must be at least
+``MIN_ATLAS_SPEEDUP``x faster than live-planning one request
+(``live_plan_s``) — the "planning becomes a read-mostly lookup"
+contract.  Every lattice point must also serve **bit-identical** to
+live planning (``served_matches_live``), which
+``check_bench_regression.py`` gates.
 """
 
 from __future__ import annotations
@@ -83,6 +96,15 @@ MIN_CORES_FOR_SPEEDUP = 4
 #: per-config reference loop.
 PLANNER_GRID = [(4096, 64), (16384, 1024), (65536, 4096)]
 PLANNER_API_COPIES = 3
+
+#: The atlas lattice: two (N, P) corners x three ops x two budget
+#: rungs; small enough to cold-build in well under a second.
+ATLAS_POINTS = [(4096, 64), (8192, 256)]
+ATLAS_OPS = ("lu", "cholesky", "gemm")
+ATLAS_QUERIES = 1000
+
+#: Minimum cached-lookup speedup over live planning of one request.
+MIN_ATLAS_SPEEDUP = 100.0
 
 
 def calibrate() -> float:
@@ -130,6 +152,83 @@ def _plan_grid(batched: bool) -> tuple[float, int, float]:
     cands = sum(len(plan.ranked) for plan in plans)
     checksum = sum(plan.chosen.predicted_words for plan in plans)
     return wall, cands, checksum
+
+
+def _atlas_block() -> dict:
+    """Cold-build a small atlas, then measure serving latency under
+    synthetic query traffic (mixed exact / off-lattice-snapped)."""
+    import dataclasses
+    import tempfile
+
+    import numpy as np
+
+    from repro.analysis.harness import NODE_MEM_WORDS
+    from repro.planner import PlanAtlas, PlanRequest, PlanService, \
+        plan_request
+
+    mems = [NODE_MEM_WORDS, NODE_MEM_WORDS / 4]
+    lattice = [PlanRequest(op, n, p, mem, api_copies=PLANNER_API_COPIES)
+               for n, p in ATLAS_POINTS for mem in mems for op in ATLAS_OPS]
+    # Synthetic traffic: cycle the lattice; every fifth query asks an
+    # off-lattice budget between the two rungs, which must snap to the
+    # smaller rung's plan (never fall back to live planning).
+    queries = []
+    for i in range(ATLAS_QUERIES):
+        base = lattice[i % len(lattice)]
+        if i % 5 == 4:
+            base = dataclasses.replace(base, mem_words=NODE_MEM_WORDS / 2)
+        queries.append(base)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        atlas = PlanAtlas(tmp)
+        t0 = time.perf_counter()
+        build = atlas.build(lattice)
+        build_s = time.perf_counter() - t0
+
+        # The correctness contract: every lattice point served from the
+        # atlas is bit-identical to the live planner's output.
+        check = PlanService(atlas=atlas)
+        matches = all(check.plan(req) == plan_request(req)
+                      for req in lattice)
+
+        service = PlanService(atlas=atlas)
+        lat_us = np.empty(len(queries))
+        for i, req in enumerate(queries):
+            t0 = time.perf_counter()
+            service.plan(req)
+            lat_us[i] = (time.perf_counter() - t0) * 1e6
+        hit_rate = service.stats.hit_rate
+        live_fallbacks = service.stats.live_plans
+
+        # Second pass: every query repeats, so every lookup is an LRU
+        # hit — the steady-state serving latency.
+        cached_us = np.empty(len(queries))
+        for i, req in enumerate(queries):
+            t0 = time.perf_counter()
+            service.plan(req)
+            cached_us[i] = (time.perf_counter() - t0) * 1e6
+
+    live_s = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        plan_request(lattice[0])
+        live_s = min(live_s, time.perf_counter() - t0)
+
+    cached_p50_us = float(np.percentile(cached_us, 50))
+    return {
+        "lattice_points": len(lattice),
+        "build_s": round(build_s, 3),
+        "built": build.built,
+        "queries": len(queries),
+        "p50_us": round(float(np.percentile(lat_us, 50)), 1),
+        "p99_us": round(float(np.percentile(lat_us, 99)), 1),
+        "cached_p50_us": round(cached_p50_us, 1),
+        "hit_rate": round(hit_rate, 4),
+        "live_fallbacks": live_fallbacks,
+        "live_plan_s": round(live_s, 4),
+        "speedup_vs_live": round(live_s * 1e6 / cached_p50_us, 1),
+        "served_matches_live": matches,
+    }
 
 
 def run(parallel: int | None = None) -> dict:
@@ -224,6 +323,7 @@ def run(parallel: int | None = None) -> dict:
             "chosen_matches": (bat_checksum == loop_checksum
                                and bat_cands == loop_cands),
         },
+        "atlas": _atlas_block(),
         "seed": SEED_BASELINE,
         "speedup_vs_seed": round(SEED_BASELINE["sweep_s"] / best, 2),
         "python": platform.python_version(),
@@ -281,6 +381,20 @@ def main(argv: list[str] | None = None) -> int:
             f"planner batched checksum {planner['chosen_checksum']} != "
             f"per-config {planner['per_config_checksum']} — the batch "
             "evaluator changed plan selection")
+    atlas = snapshot["atlas"]
+    if not atlas["served_matches_live"]:
+        failures.append(
+            "atlas-served plans differ from live planning on lattice "
+            "points — the bit-identical serving contract broke")
+    if atlas["live_fallbacks"]:
+        failures.append(
+            f"{atlas['live_fallbacks']} atlas queries fell back to live "
+            "planning — lattice coverage or snapping regressed")
+    if atlas["speedup_vs_live"] < MIN_ATLAS_SPEEDUP:
+        failures.append(
+            f"cached plan lookup only {atlas['speedup_vs_live']}x faster "
+            f"than live planning (< {MIN_ATLAS_SPEEDUP:g}x) — the LRU "
+            "serving path regressed")
     for f in failures:
         print(f"ERROR: {f}", file=sys.stderr)
     return 1 if failures else 0

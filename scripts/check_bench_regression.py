@@ -23,7 +23,10 @@ committed ``BENCH_engine.json``:
   pool-vs-serial equality gate;
 * **planner parity** — the batched ``TermBatch`` planner pass must pick
   plans with a chosen-plan checksum *exactly* equal to the per-config
-  reference loop's.
+  reference loop's;
+* **atlas serving parity** — every plan the atlas/service layer serves
+  for a lattice point must be bit-identical to the live planner's
+  output for the same request (``served_matches_live``).
 
 Used by CI's ``bench-smoke`` job and ``make bench-check``.
 
@@ -140,6 +143,13 @@ def main(argv: list[str] | None = None) -> int:
             f"planner batched checksum {planner['chosen_checksum']} != "
             f"per-config {planner['per_config_checksum']} — the batch "
             "evaluator changed plan selection")
+    # Plans served from the atlas (and through the service's caches)
+    # must be bit-identical to live planning of the same request.
+    atlas = fresh.get("atlas")
+    if atlas and not atlas["served_matches_live"]:
+        failures.append(
+            "atlas-served plans differ from live planning on lattice "
+            "points — the bit-identical serving contract broke")
     for f in failures:
         print(f"ERROR: {f}", file=sys.stderr)
     if not failures:

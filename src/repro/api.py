@@ -20,8 +20,11 @@ factorization *on the machine* through the engine's
 :class:`~repro.engine.backends.DistributedBackend` — every word the
 schedule moves is counted by the machine itself, not merged in from a
 separate accounting run — and writes the factors back in the caller's
-layout.  The reshuffle costs O(N^2/P) per rank — asymptotically free, as
-the paper argues (Section 7.4).
+layout.  All three entry points share one execution path (``_run_pd``:
+pre-flight memory gate, COSTA in, backend run, COSTA out); they differ
+only in how the schedule is built and the factors are packed.  The
+reshuffle costs O(N^2/P) per rank — asymptotically free, as the paper
+argues (Section 7.4).
 
 On a machine that *enforces* a finite ``M``-words budget
 (``Machine(..., enforce_memory=True)``), every entry point first
@@ -31,17 +34,31 @@ factorization, and rejects an infeasible ``(N, P, c)`` configuration
 with :class:`~repro.machine.exceptions.MemoryBudgetExceeded` before
 moving a single word.
 
-``impl="auto"`` hands schedule selection to :mod:`repro.planner`: the
-planner searches every feasible configuration for the caller's
-``(N, P)`` under the machine's memory budget (the same ``api_copies``
-arithmetic as the pre-flight gate, so a planned config never trips it)
-and the entry point runs the winner; the full ranked
-:class:`~repro.planner.Plan` is attached to the result.
+Schedule selection has three forms, from most to least explicit:
+
+* ``plan=`` — the caller already holds a
+  :class:`~repro.planner.Plan` (e.g. from a
+  :class:`~repro.planner.PlanService`) or a single
+  :class:`~repro.planner.PlannedConfig`; the call runs that
+  configuration without re-planning and attaches the passed object to
+  ``PDResult.plan``;
+* ``impl="auto"`` — sugar over ``plan=``: the request is resolved
+  through the machine's ``plan_service`` attribute when set, else the
+  module-default :func:`~repro.planner.default_service` — so repeated
+  auto calls for the same ``(op, N, P, M)`` hit the service's LRU
+  instead of re-enumerating the candidate grid;
+* explicit ``impl=`` + parameters (``v``/``c`` for the 2.5D schedules,
+  ``nb`` for the 2D baselines, ``s``/``c`` for the matmul).
+
+The parameters a call actually ran with are recorded uniformly in
+``PDResult.params``.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import warnings
+from typing import Any
 
 import numpy as np
 
@@ -58,7 +75,8 @@ from .layouts import (
 )
 from .machine import Machine, ProcessorGrid2D
 from .machine.stats import CommStats
-from .planner import Plan, plan_cholesky, plan_gemm, plan_lu
+from .planner import Plan, PlannedConfig, PlanRequest
+from .planner.service import PlanService, default_service
 
 __all__ = ["pdgetrf", "pdpotrf", "pdgemm", "pdgetrs", "pdpotrs", "PDResult"]
 
@@ -68,11 +86,24 @@ class PDResult:
     """Result of a ScaLAPACK-style call.
 
     The factors live back in the machine's stores under ``out_name`` in
-    the caller's layout; this object carries the pivots, the tile size
-    ``v`` the factorization actually ran with, its counted communication
-    (``comm`` — the factorization traffic only; ``reshuffle_words``
-    covers the COSTA reshuffles), and dense copies for verification
-    convenience.
+    the caller's layout; this object carries the pivots, the counted
+    communication (``comm`` — the factorization traffic only;
+    ``reshuffle_words`` covers the COSTA reshuffles), and dense copies
+    for verification convenience.
+
+    ``params`` records the implementation and parameters the call
+    actually ran with, uniformly across entry points — e.g.
+    ``{"impl": "conflux", "v": 16, "c": 2}``,
+    ``{"impl": "scalapack", "nb": 32}``,
+    ``{"impl": "25d", "s": 16, "c": 1}``.  ``v`` is the legacy scalar
+    view of the same information: the tile size / panel width / strip
+    width the schedule ran with.
+
+    ``plan`` carries the planning evidence when there is any: the
+    ranked :class:`~repro.planner.Plan` the service produced for
+    ``impl="auto"``, or whatever the caller passed via ``plan=`` (a
+    :class:`Plan` or a bare :class:`~repro.planner.PlannedConfig`).
+    It is None only for explicitly parameterized calls.
     """
 
     out_name: str
@@ -85,9 +116,8 @@ class PDResult:
     upper: np.ndarray | None
     reshuffle_words: float
     factorization_words: float
-    #: The planner's ranked configurations when the call used
-    #: ``impl="auto"``; None for explicitly chosen implementations.
-    plan: Plan | None = None
+    plan: Plan | PlannedConfig | None = None
+    params: dict[str, Any] = dataclasses.field(default_factory=dict)
 
     def gather(self) -> np.ndarray:
         """Dense packed factors from the distributed stores."""
@@ -175,110 +205,206 @@ def _planner_budget(machine: Machine) -> float | None:
     return machine.mem_words if machine.enforces_memory else None
 
 
+# ----------------------------------------------------------------------
+# Plan resolution (the ``plan=`` / ``impl="auto"`` front half).
+
+#: ``api_copies`` the planner charges per op when ``impl="auto"``: the
+#: pre-flight gate's layout copies *plus* the caller's already-resident
+#: distributed operand(s), which ``reserve()`` counts (3+1 for the
+#: factorizations, 4+2 for the two-operand matmul).
+_AUTO_API_COPIES = {"lu": 4, "cholesky": 4, "gemm": 6}
+
+#: ``api_copies`` the pre-flight gate itself reserves (the resident
+#: input already sits in the stores, so it is not re-reserved here).
+_GATE_API_COPIES = {"lu": 3, "cholesky": 3, "gemm": 4}
+
+
+def _service_for(machine: Machine) -> PlanService:
+    """The :class:`PlanService` an ``impl="auto"`` call consults: the
+    machine's own (``machine.plan_service = PlanService(...)``) when
+    set, else the module default."""
+    service = getattr(machine, "plan_service", None)
+    return service if service is not None else default_service()
+
+
+def _resolve_plan(machine: Machine, op: str, n: int, impl: str,
+                  plan: Plan | PlannedConfig | None):
+    """Resolve ``plan=`` / ``impl="auto"`` into concrete parameters.
+
+    Returns ``(impl, params, plan_obj)`` when the call is plan-driven,
+    or None for explicitly parameterized calls.  ``impl="auto"`` is
+    sugar over ``plan=``: it asks the machine's planning service and
+    then takes the same path a caller-supplied plan would.
+    """
+    if plan is None and impl == "auto":
+        request = PlanRequest(op=op, n=n, p=machine.nranks,
+                              mem_words=_planner_budget(machine),
+                              api_copies=_AUTO_API_COPIES[op])
+        plan = _service_for(machine).plan(request)
+    if plan is None:
+        return None
+    config = plan.chosen if isinstance(plan, Plan) else plan
+    if not isinstance(config, PlannedConfig):
+        raise TypeError(f"plan= takes a Plan or PlannedConfig, got "
+                        f"{type(plan).__name__}")
+    return config.impl, dict(config.params), plan
+
+
+def _nb_from_v(nb: int | None, v: int | None, default: int = 16) -> int:
+    """The 2D baselines' panel width: the explicit ``nb=`` kwarg, with
+    the historical ``v``-as-``nb`` overload kept as a deprecated
+    alias."""
+    if nb is not None:
+        if v is not None and v != nb:
+            raise ValueError(f"conflicting panel widths: nb={nb} vs the "
+                             f"deprecated v={v}; pass nb= only")
+        return nb
+    if v is not None:
+        warnings.warn(
+            "passing the 2D panel width as v= is deprecated; use nb=",
+            DeprecationWarning, stacklevel=3)
+        return v
+    return default
+
+
+# ----------------------------------------------------------------------
+# The shared execution path.
+
+#: How each op packs the backend's factors for writeback.
+_PD_PACKED = {
+    "lu": lambda res: np.tril(res.lower, -1) + res.upper,
+    "cholesky": lambda res: res.lower,
+    "gemm": lambda res: res.lower,
+}
+
+
+def _run_pd(machine: Machine, op: str, schedule, desc: ScaLAPACKDescriptor,
+            inputs: list[tuple[str, ScaLAPACKDescriptor]], out_name: str,
+            native: BlockCyclicLayout, v_run: int, impl: str,
+            params: dict[str, Any],
+            plan: Plan | PlannedConfig | None) -> PDResult:
+    """The execution path every pd* entry point shares: pre-flight
+    memory gate, counted COSTA reshuffle(s) in, one
+    :class:`DistributedBackend` run on the caller's machine, counted
+    writeback into the caller's layout, :class:`PDResult`."""
+    _check_memory_feasible(machine, schedule,
+                           api_copies=_GATE_API_COPIES[op])
+    resh_in = 0.0
+    for name, in_desc in inputs:
+        resh_in += _prepare(machine, name, in_desc, native)
+    in_name = (inputs[0][0] + ":native" if len(inputs) == 1
+               else tuple(name + ":native" for name, _ in inputs))
+    res = DistributedBackend(machine).run(schedule, in_name=in_name)
+    packed = _PD_PACKED[op](res)
+    resh_out = _writeback(machine, out_name, desc, packed, native)
+    is_lu = op == "lu"
+    return PDResult(out_name=out_name, desc=desc, machine=machine,
+                    v=v_run, comm=res.comm,
+                    perm=res.perm if is_lu else None,
+                    lower=res.lower,
+                    upper=res.upper if is_lu else None,
+                    reshuffle_words=resh_in + resh_out,
+                    factorization_words=res.comm.total_recv_words,
+                    plan=plan, params={"impl": impl, **params})
+
+
+# ----------------------------------------------------------------------
+# Entry points.
+
 def pdgetrf(machine: Machine, name: str, desc: ScaLAPACKDescriptor,
-            v: int = 16, c: int = 1, out_name: str | None = None,
-            impl: str = "conflux") -> PDResult:
+            v: int | None = None, c: int = 1, out_name: str | None = None,
+            impl: str = "conflux", nb: int | None = None,
+            plan: Plan | PlannedConfig | None = None) -> PDResult:
     """LU factorization of a descriptor-distributed matrix.
 
     The packed factors (L below the unit diagonal, U on/above — the
     LAPACK ``getrf`` convention, rows in *pivot order*) are stored back
     under ``out_name``; ``perm`` maps pivot order to original rows.
     ``impl`` selects the schedule: ``"conflux"`` (2.5D tournament
-    pivoting, default), ``"scalapack"`` (the 2D partial-pivoting
-    baseline, ``v`` as its panel width ``nb``; requires ``c == 1``) or
-    ``"auto"`` (the planner picks implementation and parameters under
-    the machine's memory budget, overriding ``v``/``c``) — all run
-    through :class:`DistributedBackend` on the caller's machine, so the
-    counted volumes are directly comparable.
+    pivoting, default; tile size ``v``, replication ``c``),
+    ``"scalapack"`` (the 2D partial-pivoting baseline; panel width
+    ``nb``, requires ``c == 1``; passing it as ``v`` still works but is
+    deprecated) or ``"auto"`` (the machine's planning service picks
+    implementation and parameters under the memory budget, overriding
+    ``v``/``c``/``nb``) — all run through :class:`DistributedBackend`
+    on the caller's machine, so the counted volumes are directly
+    comparable.  ``plan=`` skips planning entirely and runs the given
+    :class:`~repro.planner.Plan`/:class:`~repro.planner.PlannedConfig`.
     """
     out_name = out_name or name + ":lu"
-    plan = None
-    if impl == "auto":
-        # api_copies = the gate's 3 layout copies + the caller's
-        # already-resident distributed matrix, which reserve() counts.
-        plan = plan_lu(desc.n, machine.nranks,
-                       mem_words=_planner_budget(machine), api_copies=4)
-        impl = plan.chosen.impl
+    resolved = _resolve_plan(machine, "lu", desc.n, impl, plan)
+    if resolved is not None:
+        impl, chosen, plan = resolved
         if impl == "conflux":
-            v, c = plan.chosen.params["v"], plan.chosen.params["c"]
+            v, c = chosen["v"], chosen["c"]
         else:
-            v, c = plan.chosen.params["nb"], 1
+            v, nb, c = None, chosen["nb"], 1
     if impl == "conflux":
+        v = 16 if v is None else v
         schedule = ConfluxSchedule(desc.n, machine.nranks, v=v, c=c)
+        v_run, params = schedule.v, {"v": schedule.v, "c": c}
     elif impl == "scalapack":
         if c != 1:
             raise ValueError("the 2D baseline has no replication (c must "
                              "be 1)")
-        schedule = ScalapackLUSchedule(desc.n, machine.nranks, nb=v,
+        nb = _nb_from_v(nb, v)
+        schedule = ScalapackLUSchedule(desc.n, machine.nranks, nb=nb,
                                        panel_rebroadcast=False)
+        v_run, params = schedule.nb, {"nb": schedule.nb}
     else:
         raise ValueError(f"unknown impl {impl!r}; have conflux, scalapack, "
                          "auto")
-    _check_memory_feasible(machine, schedule, api_copies=3)
-    native = _square_layout(desc, v, schedule.grid.layer_grid())
-    resh_in = _prepare(machine, name, desc, native)
-    res = DistributedBackend(machine).run(schedule, in_name=name + ":native")
-    packed = np.tril(res.lower, -1) + res.upper
-    v_run = schedule.v if impl == "conflux" else schedule.nb
-    resh_out = _writeback(machine, out_name, desc, packed, native)
-    return PDResult(out_name=out_name, desc=desc, machine=machine,
-                    v=v_run, comm=res.comm,
-                    perm=res.perm, lower=res.lower, upper=res.upper,
-                    reshuffle_words=resh_in + resh_out,
-                    factorization_words=res.comm.total_recv_words,
-                    plan=plan)
+    native = _square_layout(desc, v_run, schedule.grid.layer_grid())
+    return _run_pd(machine, "lu", schedule, desc, [(name, desc)], out_name,
+                   native, v_run=v_run, impl=impl, params=params, plan=plan)
 
 
 def pdpotrf(machine: Machine, name: str, desc: ScaLAPACKDescriptor,
-            v: int = 16, c: int = 1, out_name: str | None = None,
-            impl: str = "confchox") -> PDResult:
+            v: int | None = None, c: int = 1, out_name: str | None = None,
+            impl: str = "confchox", nb: int | None = None,
+            plan: Plan | PlannedConfig | None = None) -> PDResult:
     """Cholesky factorization of a descriptor-distributed SPD matrix.
 
-    ``impl``: ``"confchox"`` (2.5D, default), ``"scalapack"`` (the 2D
-    baseline; requires ``c == 1``) or ``"auto"`` (planner-selected
-    under the machine's memory budget, overriding ``v``/``c``).
+    ``impl``: ``"confchox"`` (2.5D, default; tile size ``v``,
+    replication ``c``), ``"scalapack"`` (the 2D baseline; panel width
+    ``nb``, requires ``c == 1``; ``v``-as-``nb`` is deprecated) or
+    ``"auto"`` (service-selected under the machine's memory budget,
+    overriding ``v``/``c``/``nb``).  ``plan=`` runs a caller-supplied
+    plan without re-planning.
     """
     out_name = out_name or name + ":chol"
-    plan = None
-    if impl == "auto":
-        # api_copies as in pdgetrf: 3 gate copies + the resident input.
-        plan = plan_cholesky(desc.n, machine.nranks,
-                             mem_words=_planner_budget(machine),
-                             api_copies=4)
-        impl = plan.chosen.impl
+    resolved = _resolve_plan(machine, "cholesky", desc.n, impl, plan)
+    if resolved is not None:
+        impl, chosen, plan = resolved
         if impl == "confchox":
-            v, c = plan.chosen.params["v"], plan.chosen.params["c"]
+            v, c = chosen["v"], chosen["c"]
         else:
-            v, c = plan.chosen.params["nb"], 1
+            v, nb, c = None, chosen["nb"], 1
     if impl == "confchox":
+        v = 16 if v is None else v
         schedule = ConfchoxSchedule(desc.n, machine.nranks, v=v, c=c)
-        v_run = schedule.v
+        v_run, params = schedule.v, {"v": schedule.v, "c": c}
     elif impl == "scalapack":
         if c != 1:
             raise ValueError("the 2D baseline has no replication (c must "
                              "be 1)")
-        schedule = ScalapackCholeskySchedule(desc.n, machine.nranks, nb=v)
-        v_run = schedule.nb
+        nb = _nb_from_v(nb, v)
+        schedule = ScalapackCholeskySchedule(desc.n, machine.nranks, nb=nb)
+        v_run, params = schedule.nb, {"nb": schedule.nb}
     else:
         raise ValueError(f"unknown impl {impl!r}; have confchox, scalapack, "
                          "auto")
-    _check_memory_feasible(machine, schedule, api_copies=3)
-    native = _square_layout(desc, v, schedule.grid.layer_grid())
-    resh_in = _prepare(machine, name, desc, native)
-    res = DistributedBackend(machine).run(schedule, in_name=name + ":native")
-    resh_out = _writeback(machine, out_name, desc, res.lower, native)
-    return PDResult(out_name=out_name, desc=desc, machine=machine,
-                    v=v_run, comm=res.comm,
-                    perm=None, lower=res.lower, upper=None,
-                    reshuffle_words=resh_in + resh_out,
-                    factorization_words=res.comm.total_recv_words,
-                    plan=plan)
+    native = _square_layout(desc, v_run, schedule.grid.layer_grid())
+    return _run_pd(machine, "cholesky", schedule, desc, [(name, desc)],
+                   out_name, native, v_run=v_run, impl=impl, params=params,
+                   plan=plan)
 
 
 def pdgemm(machine: Machine, a_name: str, desc_a: ScaLAPACKDescriptor,
            b_name: str, desc_b: ScaLAPACKDescriptor,
            out_name: str | None = None, s: int | None = None,
-           c: int = 1, impl: str = "25d") -> PDResult:
+           c: int = 1, impl: str = "25d",
+           plan: Plan | PlannedConfig | None = None) -> PDResult:
     """2.5D SUMMA product ``C = A @ B`` of descriptor-distributed
     operands, routed through :class:`DistributedBackend` like the
     factorizations: COSTA-reshuffle both operands into the schedule's
@@ -288,8 +414,9 @@ def pdgemm(machine: Machine, a_name: str, desc_a: ScaLAPACKDescriptor,
 
     The product is returned dense in ``lower`` for verification, with
     ``upper``/``perm`` unset.  ``impl``: ``"25d"`` (the caller's
-    ``s``/``c``, default) or ``"auto"`` (planner-selected strip width
-    and replication under the machine's memory budget).
+    ``s``/``c``, default) or ``"auto"`` (service-selected strip width
+    and replication under the machine's memory budget); ``plan=`` runs
+    a caller-supplied plan without re-planning.
     """
     out_name = out_name or a_name + ":gemm"
     if desc_a.m != desc_a.n or desc_b.m != desc_b.n:
@@ -297,17 +424,13 @@ def pdgemm(machine: Machine, a_name: str, desc_a: ScaLAPACKDescriptor,
     if desc_a.n != desc_b.n:
         raise ValueError(
             f"operand sizes differ: {desc_a.n} vs {desc_b.n}")
-    plan = None
-    if impl == "auto":
-        # api_copies = the gate's 4 layout copies + the two resident
-        # operands, which reserve() counts.
-        plan = plan_gemm(desc_a.n, machine.nranks,
-                         mem_words=_planner_budget(machine), api_copies=6)
-        s, c = plan.chosen.params["s"], plan.chosen.params["c"]
+    resolved = _resolve_plan(machine, "gemm", desc_a.n, impl, plan)
+    if resolved is not None:
+        impl, chosen, plan = resolved
+        s, c = chosen["s"], chosen["c"]
     elif impl != "25d":
         raise ValueError(f"unknown impl {impl!r}; have 25d, auto")
     schedule = Matmul25DSchedule(desc_a.n, machine.nranks, s=s, c=c)
-    _check_memory_feasible(machine, schedule, api_copies=4)
     n = desc_a.n
     pr, pc = schedule.grid.rows, schedule.grid.cols
     if n % pr or n % pc:
@@ -315,17 +438,10 @@ def pdgemm(machine: Machine, a_name: str, desc_a: ScaLAPACKDescriptor,
             f"distributed SUMMA needs the grid {pr}x{pc} to divide N={n}")
     layer_grid = schedule.grid.layer_grid()
     native = BlockCyclicLayout(n, n, n // pr, n // pc, layer_grid)
-    resh_in = (_prepare(machine, a_name, desc_a, native)
-               + _prepare(machine, b_name, desc_b, native))
-    res = DistributedBackend(machine).run(
-        schedule, in_name=(a_name + ":native", b_name + ":native"))
-    resh_out = _writeback(machine, out_name, desc_a, res.lower, native)
-    return PDResult(out_name=out_name, desc=desc_a, machine=machine,
-                    v=schedule.s, comm=res.comm,
-                    perm=None, lower=res.lower, upper=None,
-                    reshuffle_words=resh_in + resh_out,
-                    factorization_words=res.comm.total_recv_words,
-                    plan=plan)
+    return _run_pd(machine, "gemm", schedule, desc_a,
+                   [(a_name, desc_a), (b_name, desc_b)], out_name, native,
+                   v_run=schedule.s, impl=impl,
+                   params={"s": schedule.s, "c": c}, plan=plan)
 
 
 def _as_factorization(result: PDResult, name: str) -> FactorizationResult:

@@ -5,9 +5,20 @@ given (N, P, M) the near-optimal configuration can be derived" into an
 API: enumerate the divisor-aware candidate grids, prune by the
 schedules' declared memory requirements, score with the validated cost
 models and the alpha-beta-gamma machine model, return a ranked
-:class:`Plan`.  :mod:`repro.api` routes ``impl="auto"`` through here.
+:class:`Plan`.  They are thin wrappers over the canonical entry shape,
+:class:`PlanRequest`, consumed one at a time by :func:`plan_request` or
+many at once by :func:`plan_batch`.
+
+On top of live planning sits the serving layer: :class:`PlanAtlas`
+(:mod:`repro.planner.atlas`) precomputes ranked plans over a request
+lattice into a content-addressed on-disk cache, and
+:class:`PlanService` (:mod:`repro.planner.service`) answers requests
+from an in-process LRU, the atlas, or live batched planning — with
+``plan_many`` / ``plan_async`` front-ends.  :mod:`repro.api` routes
+``impl="auto"`` through the default service.
 """
 
+from .atlas import AtlasBuildStats, Infeasible, PlanAtlas
 from .candidates import (
     config_25d,
     panel_candidates,
@@ -20,14 +31,27 @@ from .core import (
     NoFeasiblePlanError,
     Plan,
     PlannedConfig,
+    PlanRequest,
+    plan_batch,
     plan_cholesky,
     plan_gemm,
     plan_lu,
+    plan_request,
+)
+from .service import (
+    PlanService,
+    ServiceStats,
+    default_service,
+    set_default_service,
 )
 
 __all__ = [
-    "Plan", "PlannedConfig", "NoFeasiblePlanError",
+    "Plan", "PlannedConfig", "PlanRequest", "NoFeasiblePlanError",
+    "plan_request", "plan_batch",
     "plan_lu", "plan_cholesky", "plan_gemm",
+    "PlanAtlas", "AtlasBuildStats", "Infeasible",
+    "PlanService", "ServiceStats",
+    "default_service", "set_default_service",
     "config_25d", "panel_width_2d",
     "replication_candidates", "tile_candidates",
     "panel_candidates", "strip_candidates",

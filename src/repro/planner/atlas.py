@@ -1,0 +1,173 @@
+"""The plan atlas: precomputed, content-addressed plans on disk.
+
+The paper's pitch (Section 8) is a drop-in library — users call
+``pdgetrf``/``pdpotrf``/``pdgemm`` and a near-communication-optimal
+schedule is chosen for them.  At serving scale that choice must be a
+*read-mostly lookup*, not a re-enumeration of the candidate grid: the
+atlas precomputes ranked :class:`~repro.planner.core.Plan`\\ s over a
+lattice of :class:`~repro.planner.core.PlanRequest` points and persists
+them through :class:`~repro.runtime.cache.ResultCache`.
+
+The cache is content-addressed by ``sha256(request token | code
+fingerprint)``, so the atlas **self-invalidates**: any edit to the
+``repro`` package — a new accounting term, a planner change — flips the
+fingerprint and every lookup goes cold (the service then falls back to
+live planning; rebuilding the atlas re-warms it).  A stale entry can
+never be served, which is what makes the bit-identical contract safe:
+an atlas hit *is* the live planner's output, pickled.
+
+Besides the per-point entries the atlas keeps a **manifest** — the
+lattice itself, under the same fingerprinted keying — so a query that
+misses exactly can *snap* to the nearest dominated lattice point: same
+``(op, n, p, api_copies, impls)``, largest lattice ``mem_words`` that
+does not exceed the query budget.  A plan for a smaller budget is
+provably feasible for a larger one (the budget only prunes candidates),
+so snapping never serves an infeasible plan — it may serve a
+conservative one, which is the documented trade against re-planning
+live (see :class:`~repro.planner.service.PlanService`).
+
+Infeasible lattice points are stored too, as :class:`Infeasible`
+markers: a service hitting one re-raises
+:class:`~repro.planner.core.NoFeasiblePlanError` without re-proving
+infeasibility — but snapping skips them, since a small budget being
+infeasible says nothing about a larger one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+from ..machine.perf_model import PIZ_DAINT_XC40, MachineParams
+from ..runtime.cache import ResultCache
+from .core import Plan, PlanRequest, _no_feasible_error, plan_batch
+
+__all__ = ["PlanAtlas", "Infeasible", "AtlasBuildStats"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Infeasible:
+    """Cached proof that a lattice point has no feasible plan (the
+    :class:`NoFeasiblePlanError` message, replayed on every hit)."""
+
+    message: str
+
+
+@dataclasses.dataclass(frozen=True)
+class AtlasBuildStats:
+    """One :meth:`PlanAtlas.build` outcome.
+
+    ``built`` counts freshly planned points, ``reused`` points already
+    present under the current code fingerprint (builds are resumable,
+    like sweeps), ``infeasible`` the subset of ``built`` stored as
+    :class:`Infeasible` markers.
+    """
+
+    points: int
+    built: int
+    reused: int
+    infeasible: int
+    wall_s: float
+
+
+class PlanAtlas:
+    """Precomputed plans over a request lattice, persisted in a
+    :class:`ResultCache` directory.
+
+    Parameters
+    ----------
+    root:
+        Atlas directory (a :class:`ResultCache` root; created on first
+        write, shareable between processes — writes are atomic).
+    machine_params:
+        The alpha-beta-gamma machine the plans were scored for; folded
+        into every cache token, so atlases for different machines can
+        share a directory.
+    fingerprint:
+        Code-fingerprint override, as in :class:`ResultCache` (tests
+        pin it to exercise stale-code behaviour).
+    """
+
+    def __init__(self, root, machine_params: MachineParams = PIZ_DAINT_XC40,
+                 fingerprint: str | None = None) -> None:
+        self.cache = ResultCache(root, fingerprint=fingerprint)
+        self.machine_params = machine_params
+        self._manifest: tuple[PlanRequest, ...] | None = None
+
+    # ------------------------------------------------------------------
+    def _token(self, request: PlanRequest) -> str:
+        return f"plan-atlas|{request.token()}|mp={self.machine_params!r}"
+
+    def _manifest_token(self) -> str:
+        return f"plan-atlas|manifest|mp={self.machine_params!r}"
+
+    def get(self, request: PlanRequest) -> Plan | Infeasible | None:
+        """The stored plan (or :class:`Infeasible` marker) for an exact
+        lattice point, or None — a miss, including the stale-code case."""
+        return self.cache.get(self._token(request))
+
+    def manifest(self) -> tuple[PlanRequest, ...]:
+        """Every lattice point built under the current fingerprint (an
+        edited code base yields an empty manifest: the atlas is cold)."""
+        if self._manifest is None:
+            stored = self.cache.get(self._manifest_token())
+            self._manifest = tuple(stored) if stored else ()
+        return self._manifest
+
+    def snap_candidates(self, request: PlanRequest) -> list[PlanRequest]:
+        """Lattice points whose plan is provably feasible for
+        ``request``, nearest (largest budget) first.
+
+        A candidate must ask the same question apart from the budget —
+        identical ``(op, n, p, api_copies, impls)`` — and its lattice
+        ``mem_words`` must not exceed the query budget: every config in
+        its plan then fits the query's memory too.  An unbounded
+        lattice point can only serve an unbounded query, which is an
+        exact hit, so it never appears here.
+        """
+        budget = request.budget
+        out = [point for point in self.manifest()
+               if point != request
+               and point.op == request.op
+               and point.n == request.n
+               and point.p == request.p
+               and point.api_copies == request.api_copies
+               and point.impls == request.impls
+               and point.mem_words is not None
+               and point.mem_words <= budget]
+        out.sort(key=lambda point: -point.mem_words)
+        return out
+
+    # ------------------------------------------------------------------
+    def build(self, lattice: list[PlanRequest]) -> AtlasBuildStats:
+        """Precompute (or resume precomputing) every lattice point.
+
+        Points already stored under the current fingerprint are reused;
+        the misses are planned in **one** batched
+        :func:`~repro.planner.core.plan_batch` pass and written through
+        atomically.  The manifest is merged, not replaced, so
+        incremental builds extend the lattice.
+        """
+        t0 = time.perf_counter()
+        points = [req if isinstance(req, PlanRequest) else PlanRequest(*req)
+                  for req in lattice]
+        misses = [req for req in points if self.get(req) is None]
+        plans = plan_batch(misses, machine_params=self.machine_params,
+                           strict=False)
+        infeasible = 0
+        for req, plan in zip(misses, plans):
+            if plan is None:
+                infeasible += 1
+                value: Plan | Infeasible = Infeasible(
+                    str(_no_feasible_error(req.op, req.n, req.p,
+                                           req.budget)))
+            else:
+                value = plan
+            self.cache.put(self._token(req), value)
+        merged = dict.fromkeys(list(self.manifest()) + points)
+        self._manifest = tuple(merged)
+        self.cache.put(self._manifest_token(), list(self._manifest))
+        return AtlasBuildStats(points=len(points), built=len(misses),
+                               reused=len(points) - len(misses),
+                               infeasible=infeasible,
+                               wall_s=time.perf_counter() - t0)

@@ -11,6 +11,16 @@ alpha-beta-gamma :class:`~repro.machine.perf_model.PerfModel`, and
 returns a :class:`Plan`: the chosen configuration plus the ranked
 alternatives.
 
+The single entry shape is :class:`PlanRequest` — ``(op, n, p,
+mem_words, api_copies)`` — consumed by :func:`plan_request` (one
+request) and :func:`plan_batch` (many requests, every survivor of every
+request reduced in **one** :class:`~repro.engine.accounting.TermBatch`
+pass; bit-identical to planning each request alone, which the parity
+suite pins).  ``plan_lu`` / ``plan_cholesky`` / ``plan_gemm`` are thin
+wrappers that build the request; the atlas/service layer
+(:mod:`repro.planner.atlas`, :mod:`repro.planner.service`) keys its
+caches on the request.
+
 The ranking key is the paper's primary metric — *counted* received
 words per rank: every candidate's schedule is evaluated through the
 engine's closed-form trace evaluator
@@ -42,12 +52,75 @@ from .candidates import (
     tile_candidates,
 )
 
-__all__ = ["Plan", "PlannedConfig", "NoFeasiblePlanError",
+__all__ = ["Plan", "PlannedConfig", "PlanRequest", "NoFeasiblePlanError",
+           "plan_request", "plan_batch",
            "plan_lu", "plan_cholesky", "plan_gemm"]
 
 
 class NoFeasiblePlanError(ValueError):
     """No schedule configuration fits the given (N, P, M)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class PlanRequest:
+    """One planning question, in canonical form.
+
+    ``op`` is the problem kind (``"lu"``, ``"cholesky"``, ``"gemm"``),
+    ``n``/``p`` the problem size and rank count, ``mem_words`` the
+    per-rank budget (None = unbounded; ``inf`` normalizes to None) and
+    ``api_copies`` the ``N^2/P``-per-rank layout copies the caller
+    keeps alive (the API entry points' pre-flight gate arithmetic).
+    ``impls`` optionally restricts the candidate implementations (None
+    = the op's full search space).
+
+    Instances are hashable and canonical — two requests asking the same
+    question compare (and hash) equal — which is what lets the service
+    layer use them directly as LRU keys and the atlas derive
+    content-addressed cache tokens from :meth:`token`.
+    """
+
+    op: str
+    n: int
+    p: int
+    mem_words: float | None = None
+    api_copies: int = 0
+    impls: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError(f"unknown op {self.op!r}; have "
+                             f"{', '.join(sorted(_OPS))}")
+        object.__setattr__(self, "n", int(self.n))
+        object.__setattr__(self, "p", int(self.p))
+        object.__setattr__(self, "api_copies", int(self.api_copies))
+        if self.mem_words is not None:
+            mem = float(self.mem_words)
+            object.__setattr__(self, "mem_words",
+                               None if math.isinf(mem) else mem)
+        if self.impls is not None:
+            impls = tuple(self.impls)
+            # Canonical form: spelling out the op's full default search
+            # space is the same question as not restricting it at all
+            # (the service/atlas key on the request, so the two must
+            # compare equal).
+            if impls == _DEFAULT_IMPLS[self.op]:
+                impls = None
+            object.__setattr__(self, "impls", impls)
+
+    @property
+    def budget(self) -> float:
+        """The budget as a float (``inf`` when unbounded)."""
+        return math.inf if self.mem_words is None else self.mem_words
+
+    def token(self) -> str:
+        """A stable string spelling out the whole question — the
+        atlas's cache-key payload (``repr`` of the budget round-trips
+        the float exactly)."""
+        mem = "inf" if self.mem_words is None else repr(self.mem_words)
+        impls = ("default" if self.impls is None
+                 else ",".join(self.impls))
+        return (f"plan|op={self.op}|n={self.n}|p={self.p}|mem={mem}"
+                f"|copies={self.api_copies}|impls={impls}")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -117,85 +190,21 @@ def _rank_key(cfg: PlannedConfig) -> tuple:
             tuple(sorted(cfg.params.items())))
 
 
-def _score_candidates(cands: list[tuple], flops_per_rank: float,
-                      budget: float, api_copies: int,
-                      machine_params: MachineParams,
-                      batched: bool) -> list[PlannedConfig]:
-    """Memory-gate then score instantiated ``(impl, schedule, params,
-    msgs)`` candidates.
-
-    The memory gate runs first (it is cheap); survivors are ranked by
-    their *counted* per-rank received words — with ``batched`` (the
-    default everywhere) every survivor's cost-term stream reduces in
-    one :class:`TermBatch` pass, bit-identical to the per-config
-    ``batched=False`` loop the parity gates compare against — with the
-    alpha-beta-gamma time as tie-break.
-    """
-    survivors = []
-    for impl, sched, params, msgs in cands:
-        n, p = sched.n, sched.nranks
-        needed = sched.required_words() + api_copies * float(n) * n / p
-        margin = budget - needed
-        if margin >= 0:
-            survivors.append((impl, sched, params, msgs, needed, margin))
-    if batched:
-        batch = TermBatch()
-        for _, sched, *_ in survivors:
-            batch.add(sched)
-        words_list = [st.mean_recv_words for st in batch.evaluate()]
-    else:
-        words_list = [sched.trace_stats(steps="none").mean_recv_words
-                      for _, sched, *_ in survivors]
-    model = PerfModel(machine_params)
-    configs = []
-    for (impl, sched, params, msgs, needed, margin), words in zip(
-            survivors, words_list):
-        n, p = sched.n, sched.nranks
-        time_s = model.time_closed_form(
-            flops_per_rank, words, msgs, local_words=float(n) * n / p)
-        configs.append(PlannedConfig(
-            impl=impl, schedule=type(sched).__name__, params=params,
-            predicted_words=words, predicted_time_s=time_s,
-            required_words=needed, mem_margin=margin))
-    return configs
-
-
-def _finish(problem: str, n: int, p: int, budget: float,
-            configs: list[PlannedConfig]) -> Plan:
-    if not configs:
-        raise NoFeasiblePlanError(
-            f"no feasible {problem} configuration for N={n}, P={p}, "
-            f"M={budget:.4g} words — every candidate's required_words "
-            f"(plus API layout copies) exceeds the budget")
-    configs.sort(key=_rank_key)
-    return Plan(problem=problem, n=n, nranks=p, mem_words=budget,
-                ranked=tuple(configs))
-
-
 def _lg(p: int) -> int:
     return math.ceil(math.log2(max(2, p)))
 
 
-def plan_lu(n: int, p: int, mem_words: float | None = None,
-            machine_params: MachineParams = PIZ_DAINT_XC40,
-            api_copies: int = 0,
-            impls: tuple[str, ...] = ("conflux", "scalapack"),
-            batched: bool = True) -> Plan:
-    """Plan an LU factorization: COnfLUX (2.5D tournament pivoting) vs
-    the 2D partial-pivoting baseline, every feasible parameterization.
+# ----------------------------------------------------------------------
+# Candidate enumeration, per op.  Each enumerator returns
+# ``(flops_per_rank, [(impl, schedule, params, msgs), ...])`` for one
+# request; the scoring/gating pipeline below is op-independent.
 
-    ``mem_words`` is the per-rank budget (None = unbounded);
-    ``api_copies`` adds the ``N^2/P``-per-rank layout copies
-    :func:`repro.api.pdgetrf` keeps alive, so feasibility here equals
-    its pre-flight gate.  ``impls`` restricts the search (the
-    ``best_conflux_config`` shim plans with ``("conflux",)``).
-    ``batched=False`` scores candidates one at a time — the reference
-    loop the batched-parity gates compare against.
-    """
+def _lu_candidates(req: PlanRequest) -> tuple[float, list[tuple]]:
     from ..factorizations import ConfluxSchedule
     from ..factorizations.baselines.scalapack_lu import ScalapackLUSchedule
 
-    budget = math.inf if mem_words is None else float(mem_words)
+    n, p, budget = req.n, req.p, req.budget
+    impls = req.impls or ("conflux", "scalapack")
     flops = 2.0 * n ** 3 / (3.0 * p)
     cands: list[tuple] = []
     if "conflux" in impls:
@@ -218,23 +227,17 @@ def plan_lu(n: int, p: int, mem_words: float | None = None,
                 continue
             cands.append(("scalapack", sched, {"nb": nb},
                           n * _lg(p) + 4 * (n // nb)))
-    configs = _score_candidates(cands, flops, budget, api_copies,
-                                machine_params, batched)
-    return _finish("lu", n, p, budget, configs)
+    return flops, cands
 
 
-def plan_cholesky(n: int, p: int, mem_words: float | None = None,
-                  machine_params: MachineParams = PIZ_DAINT_XC40,
-                  api_copies: int = 0,
-                  impls: tuple[str, ...] = ("confchox", "scalapack"),
-                  batched: bool = True) -> Plan:
-    """Plan a Cholesky factorization: COnfCHOX vs the 2D baseline."""
+def _cholesky_candidates(req: PlanRequest) -> tuple[float, list[tuple]]:
     from ..factorizations import ConfchoxSchedule
     from ..factorizations.baselines.scalapack_chol import (
         ScalapackCholeskySchedule,
     )
 
-    budget = math.inf if mem_words is None else float(mem_words)
+    n, p, budget = req.n, req.p, req.budget
+    impls = req.impls or ("confchox", "scalapack")
     flops = n ** 3 / (3.0 * p)
     cands: list[tuple] = []
     if "confchox" in impls:
@@ -254,23 +257,16 @@ def plan_cholesky(n: int, p: int, mem_words: float | None = None,
                 continue
             cands.append(("scalapack", sched, {"nb": nb},
                           4 * (n // nb)))
-    configs = _score_candidates(cands, flops, budget, api_copies,
-                                machine_params, batched)
-    return _finish("cholesky", n, p, budget, configs)
+    return flops, cands
 
 
-def plan_gemm(n: int, p: int, mem_words: float | None = None,
-              machine_params: MachineParams = PIZ_DAINT_XC40,
-              api_copies: int = 0, batched: bool = True) -> Plan:
-    """Plan a square matmul: the 2.5D SUMMA over (c, s) candidates.
-
-    Volume is independent of the strip width ``s`` (rounds x strip is
-    fixed), so the perf-model tie-break picks the widest strip — fewer
-    rounds, fewer messages.
-    """
+def _gemm_candidates(req: PlanRequest) -> tuple[float, list[tuple]]:
+    # Volume is independent of the strip width ``s`` (rounds x strip is
+    # fixed), so the perf-model tie-break picks the widest strip —
+    # fewer rounds, fewer messages.
     from ..factorizations import Matmul25DSchedule
 
-    budget = math.inf if mem_words is None else float(mem_words)
+    n, p, budget = req.n, req.p, req.budget
     flops = 2.0 * n ** 3 / p
     cands: list[tuple] = []
     for c in replication_candidates(p, n, budget, copies=3):
@@ -281,6 +277,170 @@ def plan_gemm(n: int, p: int, mem_words: float | None = None,
                 continue
             cands.append(("25d", sched, {"s": s, "c": c},
                           2.0 * sched.rounds + c))
-    configs = _score_candidates(cands, flops, budget, api_copies,
-                                machine_params, batched)
-    return _finish("gemm", n, p, budget, configs)
+    return flops, cands
+
+
+_OPS = {
+    "lu": _lu_candidates,
+    "cholesky": _cholesky_candidates,
+    "gemm": _gemm_candidates,
+}
+
+_DEFAULT_IMPLS = {
+    "lu": ("conflux", "scalapack"),
+    "cholesky": ("confchox", "scalapack"),
+    "gemm": ("25d",),
+}
+
+
+# ----------------------------------------------------------------------
+# Gate -> score -> rank.
+
+def _gate(cands: list[tuple], budget: float,
+          api_copies: int) -> list[tuple]:
+    """The memory gate (cheap, runs before any scoring): keep the
+    candidates whose ``required_words`` plus the API's layout copies
+    fit the budget."""
+    survivors = []
+    for impl, sched, params, msgs in cands:
+        n, p = sched.n, sched.nranks
+        needed = sched.required_words() + api_copies * float(n) * n / p
+        margin = budget - needed
+        if margin >= 0:
+            survivors.append((impl, sched, params, msgs, needed, margin))
+    return survivors
+
+
+def _configs_from(survivors: list[tuple], words_list: list[float],
+                  flops_per_rank: float,
+                  machine_params: MachineParams) -> list[PlannedConfig]:
+    model = PerfModel(machine_params)
+    configs = []
+    for (impl, sched, params, msgs, needed, margin), words in zip(
+            survivors, words_list):
+        n, p = sched.n, sched.nranks
+        time_s = model.time_closed_form(
+            flops_per_rank, words, msgs, local_words=float(n) * n / p)
+        configs.append(PlannedConfig(
+            impl=impl, schedule=type(sched).__name__, params=params,
+            predicted_words=words, predicted_time_s=time_s,
+            required_words=needed, mem_margin=margin))
+    return configs
+
+
+def _no_feasible_error(problem: str, n: int, p: int,
+                       budget: float) -> NoFeasiblePlanError:
+    return NoFeasiblePlanError(
+        f"no feasible {problem} configuration for N={n}, P={p}, "
+        f"M={budget:.4g} words — every candidate's required_words "
+        f"(plus API layout copies) exceeds the budget")
+
+
+def plan_batch(requests: list[PlanRequest],
+               machine_params: MachineParams = PIZ_DAINT_XC40,
+               batched: bool = True,
+               strict: bool = True) -> list[Plan | None]:
+    """Plan many requests at once — *the* planning pipeline.
+
+    Every request's candidates are enumerated and memory-gated, then
+    **all** survivors across the whole batch reduce in a single
+    :class:`TermBatch` pass (``batched=False`` keeps the per-config
+    reference loop the parity gates compare against).  TermBatch
+    reduction is composition-independent — each candidate's stats are
+    bit-identical to a standalone ``run_closed`` — so the returned
+    plans equal planning each request alone, in order.
+
+    With ``strict`` (the default) an infeasible request raises
+    :class:`NoFeasiblePlanError` exactly as :func:`plan_request` does;
+    ``strict=False`` yields ``None`` in that request's slot instead, so
+    a caller batching unrelated questions (the atlas builder, the
+    service's ``plan_many``) keeps the feasible answers.
+    """
+    staged = []
+    batch = TermBatch()
+    for req in requests:
+        flops, cands = _OPS[req.op](req)
+        survivors = _gate(cands, req.budget, req.api_copies)
+        if batched:
+            for _, sched, *_ in survivors:
+                batch.add(sched)
+        staged.append((req, flops, survivors))
+    if batched:
+        all_stats = batch.evaluate()
+    plans: list[Plan | None] = []
+    offset = 0
+    for req, flops, survivors in staged:
+        if batched:
+            words_list = [st.mean_recv_words for st in
+                          all_stats[offset:offset + len(survivors)]]
+            offset += len(survivors)
+        else:
+            words_list = [sched.trace_stats(steps="none").mean_recv_words
+                          for _, sched, *_ in survivors]
+        configs = _configs_from(survivors, words_list, flops,
+                                machine_params)
+        if not configs:
+            if strict:
+                raise _no_feasible_error(req.op, req.n, req.p, req.budget)
+            plans.append(None)
+            continue
+        configs.sort(key=_rank_key)
+        plans.append(Plan(problem=req.op, n=req.n, nranks=req.p,
+                          mem_words=req.budget, ranked=tuple(configs)))
+    return plans
+
+
+def plan_request(request: PlanRequest,
+                 machine_params: MachineParams = PIZ_DAINT_XC40,
+                 batched: bool = True) -> Plan:
+    """Plan one :class:`PlanRequest` (raises
+    :class:`NoFeasiblePlanError` when nothing fits)."""
+    return plan_batch([request], machine_params=machine_params,
+                      batched=batched, strict=True)[0]
+
+
+# ----------------------------------------------------------------------
+# The historical per-op entry points, now thin request wrappers.
+
+def plan_lu(n: int, p: int, mem_words: float | None = None,
+            machine_params: MachineParams = PIZ_DAINT_XC40,
+            api_copies: int = 0,
+            impls: tuple[str, ...] = ("conflux", "scalapack"),
+            batched: bool = True) -> Plan:
+    """Plan an LU factorization: COnfLUX (2.5D tournament pivoting) vs
+    the 2D partial-pivoting baseline, every feasible parameterization.
+
+    ``mem_words`` is the per-rank budget (None = unbounded);
+    ``api_copies`` adds the ``N^2/P``-per-rank layout copies
+    :func:`repro.api.pdgetrf` keeps alive, so feasibility here equals
+    its pre-flight gate.  ``impls`` restricts the search (the
+    ``best_conflux_config`` shim plans with ``("conflux",)``).
+    ``batched=False`` scores candidates one at a time — the reference
+    loop the batched-parity gates compare against.
+    """
+    return plan_request(
+        PlanRequest(op="lu", n=n, p=p, mem_words=mem_words,
+                    api_copies=api_copies, impls=tuple(impls)),
+        machine_params=machine_params, batched=batched)
+
+
+def plan_cholesky(n: int, p: int, mem_words: float | None = None,
+                  machine_params: MachineParams = PIZ_DAINT_XC40,
+                  api_copies: int = 0,
+                  impls: tuple[str, ...] = ("confchox", "scalapack"),
+                  batched: bool = True) -> Plan:
+    """Plan a Cholesky factorization: COnfCHOX vs the 2D baseline."""
+    return plan_request(
+        PlanRequest(op="cholesky", n=n, p=p, mem_words=mem_words,
+                    api_copies=api_copies, impls=tuple(impls)),
+        machine_params=machine_params, batched=batched)
+
+
+def plan_gemm(n: int, p: int, mem_words: float | None = None,
+              machine_params: MachineParams = PIZ_DAINT_XC40,
+              api_copies: int = 0, batched: bool = True) -> Plan:
+    """Plan a square matmul: the 2.5D SUMMA over (c, s) candidates."""
+    return plan_request(
+        PlanRequest(op="gemm", n=n, p=p, mem_words=mem_words,
+                    api_copies=api_copies),
+        machine_params=machine_params, batched=batched)

@@ -1,0 +1,245 @@
+"""The planning service: warm-cache, batched, async-friendly lookups.
+
+``PlanService`` is the front-end the ``millions-of-users`` story needs:
+"best schedule for this problem on this machine" answered from an
+in-process LRU in O(1), from a precomputed
+:class:`~repro.planner.atlas.PlanAtlas` on first touch, and by live
+(batched) planning only when neither holds the answer.  Resolution
+order for one :class:`~repro.planner.core.PlanRequest`:
+
+1. **LRU** — exact request key, pure dict lookup;
+2. **atlas, exact** — the content-addressed entry for the request
+   (bit-identical to live planning: the stored object *is* the live
+   planner's output, and the fingerprinted keying means an edited code
+   base reads as cold, never as stale);
+3. **atlas, snapped** — the nearest dominated lattice point (same
+   ``(op, n, p, api_copies, impls)``, largest lattice budget that does
+   not exceed the query's), whose plan is provably feasible for the
+   query though possibly conservative — disable with ``snap=False``
+   for exact-only serving;
+4. **live** — :func:`~repro.planner.core.plan_batch`; the answer is
+   remembered in the LRU.
+
+``plan_many`` resolves a whole request list that way and live-plans
+*all* its misses in one batched :class:`TermBatch` pass — bit-identical
+to calling :meth:`plan` sequentially (the parity tests pin this).
+``plan_async`` / ``plan_many_async`` are thin asyncio wrappers that run
+the lookup in the default executor, so an event-loop server can await
+plans without blocking on disk or live planning.
+
+Infeasible requests cost once: the :class:`NoFeasiblePlanError` is
+cached (as an :class:`~repro.planner.atlas.Infeasible` marker) and
+replayed on every repeat.
+
+:func:`default_service` is the module-level instance
+:mod:`repro.api`'s ``impl="auto"`` consults when the caller's
+:class:`~repro.machine.comm.Machine` does not carry its own
+``plan_service`` attribute — repeated auto calls on same-shaped
+machines hit the LRU instead of re-planning.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+from collections import OrderedDict
+
+from ..machine.perf_model import PIZ_DAINT_XC40, MachineParams
+from .atlas import Infeasible, PlanAtlas
+from .core import (
+    NoFeasiblePlanError,
+    Plan,
+    PlanRequest,
+    _no_feasible_error,
+    plan_batch,
+)
+
+__all__ = ["PlanService", "ServiceStats", "default_service",
+           "set_default_service"]
+
+
+@dataclasses.dataclass
+class ServiceStats:
+    """Resolution counters, by path (one increment per :meth:`plan`
+    call or unique :meth:`plan_many` member)."""
+
+    lru_hits: int = 0
+    lru_misses: int = 0
+    atlas_hits: int = 0
+    atlas_snaps: int = 0
+    live_plans: int = 0
+
+    @property
+    def served(self) -> int:
+        return self.lru_hits + self.lru_misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of resolutions answered without live planning."""
+        if not self.served:
+            return 0.0
+        return 1.0 - self.live_plans / self.served
+
+
+class PlanService:
+    """Read-mostly planning with warm caches.
+
+    Parameters
+    ----------
+    atlas:
+        Optional precomputed :class:`PlanAtlas`; None serves from the
+        LRU + live planning only.
+    lru_size:
+        In-process LRU capacity (distinct requests).
+    machine_params:
+        Machine model used for live planning — pass the atlas's
+        ``machine_params`` when serving from one, so fallback plans are
+        scored the same way.
+    snap:
+        Allow off-lattice queries to snap to the nearest dominated
+        lattice point (see :meth:`PlanAtlas.snap_candidates`); with
+        ``snap=False`` any atlas miss goes straight to live planning.
+    """
+
+    def __init__(self, atlas: PlanAtlas | None = None, lru_size: int = 1024,
+                 machine_params: MachineParams = PIZ_DAINT_XC40,
+                 snap: bool = True) -> None:
+        if atlas is not None and atlas.machine_params != machine_params:
+            raise ValueError(
+                "atlas was built for different machine_params; serve it "
+                "with the parameters it was scored for")
+        self.atlas = atlas
+        self.lru_size = int(lru_size)
+        self.machine_params = machine_params
+        self.snap = snap
+        self.stats = ServiceStats()
+        self._lru: OrderedDict[PlanRequest, Plan | Infeasible] = \
+            OrderedDict()
+
+    # ------------------------------------------------------------------
+    def _remember(self, request: PlanRequest,
+                  value: Plan | Infeasible) -> None:
+        self._lru[request] = value
+        self._lru.move_to_end(request)
+        while len(self._lru) > self.lru_size:
+            self._lru.popitem(last=False)
+
+    def _lookup(self, request: PlanRequest) -> Plan | Infeasible | None:
+        """LRU -> atlas (exact, then snapped) -> None; counts one
+        resolution attempt."""
+        cached = self._lru.get(request)
+        if cached is not None:
+            self._lru.move_to_end(request)
+            self.stats.lru_hits += 1
+            return cached
+        self.stats.lru_misses += 1
+        if self.atlas is None:
+            return None
+        value = self.atlas.get(request)
+        if value is not None:
+            self.stats.atlas_hits += 1
+            self._remember(request, value)
+            return value
+        if self.snap:
+            for point in self.atlas.snap_candidates(request):
+                value = self.atlas.get(point)
+                # An infeasible *smaller* budget proves nothing about
+                # this query's larger one: keep looking, or plan live.
+                if value is not None and not isinstance(value, Infeasible):
+                    self.stats.atlas_snaps += 1
+                    self._remember(request, value)
+                    return value
+        return None
+
+    @staticmethod
+    def _unwrap(value: Plan | Infeasible) -> Plan:
+        if isinstance(value, Infeasible):
+            raise NoFeasiblePlanError(value.message)
+        return value
+
+    # ------------------------------------------------------------------
+    def plan(self, request: PlanRequest) -> Plan:
+        """The plan for one request (raises
+        :class:`NoFeasiblePlanError`, cached, when nothing fits)."""
+        return self.plan_many([request])[0]
+
+    def plan_many(self, requests: list[PlanRequest]) -> list[Plan]:
+        """Plans for a whole request list, in order.
+
+        Each unique request resolves through the cache hierarchy once
+        (duplicates are answered from the first resolution); all live
+        misses are planned together in one batched
+        :func:`~repro.planner.core.plan_batch` pass.  The returned
+        plans are bit-identical to sequential :meth:`plan` calls, and
+        an infeasible member raises exactly where the sequential loop
+        would (at the earliest infeasible request).
+        """
+        requests = list(requests)
+        resolved: dict[PlanRequest, Plan | Infeasible] = {}
+        misses: list[PlanRequest] = []
+        for request in requests:
+            if request in resolved:
+                continue
+            value = self._lookup(request)
+            if value is not None:
+                resolved[request] = value
+            else:
+                resolved[request] = None  # placeholder keeps dedup
+                misses.append(request)
+        if misses:
+            plans = plan_batch(misses, machine_params=self.machine_params,
+                               strict=False)
+            for request, plan in zip(misses, plans):
+                self.stats.live_plans += 1
+                value = plan if plan is not None else Infeasible(
+                    str(_no_feasible_error(request.op, request.n,
+                                           request.p, request.budget)))
+                self._remember(request, value)
+                resolved[request] = value
+        return [self._unwrap(resolved[request]) for request in requests]
+
+    # ------------------------------------------------------------------
+    async def plan_async(self, request: PlanRequest) -> Plan:
+        """Asyncio-friendly :meth:`plan`: the lookup (and any live
+        planning) runs in the event loop's default executor."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self.plan, request)
+
+    async def plan_many_async(self, requests: list[PlanRequest]
+                              ) -> list[Plan]:
+        """Asyncio-friendly :meth:`plan_many`."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self.plan_many,
+                                          list(requests))
+
+    # ------------------------------------------------------------------
+    def cache_clear(self) -> None:
+        """Drop the LRU (atlas and counters stay)."""
+        self._lru.clear()
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+
+# ----------------------------------------------------------------------
+#: The module-default service ``repro.api``'s ``impl="auto"`` consults
+#: (LRU + live planning; attach an atlas by installing your own).
+_default_service: PlanService | None = None
+
+
+def default_service() -> PlanService:
+    """The process-wide default :class:`PlanService` (created on first
+    use, LRU-only)."""
+    global _default_service
+    if _default_service is None:
+        _default_service = PlanService()
+    return _default_service
+
+
+def set_default_service(service: PlanService | None) -> PlanService | None:
+    """Install ``service`` as the process-wide default (e.g. one backed
+    by a prebuilt atlas); returns the previous default so callers can
+    restore it."""
+    global _default_service
+    previous, _default_service = _default_service, service
+    return previous

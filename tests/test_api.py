@@ -76,7 +76,7 @@ class TestBaselineRouting:
 
     def test_pdgetrf_scalapack_correct(self, rng):
         machine, desc, _, a = setup_machine(rng)
-        res = pdgetrf(machine, "A", desc, v=16, impl="scalapack")
+        res = pdgetrf(machine, "A", desc, nb=16, impl="scalapack")
         err = np.linalg.norm(a[res.perm] - res.lower @ res.upper)
         assert err / np.linalg.norm(a) < 1e-12
 
@@ -90,7 +90,7 @@ class TestBaselineRouting:
         desc = ScaLAPACKDescriptor(m=n, n=n, mb=16, nb=16, prows=2, pcols=2)
         layout = BlockCyclicLayout(n, n, 16, 16, ProcessorGrid2D(2, 2))
         layout.scatter_from(machine, "A", rng.standard_normal((n, n)))
-        res = pdgetrf(machine, "A", desc, v=16, impl="scalapack")
+        res = pdgetrf(machine, "A", desc, nb=16, impl="scalapack")
         trace = TraceBackend().run(
             ScalapackLUSchedule(n, 4, nb=16, panel_rebroadcast=False))
         assert res.factorization_words <= trace.comm.total_recv_words
@@ -98,16 +98,16 @@ class TestBaselineRouting:
 
     def test_pdpotrf_scalapack_correct(self, rng):
         machine, desc, _, a = setup_machine(rng, spd=True)
-        res = pdpotrf(machine, "A", desc, v=16, impl="scalapack")
+        res = pdpotrf(machine, "A", desc, nb=16, impl="scalapack")
         err = np.linalg.norm(a - res.lower @ res.lower.T)
         assert err / np.linalg.norm(a) < 1e-12
 
     def test_replication_rejected_for_2d(self, rng):
         machine, desc, _, _ = setup_machine(rng)
         with pytest.raises(ValueError):
-            pdgetrf(machine, "A", desc, v=16, c=2, impl="scalapack")
+            pdgetrf(machine, "A", desc, nb=16, c=2, impl="scalapack")
         with pytest.raises(ValueError):
-            pdpotrf(machine, "A", desc, v=16, c=2, impl="scalapack")
+            pdpotrf(machine, "A", desc, nb=16, c=2, impl="scalapack")
 
     def test_unknown_impl_rejected(self, rng):
         machine, desc, _, _ = setup_machine(rng)
@@ -122,7 +122,7 @@ class TestDistributedSolves:
 
     def test_pdgetrs_on_scalapack_view(self, rng):
         machine, desc, _, a = setup_machine(rng)
-        res = pdgetrf(machine, "A", desc, v=16, impl="scalapack")
+        res = pdgetrf(machine, "A", desc, nb=16, impl="scalapack")
         x = rng.standard_normal(desc.n)
         sol = pdgetrs(res, a @ x)
         assert np.allclose(sol.x, x, atol=1e-8)
@@ -130,7 +130,7 @@ class TestDistributedSolves:
 
     def test_pdpotrs_on_scalapack_view(self, rng):
         machine, desc, _, a = setup_machine(rng, spd=True)
-        res = pdpotrf(machine, "A", desc, v=16, impl="scalapack")
+        res = pdpotrf(machine, "A", desc, nb=16, impl="scalapack")
         x = rng.standard_normal(desc.n)
         sol = pdpotrs(res, a @ x)
         assert np.allclose(sol.x, x, atol=1e-7)
@@ -141,7 +141,7 @@ class TestDistributedSolves:
         per block step every non-owner receives the solved block, twice
         (forward + backward sweep)."""
         machine, desc, _, a = setup_machine(rng, spd=True)
-        res = pdpotrf(machine, "A", desc, v=16, impl="scalapack")
+        res = pdpotrf(machine, "A", desc, nb=16, impl="scalapack")
         x = rng.standard_normal(desc.n)
         sol = pdpotrs(res, a @ x)
         nblocks = desc.n // 16
@@ -210,3 +210,152 @@ class TestPdpotrf:
         machine, desc, _, a = setup_machine(rng, spd=True)
         res = pdpotrf(machine, "A", desc, v=8)
         assert res.perm is None
+
+
+class TestPlanKwarg:
+    """plan= runs a caller-supplied Plan/PlannedConfig without
+    re-planning, and PDResult carries it (satellites 1 and 3)."""
+
+    def test_pdgetrf_with_plan_object(self, rng):
+        from repro.planner import plan_lu
+
+        machine, desc, _, a = setup_machine(rng)
+        plan = plan_lu(desc.n, 4)
+        res = pdgetrf(machine, "A", desc, plan=plan)
+        assert res.plan is plan
+        chosen = plan.chosen
+        assert res.params == {"impl": chosen.impl, **chosen.params}
+        err = np.linalg.norm(a[res.perm] - res.lower @ res.upper)
+        assert err / np.linalg.norm(a) < 1e-12
+
+    def test_pdgetrf_with_bare_planned_config(self, rng):
+        from repro.planner import plan_lu
+
+        machine, desc, _, a = setup_machine(rng)
+        config = plan_lu(desc.n, 4).chosen
+        res = pdgetrf(machine, "A", desc, plan=config)
+        assert res.plan is config
+        assert res.params == {"impl": config.impl, **config.params}
+
+    def test_plan_overrides_explicit_parameters(self, rng):
+        from repro.planner import plan_lu
+
+        machine, desc, _, a = setup_machine(rng)
+        plan = plan_lu(desc.n, 4)
+        res = pdgetrf(machine, "A", desc, v=32, c=1, plan=plan)
+        assert res.params == {"impl": plan.chosen.impl,
+                              **plan.chosen.params}
+
+    def test_pdpotrf_with_plan(self, rng):
+        from repro.planner import plan_cholesky
+
+        machine, desc, _, a = setup_machine(rng, spd=True)
+        plan = plan_cholesky(desc.n, 4)
+        res = pdpotrf(machine, "A", desc, plan=plan)
+        assert res.plan is plan
+        err = np.linalg.norm(a - res.lower @ res.lower.T)
+        assert err / np.linalg.norm(a) < 1e-12
+
+    def test_pdgemm_with_plan(self, rng):
+        from repro.planner import plan_gemm
+
+        machine, desc, layout, a = setup_machine(rng)
+        b = rng.standard_normal((desc.n, desc.n))
+        layout.scatter_from(machine, "B", b)
+        plan = plan_gemm(desc.n, 4)
+        res = pdgemm(machine, "A", desc, "B", desc, plan=plan)
+        assert res.plan is plan
+        assert res.params == {"impl": "25d", **plan.chosen.params}
+        assert np.allclose(res.lower, a @ b)
+
+    def test_wrong_plan_type_rejected(self, rng):
+        machine, desc, _, a = setup_machine(rng)
+        with pytest.raises(TypeError, match="Plan or PlannedConfig"):
+            pdgetrf(machine, "A", desc, plan={"impl": "conflux"})
+
+    def test_explicit_call_has_no_plan(self, rng):
+        machine, desc, _, a = setup_machine(rng)
+        assert pdgetrf(machine, "A", desc, v=8).plan is None
+
+
+class TestAutoUsesService:
+    def test_machine_service_consulted_and_plan_attached(self, rng):
+        from repro.planner import Plan, PlanService
+
+        machine, desc, _, a = setup_machine(rng)
+        machine.plan_service = PlanService()
+        res = pdgetrf(machine, "A", desc, impl="auto")
+        assert isinstance(res.plan, Plan)
+        assert machine.plan_service.stats.served == 1
+        assert res.params["impl"] == res.plan.chosen.impl
+
+    def test_repeat_auto_hits_lru(self, rng):
+        from repro.planner import PlanService
+
+        machine, desc, _, a = setup_machine(rng)
+        machine.plan_service = PlanService()
+        pdgetrf(machine, "A", desc, impl="auto")
+        pdgetrf(machine, "A", desc, impl="auto", out_name="A:lu2")
+        assert machine.plan_service.stats.lru_hits == 1
+        assert machine.plan_service.stats.live_plans == 1
+
+
+class TestNbKwarg:
+    """nb= is the 2D baselines' panel width; v-as-nb is a deprecated
+    alias (satellite 2)."""
+
+    def test_nb_runs_and_recorded(self, rng):
+        machine, desc, _, a = setup_machine(rng)
+        res = pdgetrf(machine, "A", desc, nb=8, impl="scalapack")
+        assert res.params == {"impl": "scalapack", "nb": 8}
+        assert res.v == 8
+
+    def test_v_alias_warns_and_still_works(self, rng):
+        machine, desc, _, a = setup_machine(rng)
+        with pytest.warns(DeprecationWarning, match="use nb="):
+            res = pdgetrf(machine, "A", desc, v=8, impl="scalapack")
+        assert res.params == {"impl": "scalapack", "nb": 8}
+
+    def test_conflicting_nb_and_v_rejected(self, rng):
+        machine, desc, _, a = setup_machine(rng)
+        with pytest.raises(ValueError, match="conflicting panel widths"):
+            pdgetrf(machine, "A", desc, v=16, nb=8, impl="scalapack")
+
+    def test_agreeing_nb_and_v_accepted_silently(self, rng):
+        machine, desc, _, a = setup_machine(rng)
+        res = pdgetrf(machine, "A", desc, v=8, nb=8, impl="scalapack")
+        assert res.params == {"impl": "scalapack", "nb": 8}
+
+    def test_pdpotrf_nb(self, rng):
+        machine, desc, _, a = setup_machine(rng, spd=True)
+        res = pdpotrf(machine, "A", desc, nb=8, impl="scalapack")
+        assert res.params == {"impl": "scalapack", "nb": 8}
+        err = np.linalg.norm(a - res.lower @ res.lower.T)
+        assert err / np.linalg.norm(a) < 1e-12
+
+    def test_pdpotrf_v_alias_warns(self, rng):
+        machine, desc, _, a = setup_machine(rng, spd=True)
+        with pytest.warns(DeprecationWarning, match="use nb="):
+            pdpotrf(machine, "A", desc, v=8, impl="scalapack")
+
+
+class TestParamsRecorded:
+    """PDResult.params records what the call actually ran with,
+    uniformly across entry points."""
+
+    def test_conflux(self, rng):
+        machine, desc, _, a = setup_machine(rng)
+        res = pdgetrf(machine, "A", desc, v=8, c=2)
+        assert res.params == {"impl": "conflux", "v": 8, "c": 2}
+
+    def test_confchox(self, rng):
+        machine, desc, _, a = setup_machine(rng, spd=True)
+        res = pdpotrf(machine, "A", desc, v=8)
+        assert res.params == {"impl": "confchox", "v": 8, "c": 1}
+
+    def test_25d(self, rng):
+        machine, desc, layout, a = setup_machine(rng)
+        layout.scatter_from(machine, "B",
+                            rng.standard_normal((desc.n, desc.n)))
+        res = pdgemm(machine, "A", desc, "B", desc, s=8, c=2)
+        assert res.params == {"impl": "25d", "s": 8, "c": 2}

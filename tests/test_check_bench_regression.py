@@ -185,3 +185,22 @@ class TestUpdateMode:
         monkeypatch.setattr(cbr, "run", lambda parallel=None: fresh)
         assert cbr.main(["--update"]) == 0
         assert cbr.main([]) == 0
+
+
+class TestAtlasGate:
+    """The atlas serving-parity gate: served plans must be bit-identical
+    to live planning on lattice points."""
+
+    def test_served_matches_live_passes(self, gate):
+        fresh = snapshot(1.0)
+        fresh["atlas"] = {"served_matches_live": True}
+        assert gate(snapshot(1.0), fresh) == 0
+
+    def test_served_mismatch_fails(self, gate, capsys):
+        fresh = snapshot(1.0)
+        fresh["atlas"] = {"served_matches_live": False}
+        assert gate(snapshot(1.0), fresh) == 1
+        assert "atlas-served plans differ" in capsys.readouterr().err
+
+    def test_old_snapshot_without_atlas_block_passes(self, gate):
+        assert gate(snapshot(1.0), snapshot(1.0)) == 0

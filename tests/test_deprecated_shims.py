@@ -61,7 +61,7 @@ class TestDistributedLu2dShim:
         desc = ScaLAPACKDescriptor(m=n, n=n, mb=8, nb=8, prows=2, pcols=2)
         lay = BlockCyclicLayout(n, n, 8, 8, ProcessorGrid2D(2, 2))
         lay.scatter_from(machine, "A", dominant)
-        res = api.pdgetrf(machine, "A", desc, v=8, c=1, impl="scalapack")
+        res = api.pdgetrf(machine, "A", desc, nb=8, c=1, impl="scalapack")
 
         assert np.array_equal(res.perm, np.arange(n))  # dominant: no swaps
         assert np.max(np.abs(lower - res.lower)) < 1e-10

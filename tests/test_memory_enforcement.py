@@ -367,7 +367,7 @@ class TestApiFeasibilityGate:
         lay = BlockCyclicLayout(n, n, 8, 8, ProcessorGrid2D(2, 2))
         a = _dominant(n, _seeded())
         lay.scatter_from(machine, "A", a)
-        res = api.pdgetrf(machine, "A", self._desc(n, (2, 2)), v=8, c=1,
+        res = api.pdgetrf(machine, "A", self._desc(n, (2, 2)), nb=8, c=1,
                           impl="scalapack")
         err = np.linalg.norm(a[res.perm] - res.lower @ res.upper)
         assert err / np.linalg.norm(a) < 1e-11

@@ -142,7 +142,7 @@ class TestFeasibility:
             desc = ScaLAPACKDescriptor(m=n, n=n, mb=16, nb=16,
                                        prows=2, pcols=2)
             with pytest.raises(MemoryBudgetExceeded):
-                pdgetrf(machine, "A", desc, v=16, impl=impl)
+                pdgetrf(machine, "A", desc, v=16, nb=16, impl=impl)
 
     def test_planned_config_passes_api_gate(self, rng):
         """api_copies=4 (3 gate copies + the resident input) makes
@@ -197,7 +197,7 @@ class TestAutoImpl:
         auto = pdgetrf(machine, "A", desc, impl="auto")
         for impl in ("conflux", "scalapack"):
             m2, d2, _ = _auto_machine(rng, n, p, budget)
-            explicit = pdgetrf(m2, "A", d2, v=16, impl=impl)
+            explicit = pdgetrf(m2, "A", d2, v=16, nb=16, impl=impl)
             assert (auto.factorization_words
                     <= explicit.factorization_words)
 
@@ -210,7 +210,7 @@ class TestAutoImpl:
         assert err / np.linalg.norm(a) < 1e-11
         for impl in ("confchox", "scalapack"):
             m2, d2, _ = _auto_machine(rng, n, p, budget, spd=True)
-            explicit = pdpotrf(m2, "A", d2, v=16, impl=impl)
+            explicit = pdpotrf(m2, "A", d2, v=16, nb=16, impl=impl)
             assert (auto.factorization_words
                     <= explicit.factorization_words)
 
