@@ -1,18 +1,24 @@
 #!/usr/bin/env python
 """A density-functional-theory-shaped workload (the paper's motivating
-application domain).
+application domain), planned and executed as one program.
 
 Section 9: "In physical chemistry or density functional theory (DFT),
 simulations require factorizing matrices of atom interactions, yielding
 sizes ranging from N = 1,024 up to N = 131,072" — e.g. the RPA
 calculations of CP2K, whose overlap matrices are SPD and get Cholesky-
-factorized on every SCF step.
+factorized on every SCF step.  Real DFT traffic is a *pipeline*: build
+an interaction matrix (GEMM), factorize the overlap (Cholesky — twice,
+successive SCF steps reuse the operand), LU-factorize the freshly
+built interaction matrix.
 
-This example builds a synthetic overlap-like SPD matrix (exponentially
-decaying off-diagonal interactions between "atoms" on a 3D lattice),
-factorizes it with COnfCHOX at a small executable size, and then sweeps
-the paper-scale DFT sizes in trace mode to show where 2.5D replication
-pays off against the 2D libraries DFT codes traditionally call.
+This example expresses that pipeline as a workload DAG, plans it
+*jointly* — every node's candidates scored in one batched pass, DAG
+assignments ranked by counted words *including* the closed-form COSTA
+layout-conversion cost between stages — and executes the plan
+end-to-end through :func:`repro.api.run_workload` on the simulated
+machine, where still-resident native tiles are adopted whenever
+consecutive nodes agree on a layout.  A paper-scale sweep then shows
+the joint charge against independently planned per-call schedules.
 
 Run:  python examples/dft_workload.py
 """
@@ -21,8 +27,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis import format_table, max_replication, trace_cholesky
-from repro.factorizations import confchox_cholesky
+from repro.analysis import format_table
+from repro.analysis.harness import dft_workload_request
+from repro.api import run_workload
+from repro.layouts import BlockCyclicLayout, ScaLAPACKDescriptor
+from repro.machine import Machine, ProcessorGrid2D
+from repro.planner import plan_workload
 
 
 def overlap_matrix(n_atoms: int, decay: float = 0.7,
@@ -41,36 +51,66 @@ def overlap_matrix(n_atoms: int, decay: float = 0.7,
 
 def main() -> None:
     # ------------------------------------------------------------------
-    # Executable: a 512-orbital system on 16 simulated ranks.
+    # Executable: a 128-orbital system on 4 simulated ranks, planned
+    # jointly and run end-to-end.
     # ------------------------------------------------------------------
-    n, p = 512, 16
+    n, p = 128, 4
+    request = dft_workload_request(n, p)
+    plan = plan_workload(request)
+    print(plan.summary())
+    print()
+
+    rng = np.random.default_rng(7)
     s = overlap_matrix(n)
-    res = confchox_cholesky(n, p, v=32, c=2, a=s)
-    err = np.linalg.norm(s - res.lower @ res.lower.T) / np.linalg.norm(s)
+    a = rng.standard_normal((n, n)) + n * np.eye(n)
+    b = rng.standard_normal((n, n)) + n * np.eye(n)
+
+    machine = Machine(p)
+    desc = ScaLAPACKDescriptor(m=n, n=n, mb=32, nb=32, prows=2, pcols=2)
+    layout = BlockCyclicLayout(n, n, 32, 32, ProcessorGrid2D(2, 2))
+    layout.scatter_from(machine, "A", a)
+    layout.scatter_from(machine, "B", b)
+    layout.scatter_from(machine, "S", s)
+
+    result = run_workload(machine, plan, {"A": desc, "B": desc, "S": desc})
+
     cond = np.linalg.cond(s)
     print(f"Synthetic overlap matrix: N={n}, cond(S) = {cond:.1e}")
-    print(f"COnfCHOX residual ||S - LL^T||/||S|| = {err:.2e}")
-    print(f"Communicated words per rank (mean)  = "
-          f"{res.mean_recv_words:,.0f}\n")
+    lchol = result.results["f1"].lower
+    err_chol = np.linalg.norm(s - lchol @ lchol.T) / np.linalg.norm(s)
+    print(f"Cholesky residual ||S - LL^T||/||S|| = {err_chol:.2e}")
+    k = a @ b
+    res_lu = result.results["lu"]
+    err_lu = (np.linalg.norm(k[res_lu.perm] - res_lu.lower @ res_lu.upper)
+              / np.linalg.norm(k))
+    print(f"LU residual on k = A@B               = {err_lu:.2e}")
+    print(f"COSTA reshuffle words (counted)      = "
+          f"{result.reshuffle_words:,.0f}")
+    for consumer, operand in result.reused:
+        print(f"  reused resident native tiles: {operand} -> {consumer}")
+    print()
 
     # ------------------------------------------------------------------
-    # Paper-scale DFT sweep (trace mode): N = 1k .. 131k.
+    # Paper-scale DFT sweep: the same chain planned jointly at the
+    # sizes Section 9 quotes, vs independent per-call planning.
     # ------------------------------------------------------------------
     rows = []
-    for n_big in (4096, 16384, 65536, 131072):
-        for p_big in (64, 512):
+    for n_big in (4096, 16384, 65536):
+        for p_big in (64, 1024):
             if n_big * n_big / p_big > 32 * 2 ** 30 / 8:
                 continue
-            c = max_replication(p_big, n_big)
-            ours = trace_cholesky("confchox", n_big, p_big)
-            mkl = trace_cholesky("mkl-chol", n_big, p_big)
-            rows.append([n_big, p_big, c,
-                         ours.mean_recv_words * 8 / 1e9,
-                         mkl.mean_recv_words * 8 / 1e9,
-                         mkl.mean_recv_words / ours.mean_recv_words])
+            big = plan_workload(dft_workload_request(n_big, p_big))
+            joint = big.chosen.total_words
+            indep = big.independent.total_words
+            rows.append([n_big, p_big,
+                         joint * 8 / 1e9, indep * 8 / 1e9,
+                         big.chosen.conversion_words * 8 / 1e9,
+                         indep / joint])
     print(format_table(
-        ["N", "ranks", "c", "COnfCHOX GB/rank", "2D GB/rank", "reduction"],
-        rows, title="DFT-scale Cholesky communication (trace mode)"))
+        ["N", "ranks", "joint GB/rank", "indep GB/rank",
+         "conversion GB/rank", "reduction"],
+        rows, title="DFT workload chain, jointly planned (counted words "
+                    "incl. cross-stage conversion)"))
 
 
 if __name__ == "__main__":

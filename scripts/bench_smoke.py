@@ -52,6 +52,16 @@ queries is pure LRU (``cached_p50_us``), which must be at least
 contract.  Every lattice point must also serve **bit-identical** to
 live planning (``served_matches_live``), which
 ``check_bench_regression.py`` gates.
+
+The ``workload_dag`` block exercises the joint workload planner: the
+DFT chain (GEMM + two Cholesky factorizations sharing an operand + LU)
+is planned jointly at two paper-scale points and executed end-to-end
+through :func:`repro.api.run_workload` at a small one, serially and on
+the pool.  Gated invariants: the joint plan's charged words
+(factorization + cross-stage conversion) never exceed independent
+per-call planning, and the pool rows — including the execution
+checksum over counted traffic and dense factors — equal the serial
+ones bit-for-bit.
 """
 
 from __future__ import annotations
@@ -102,6 +112,12 @@ PLANNER_API_COPIES = 3
 ATLAS_POINTS = [(4096, 64), (8192, 256)]
 ATLAS_OPS = ("lu", "cholesky", "gemm")
 ATLAS_QUERIES = 1000
+
+#: The workload block: the DFT chain (gemm + 2x cholesky sharing an
+#: operand + lu) jointly planned at two paper-scale points, plus one
+#: small point executed end-to-end through run_workload.
+WORKLOAD_POINTS = [(16384, 1024), (65536, 1024)]
+WORKLOAD_EXEC = (64, 4)
 
 #: Minimum cached-lookup speedup over live planning of one request.
 MIN_ATLAS_SPEEDUP = 100.0
@@ -231,6 +247,50 @@ def _atlas_block() -> dict:
     }
 
 
+def _workload_block(workers: int) -> dict:
+    """Jointly plan the DFT workload chain at paper scale and execute
+    it at a small scale, serially and through the process pool; the
+    pool's row set must equal the serial one bit-for-bit and the joint
+    charge may never exceed independent per-call planning."""
+    from repro.analysis.harness import NODE_MEM_WORDS
+    from repro.runtime.executor import SerialExecutor, SweepTask
+
+    tasks = [SweepTask("workload", "dft", n, p,
+                       extra=(("mem_words", NODE_MEM_WORDS),))
+             for n, p in WORKLOAD_POINTS]
+    tasks.append(SweepTask("workload", "dft", *WORKLOAD_EXEC,
+                           extra=(("execute", True),)))
+    t0 = time.perf_counter()
+    serial = SerialExecutor().run(tasks)
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    pooled = ProcessPoolSweepExecutor(max_workers=workers).run(tasks)
+    pool_s = time.perf_counter() - t0
+
+    def _sum(rows) -> float:
+        return sum(row["joint_words"] + row["independent_words"]
+                   + row.get("exec_checksum", 0.0) for row in rows)
+
+    exec_row = serial[-1]
+    return {
+        "points": WORKLOAD_POINTS,
+        "exec_point": list(WORKLOAD_EXEC),
+        "plan_s": round(serial_s, 3),
+        "pool_s": round(pool_s, 3),
+        "joint_words": sum(row["joint_words"] for row in serial),
+        "independent_words": sum(row["independent_words"]
+                                 for row in serial),
+        "joint_le_independent": all(
+            row["joint_words"] <= row["independent_words"]
+            for row in serial),
+        "exec_checksum": exec_row["exec_checksum"],
+        "exec_reused": exec_row["reused"],
+        "checksum": _sum(serial),
+        "pool_checksum": _sum(pooled),
+        "checksum_matches_pool": pooled == serial,
+    }
+
+
 def run(parallel: int | None = None) -> dict:
     """One full snapshot; ``parallel`` pins the pool's worker count."""
     times = []
@@ -324,6 +384,7 @@ def run(parallel: int | None = None) -> dict:
                                and bat_cands == loop_cands),
         },
         "atlas": _atlas_block(),
+        "workload_dag": _workload_block(workers),
         "seed": SEED_BASELINE,
         "speedup_vs_seed": round(SEED_BASELINE["sweep_s"] / best, 2),
         "python": platform.python_version(),
@@ -395,6 +456,17 @@ def main(argv: list[str] | None = None) -> int:
             f"cached plan lookup only {atlas['speedup_vs_live']}x faster "
             f"than live planning (< {MIN_ATLAS_SPEEDUP:g}x) — the LRU "
             "serving path regressed")
+    wdag = snapshot["workload_dag"]
+    if not wdag["joint_le_independent"]:
+        failures.append(
+            f"joint workload plan charges {wdag['joint_words']} words > "
+            f"independent per-call planning {wdag['independent_words']} — "
+            "the joint search lost its never-worse guarantee")
+    if not wdag["checksum_matches_pool"]:
+        failures.append(
+            f"workload pool checksum {wdag['pool_checksum']} != serial "
+            f"{wdag['checksum']} — workload execution is not "
+            "deterministic across executors")
     for f in failures:
         print(f"ERROR: {f}", file=sys.stderr)
     return 1 if failures else 0

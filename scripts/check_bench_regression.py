@@ -26,7 +26,13 @@ committed ``BENCH_engine.json``:
   reference loop's;
 * **atlas serving parity** — every plan the atlas/service layer serves
   for a lattice point must be bit-identical to the live planner's
-  output for the same request (``served_matches_live``).
+  output for the same request (``served_matches_live``);
+* **workload-DAG invariants** — the joint workload plan may never
+  charge more counted words than independent per-call planning
+  (``joint_le_independent``), the serial and process-pool workload
+  sweeps — including the small-scale ``run_workload`` execution
+  checksum — must agree bit-for-bit, and the execution checksum must
+  equal the committed one (workload execution semantics changed).
 
 Used by CI's ``bench-smoke`` job and ``make bench-check``.
 
@@ -150,6 +156,32 @@ def main(argv: list[str] | None = None) -> int:
         failures.append(
             "atlas-served plans differ from live planning on lattice "
             "points — the bit-identical serving contract broke")
+    # The joint workload planner must never charge more than
+    # independent per-call planning, the pool must reproduce the
+    # serial workload sweep (plans *and* execution checksum) exactly,
+    # and the execution checksum must match the committed snapshot.
+    wdag = fresh.get("workload_dag")
+    if wdag:
+        if not wdag["joint_le_independent"]:
+            failures.append(
+                f"joint workload plan charges {wdag['joint_words']} "
+                f"words > independent {wdag['independent_words']} — the "
+                "joint search lost its never-worse guarantee")
+        if not wdag["checksum_matches_pool"]:
+            failures.append(
+                f"workload pool checksum {wdag['pool_checksum']} != "
+                f"serial {wdag['checksum']} — workload execution is not "
+                "deterministic across executors")
+        base_wdag = baseline.get("workload_dag")
+        if base_wdag:
+            base_exec = base_wdag["exec_checksum"]
+            if (abs(wdag["exec_checksum"] - base_exec)
+                    > CHECKSUM_RTOL * abs(base_exec)):
+                failures.append(
+                    f"workload execution checksum drifted: "
+                    f"{wdag['exec_checksum']} vs committed {base_exec} — "
+                    "run_workload semantics changed; if intentional, "
+                    "rerun with --update and commit BENCH_engine.json")
     for f in failures:
         print(f"ERROR: {f}", file=sys.stderr)
     if not failures:

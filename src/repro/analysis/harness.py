@@ -27,6 +27,7 @@ __all__ = [
     "max_replication", "feasible", "best_conflux_config",
     "trace_lu", "trace_cholesky", "trace_case", "sweep_traces",
     "MemoryFeasibility", "memory_feasibility",
+    "dft_workload_request", "workload_case",
     "estimate_time", "TimedRun", "format_table",
 ]
 
@@ -403,6 +404,95 @@ def memory_feasibility(cases: list[tuple[int, int]],
                 required_words=req,
                 fits_node=req <= node_mem_words))
     return rows
+
+
+# ----------------------------------------------------------------------
+# Workload-DAG sweep support (the joint-planning counterpart of
+# trace_case).
+
+def dft_workload_request(n: int, p: int, mem_words: float | None = None):
+    """The DFT-shaped workload chain of ``examples/dft_workload.py`` as
+    a :class:`~repro.planner.workload.WorkloadRequest`: an interaction
+    build ``k = A @ B``, two Cholesky factorizations sharing the SPD
+    overlap ``S`` (successive SCF steps reuse the operand), and an LU
+    of the freshly built ``k`` — mixed GEMM+LU+Cholesky traffic with
+    both kinds of cross-stage reuse (shared external operand,
+    producer->consumer edge)."""
+    from ..planner.workload import WorkloadNode, WorkloadRequest
+
+    nodes = (
+        WorkloadNode("k", "gemm", n, ("A", "B")),
+        WorkloadNode("f1", "cholesky", n, ("S",)),
+        WorkloadNode("f2", "cholesky", n, ("S",)),
+        WorkloadNode("lu", "lu", n, ("k",)),
+    )
+    return WorkloadRequest(nodes, p=p, mem_words=mem_words)
+
+
+def workload_case(n: int, p: int, mem_words: float | None = None,
+                  execute: bool = False, seed: int = 0) -> dict:
+    """Jointly plan (and optionally execute) the DFT workload chain at
+    one ``(N, P)`` point — one sweep task of kind ``"workload"``.
+
+    Returns a plain dict (picklable across the process pool):
+    ``joint_words`` / ``independent_words`` are the joint planner's
+    charged totals (counted factorization + conversion words per rank)
+    for the chosen assignment vs each node's standalone winner — joint
+    can never exceed independent.  With ``execute=True`` the plan also
+    runs through :func:`repro.api.run_workload` on a simulated machine
+    with seeded operands, adding the counted ``reshuffle_words``, the
+    number of ``reused`` native-copy adoptions, and a deterministic
+    ``exec_checksum`` over the counted traffic and the dense factors —
+    bit-identical across serial and process-pool sweeps.
+    """
+    import numpy as np
+
+    from ..planner.workload import plan_workload
+
+    request = dft_workload_request(n, p, mem_words)
+    plan = plan_workload(request)
+    row = {
+        "n": n, "p": p,
+        "joint_words": plan.chosen.total_words,
+        "independent_words": plan.independent.total_words,
+        "conversion_words": plan.chosen.conversion_words,
+        "impls": tuple(cfg.impl for cfg in plan.chosen.configs),
+    }
+    if not execute:
+        return row
+
+    from ..api import run_workload
+    from ..layouts import BlockCyclicLayout, ScaLAPACKDescriptor
+    from ..machine import Machine, ProcessorGrid2D
+
+    pr = int(math.isqrt(p))
+    while p % pr:
+        pr -= 1
+    pc = p // pr
+    mb = max(1, n // (2 * pr))
+    desc = ScaLAPACKDescriptor(m=n, n=n, mb=mb, nb=mb, prows=pr, pcols=pc)
+    layout = BlockCyclicLayout(n, n, mb, mb, ProcessorGrid2D(pr, pc))
+    rng = np.random.default_rng(seed)
+    machine = Machine(p)
+    a = rng.standard_normal((n, n)) + n * np.eye(n)
+    b = rng.standard_normal((n, n)) + n * np.eye(n)
+    g = rng.standard_normal((n, n))
+    s = g @ g.T + n * np.eye(n)
+    layout.scatter_from(machine, "A", a)
+    layout.scatter_from(machine, "B", b)
+    layout.scatter_from(machine, "S", s)
+    result = run_workload(machine, plan,
+                          {"A": desc, "B": desc, "S": desc})
+    checksum = result.reshuffle_words
+    for name in sorted(result.results):
+        res = result.results[name]
+        checksum += res.factorization_words + float(np.abs(res.lower).sum())
+    row.update({
+        "reshuffle_words": result.reshuffle_words,
+        "reused": len(result.reused),
+        "exec_checksum": checksum,
+    })
+    return row
 
 
 @dataclasses.dataclass(frozen=True)

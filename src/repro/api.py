@@ -71,14 +71,22 @@ from .factorizations.solve import SolveResult, cholesky_solve, lu_solve
 from .layouts import (
     BlockCyclicLayout,
     ScaLAPACKDescriptor,
+    block_key,
     redistribute,
 )
 from .machine import Machine, ProcessorGrid2D
 from .machine.stats import CommStats
 from .planner import Plan, PlannedConfig, PlanRequest
 from .planner.service import PlanService, default_service
+from .planner.workload import (
+    WorkloadPlan,
+    WorkloadRequest,
+    config_schedule,
+    native_layout,
+)
 
-__all__ = ["pdgetrf", "pdpotrf", "pdgemm", "pdgetrs", "pdpotrs", "PDResult"]
+__all__ = ["pdgetrf", "pdpotrf", "pdgemm", "pdgetrs", "pdpotrs",
+           "run_workload", "PDResult", "WorkloadResult"]
 
 
 @dataclasses.dataclass
@@ -278,25 +286,60 @@ _PD_PACKED = {
 }
 
 
+def _discard_native(machine: Machine, name: str,
+                    layout: BlockCyclicLayout) -> None:
+    """Free every tile of a native-layout copy from the stores."""
+    for bi in range(layout.mblocks):
+        for bj in range(layout.nblocks):
+            machine.store(layout.owner_rank(bi, bj)).discard(
+                block_key(name, bi, bj))
+
+
 def _run_pd(machine: Machine, op: str, schedule, desc: ScaLAPACKDescriptor,
             inputs: list[tuple[str, ScaLAPACKDescriptor]], out_name: str,
             native: BlockCyclicLayout, v_run: int, impl: str,
             params: dict[str, Any],
-            plan: Plan | PlannedConfig | None) -> PDResult:
+            plan: Plan | PlannedConfig | None, *,
+            native_names: dict[str, str] | None = None,
+            keep_native: bool = False,
+            preflight: bool = True) -> PDResult:
     """The execution path every pd* entry point shares: pre-flight
     memory gate, counted COSTA reshuffle(s) in, one
     :class:`DistributedBackend` run on the caller's machine, counted
-    writeback into the caller's layout, :class:`PDResult`."""
-    _check_memory_feasible(machine, schedule,
-                           api_copies=_GATE_API_COPIES[op])
+    writeback into the caller's layout, :class:`PDResult`.
+
+    The native layout copies are transient: the prepped inputs and the
+    written-back factors are discarded once the caller-layout output
+    exists, so chained calls do not accumulate dead copies against an
+    enforced budget.  :func:`run_workload` manages native residency
+    itself — it passes ``native_names`` (operand -> store key of
+    already-native tiles, skipping the reshuffle in), ``keep_native``
+    (the written-back native factors stay resident for later nodes to
+    adopt) and ``preflight=False`` (it gates before prepping, so the
+    gate does not double-count the already-resident native copies).
+    """
+    if preflight:
+        _check_memory_feasible(machine, schedule,
+                               api_copies=_GATE_API_COPIES[op])
     resh_in = 0.0
+    names: dict[str, str] = {}
+    created: list[str] = []
     for name, in_desc in inputs:
-        resh_in += _prepare(machine, name, in_desc, native)
-    in_name = (inputs[0][0] + ":native" if len(inputs) == 1
-               else tuple(name + ":native" for name, _ in inputs))
+        if native_names is not None and name in native_names:
+            names[name] = native_names[name]
+        else:
+            resh_in += _prepare(machine, name, in_desc, native)
+            names[name] = name + ":native"
+            created.append(name + ":native")
+    in_name = (names[inputs[0][0]] if len(inputs) == 1
+               else tuple(names[name] for name, _ in inputs))
     res = DistributedBackend(machine).run(schedule, in_name=in_name)
     packed = _PD_PACKED[op](res)
     resh_out = _writeback(machine, out_name, desc, packed, native)
+    for name in created:
+        _discard_native(machine, name, native)
+    if not keep_native:
+        _discard_native(machine, out_name + ":native", native)
     is_lu = op == "lu"
     return PDResult(out_name=out_name, desc=desc, machine=machine,
                     v=v_run, comm=res.comm,
@@ -465,3 +508,155 @@ def pdgetrs(result: PDResult, b: np.ndarray) -> SolveResult:
 def pdpotrs(result: PDResult, b: np.ndarray) -> SolveResult:
     """Solve ``A x = b`` from a :func:`pdpotrf` result."""
     return cholesky_solve(_as_factorization(result, "pdpotrs"), b)
+
+
+# ----------------------------------------------------------------------
+# Workload execution (the DAG counterpart of the pd* entry points).
+
+@dataclasses.dataclass
+class WorkloadResult:
+    """Result of :func:`run_workload`.
+
+    ``results`` maps node name to its :class:`PDResult` (terminal
+    outputs stay resident in the caller's layout; intermediates the
+    caller did not name in ``out_names`` are freed as the DAG retires
+    them — their dense ``lower``/``upper`` copies remain on the
+    PDResult).  ``reshuffle_words`` is the *counted* COSTA traffic of
+    the whole run; ``conversion_words`` the planner's charged
+    cross-stage conversion model for the executed assignment; and
+    ``reused`` lists the ``(node, operand)`` pairs that adopted
+    still-resident native tiles instead of reshuffling — the joint
+    plan's amortization, realized.
+    """
+
+    plan: WorkloadPlan
+    results: dict[str, PDResult]
+    reshuffle_words: float
+    conversion_words: float
+    reused: tuple[tuple[str, str], ...]
+
+    def gather(self, name: str) -> np.ndarray:
+        """Dense packed output of node ``name`` from the stores."""
+        return self.results[name].gather()
+
+
+def run_workload(machine: Machine,
+                 workload: WorkloadPlan | WorkloadRequest,
+                 inputs: dict[str, ScaLAPACKDescriptor],
+                 out_names: dict[str, str] | None = None,
+                 ) -> WorkloadResult:
+    """Execute a planned workload DAG on ``machine``.
+
+    ``workload`` is a :class:`~repro.planner.workload.WorkloadPlan`
+    (from :func:`~repro.planner.workload.plan_workload` or the plan
+    service) or a bare
+    :class:`~repro.planner.workload.WorkloadRequest`, which is planned
+    through the machine's service first (inheriting the machine's
+    enforced budget when the request leaves ``mem_words`` unset).
+    ``inputs`` maps every external operand name to the ScaLAPACK
+    descriptor its tiles already follow in the stores; ``out_names``
+    optionally renames node outputs (default: the node's own name) —
+    naming an intermediate also keeps its caller-layout copy resident
+    after the DAG retires it.
+
+    Each node runs through the same :func:`_run_pd` path as the pd*
+    entry points — gate, COSTA in, backend run, counted writeback —
+    with one difference: native layout copies stay resident while
+    still useful.  A node whose operand already has a live native copy
+    in *exactly* its layout adopts it and skips the reshuffle (the
+    joint plan's amortization; recorded in ``reused``); a node needing
+    a different layout preps its own copy.  Copies are freed as the
+    DAG retires their operand, so the peak footprint tracks the live
+    frontier, not the whole program.
+    """
+    if isinstance(workload, WorkloadRequest):
+        request = workload
+        if request.mem_words is None and machine.enforces_memory:
+            request = dataclasses.replace(request,
+                                          mem_words=machine.mem_words)
+        plan = _service_for(machine).plan_workload(request)
+    else:
+        plan = workload
+    request = plan.request
+    if machine.nranks != request.p:
+        raise ValueError(f"plan is for P={request.p} ranks, machine has "
+                         f"{machine.nranks}")
+    missing = [name for name in request.externals() if name not in inputs]
+    if missing:
+        raise ValueError(f"missing external operand descriptor(s): "
+                         f"{', '.join(missing)}")
+    out_names = dict(out_names or {})
+    producers = request.producers()
+    # Operand lifetimes: the node index after which each operand is
+    # dead (a node output nobody consumes retires with its own node —
+    # its native copy is freed immediately, like a sequential call).
+    last_use: dict[str, int] = {}
+    for idx, node in enumerate(request.nodes):
+        for ref in node.inputs:
+            last_use[ref] = idx
+    for idx, node in enumerate(request.nodes):
+        last_use.setdefault(node.name, idx)
+
+    live: dict[tuple[str, tuple], tuple[str, BlockCyclicLayout]] = {}
+    descs: dict[str, ScaLAPACKDescriptor] = dict(inputs)
+    store_names: dict[str, str] = {}
+    results: dict[str, PDResult] = {}
+    reused: list[tuple[str, str]] = []
+    resh_total = 0.0
+
+    def _sig(layout: BlockCyclicLayout) -> tuple:
+        return (layout.m, layout.n, layout.mb, layout.nb,
+                layout.grid.rows, layout.grid.cols)
+
+    for idx, (node, cfg) in enumerate(zip(request.nodes,
+                                          plan.chosen.configs)):
+        schedule, v_run = config_schedule(node.op, node.n,
+                                          machine.nranks, cfg)
+        native = native_layout(node.op, schedule)
+        sig = _sig(native)
+        desc = descs[node.inputs[0]]
+        _check_memory_feasible(machine, schedule,
+                               api_copies=_GATE_API_COPIES[node.op])
+        native_names: dict[str, str] = {}
+        for ref in node.inputs:
+            if (ref, sig) in live:
+                native_names[ref] = live[(ref, sig)][0]
+                reused.append((node.name, ref))
+                continue
+            src_name = store_names.get(ref, ref)
+            src = _layout_from_desc(descs[ref])
+            key = (f"{ref}:native"
+                   if not any(r == ref for r, _ in live)
+                   else f"{ref}:native:{node.name}")
+            before = machine.stats.total_recv_words
+            redistribute(machine, src_name, src, native, dst_name=key)
+            resh_total += machine.stats.total_recv_words - before
+            live[(ref, sig)] = (key, native)
+            native_names[ref] = key
+        out_store = out_names.get(node.name, node.name)
+        res = _run_pd(machine, node.op, schedule, desc,
+                      [(ref, descs[ref]) for ref in node.inputs],
+                      out_store, native, v_run=v_run, impl=cfg.impl,
+                      params=dict(cfg.params), plan=cfg,
+                      native_names=native_names, keep_native=True,
+                      preflight=False)
+        resh_total += res.reshuffle_words
+        results[node.name] = res
+        descs[node.name] = desc
+        store_names[node.name] = out_store
+        live[(node.name, sig)] = (out_store + ":native", native)
+        # Retire everything whose last consumer just ran.
+        for ref, last in last_use.items():
+            if last != idx:
+                continue
+            for ref_sig in [k for k in live if k[0] == ref]:
+                key, layout = live.pop(ref_sig)
+                _discard_native(machine, key, layout)
+            consumed = ref in producers and producers[ref] != last
+            if consumed and ref not in out_names:
+                _discard_native(machine, store_names[ref],
+                                _layout_from_desc(descs[ref]))
+    return WorkloadResult(plan=plan, results=results,
+                          reshuffle_words=resh_total,
+                          conversion_words=plan.chosen.conversion_words,
+                          reused=tuple(reused))

@@ -2,7 +2,7 @@
 2.5D replication, and COSTA-style redistribution."""
 
 from .block_cyclic import BlockCyclicLayout, block_key
-from .costa import redistribute, redistribution_volume
+from .costa import conversion_words, redistribute, redistribution_volume
 from .descriptors import (
     ScaLAPACKDescriptor,
     global_to_local,
@@ -21,4 +21,5 @@ __all__ = [
     "global_to_local",
     "redistribute",
     "redistribution_volume",
+    "conversion_words",
 ]

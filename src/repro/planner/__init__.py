@@ -16,6 +16,14 @@ lattice into a content-addressed on-disk cache, and
 from an in-process LRU, the atlas, or live batched planning — with
 ``plan_many`` / ``plan_async`` front-ends.  :mod:`repro.api` routes
 ``impl="auto"`` through the default service.
+
+Whole programs plan jointly through the workload IR
+(:mod:`repro.planner.workload`): a :class:`WorkloadRequest` DAG of pd*
+nodes is scored by total counted words *including* the closed-form
+COSTA layout-conversion cost between stages, and
+:func:`plan_workload`'s :class:`WorkloadPlan` feeds
+:func:`repro.api.run_workload` — both cacheable through the same
+service/atlas hierarchy.
 """
 
 from .atlas import AtlasBuildStats, Infeasible, PlanAtlas
@@ -44,11 +52,20 @@ from .service import (
     default_service,
     set_default_service,
 )
+from .workload import (
+    WorkloadAssignment,
+    WorkloadNode,
+    WorkloadPlan,
+    WorkloadRequest,
+    plan_workload,
+)
 
 __all__ = [
     "Plan", "PlannedConfig", "PlanRequest", "NoFeasiblePlanError",
     "plan_request", "plan_batch",
     "plan_lu", "plan_cholesky", "plan_gemm",
+    "WorkloadNode", "WorkloadRequest", "WorkloadAssignment",
+    "WorkloadPlan", "plan_workload",
     "PlanAtlas", "AtlasBuildStats", "Infeasible",
     "PlanService", "ServiceStats",
     "default_service", "set_default_service",

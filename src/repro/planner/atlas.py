@@ -40,7 +40,14 @@ import time
 
 from ..machine.perf_model import PIZ_DAINT_XC40, MachineParams
 from ..runtime.cache import ResultCache
-from .core import Plan, PlanRequest, _no_feasible_error, plan_batch
+from .core import (
+    NoFeasiblePlanError,
+    Plan,
+    PlanRequest,
+    _no_feasible_error,
+    plan_batch,
+)
+from .workload import WorkloadPlan, WorkloadRequest, plan_workload
 
 __all__ = ["PlanAtlas", "Infeasible", "AtlasBuildStats"]
 
@@ -95,18 +102,19 @@ class PlanAtlas:
         self._manifest: tuple[PlanRequest, ...] | None = None
 
     # ------------------------------------------------------------------
-    def _token(self, request: PlanRequest) -> str:
+    def _token(self, request: PlanRequest | WorkloadRequest) -> str:
         return f"plan-atlas|{request.token()}|mp={self.machine_params!r}"
 
     def _manifest_token(self) -> str:
         return f"plan-atlas|manifest|mp={self.machine_params!r}"
 
-    def get(self, request: PlanRequest) -> Plan | Infeasible | None:
+    def get(self, request: PlanRequest | WorkloadRequest
+            ) -> Plan | WorkloadPlan | Infeasible | None:
         """The stored plan (or :class:`Infeasible` marker) for an exact
         lattice point, or None — a miss, including the stale-code case."""
         return self.cache.get(self._token(request))
 
-    def manifest(self) -> tuple[PlanRequest, ...]:
+    def manifest(self) -> tuple[PlanRequest | WorkloadRequest, ...]:
         """Every lattice point built under the current fingerprint (an
         edited code base yields an empty manifest: the atlas is cold)."""
         if self._manifest is None:
@@ -127,7 +135,8 @@ class PlanAtlas:
         """
         budget = request.budget
         out = [point for point in self.manifest()
-               if point != request
+               if isinstance(point, PlanRequest)
+               and point != request
                and point.op == request.op
                and point.n == request.n
                and point.p == request.p
@@ -139,30 +148,48 @@ class PlanAtlas:
         return out
 
     # ------------------------------------------------------------------
-    def build(self, lattice: list[PlanRequest]) -> AtlasBuildStats:
+    def build(self, lattice: list[PlanRequest | WorkloadRequest]
+              ) -> AtlasBuildStats:
         """Precompute (or resume precomputing) every lattice point.
 
-        Points already stored under the current fingerprint are reused;
-        the misses are planned in **one** batched
-        :func:`~repro.planner.core.plan_batch` pass and written through
-        atomically.  The manifest is merged, not replaced, so
-        incremental builds extend the lattice.
+        The lattice may mix :class:`PlanRequest` points (planned in
+        **one** batched :func:`~repro.planner.core.plan_batch` pass)
+        and :class:`WorkloadRequest` points (planned jointly via
+        :func:`~repro.planner.workload.plan_workload`); duplicates are
+        dropped up front (order-preserving), so a lattice listing a
+        point twice plans and counts it once.  Points already stored
+        under the current fingerprint are reused and everything is
+        written through atomically.  The manifest is merged, not
+        replaced, so incremental builds extend the lattice.
         """
         t0 = time.perf_counter()
-        points = [req if isinstance(req, PlanRequest) else PlanRequest(*req)
+        points = [req if isinstance(req, (PlanRequest, WorkloadRequest))
+                  else PlanRequest(*req)
                   for req in lattice]
+        points = list(dict.fromkeys(points))
         misses = [req for req in points if self.get(req) is None]
-        plans = plan_batch(misses, machine_params=self.machine_params,
+        single = [req for req in misses if isinstance(req, PlanRequest)]
+        plans = plan_batch(single, machine_params=self.machine_params,
                            strict=False)
         infeasible = 0
-        for req, plan in zip(misses, plans):
+        for req, plan in zip(single, plans):
             if plan is None:
                 infeasible += 1
-                value: Plan | Infeasible = Infeasible(
+                value: Plan | WorkloadPlan | Infeasible = Infeasible(
                     str(_no_feasible_error(req.op, req.n, req.p,
                                            req.budget)))
             else:
                 value = plan
+            self.cache.put(self._token(req), value)
+        for req in misses:
+            if isinstance(req, PlanRequest):
+                continue
+            try:
+                value = plan_workload(req,
+                                      machine_params=self.machine_params)
+            except NoFeasiblePlanError as exc:
+                infeasible += 1
+                value = Infeasible(str(exc))
             self.cache.put(self._token(req), value)
         merged = dict.fromkeys(list(self.manifest()) + points)
         self._manifest = tuple(merged)

@@ -25,7 +25,15 @@ order for one :class:`~repro.planner.core.PlanRequest`:
 to calling :meth:`plan` sequentially (the parity tests pin this).
 ``plan_async`` / ``plan_many_async`` are thin asyncio wrappers that run
 the lookup in the default executor, so an event-loop server can await
-plans without blocking on disk or live planning.
+plans without blocking on disk or live planning.  All resolution state
+(the LRU, the counters, live planning) sits behind one
+``threading.Lock``, so concurrent awaits are safe and overlapping
+queries for the same request live-plan it exactly once.
+
+``plan_workload`` serves :class:`~repro.planner.workload.WorkloadRequest`
+DAGs through the same hierarchy (minus budget snapping, which has no
+workload analogue): the joint :class:`WorkloadPlan` is LRU- and
+atlas-cacheable exactly like a single-call :class:`Plan`.
 
 Infeasible requests cost once: the :class:`NoFeasiblePlanError` is
 cached (as an :class:`~repro.planner.atlas.Infeasible` marker) and
@@ -42,6 +50,7 @@ from __future__ import annotations
 
 import asyncio
 import dataclasses
+import threading
 from collections import OrderedDict
 
 from ..machine.perf_model import PIZ_DAINT_XC40, MachineParams
@@ -53,6 +62,7 @@ from .core import (
     _no_feasible_error,
     plan_batch,
 )
+from .workload import WorkloadPlan, WorkloadRequest, plan_workload
 
 __all__ = ["PlanService", "ServiceStats", "default_service",
            "set_default_service"]
@@ -113,8 +123,16 @@ class PlanService:
         self.machine_params = machine_params
         self.snap = snap
         self.stats = ServiceStats()
-        self._lru: OrderedDict[PlanRequest, Plan | Infeasible] = \
+        self._lru: OrderedDict[PlanRequest | WorkloadRequest,
+                               Plan | WorkloadPlan | Infeasible] = \
             OrderedDict()
+        # One lock over lookup + remember + stats + live planning:
+        # plan_async/plan_many_async run in executor threads, and the
+        # OrderedDict/counters are not safe to mutate concurrently.
+        # Holding it across live planning also means concurrent awaits
+        # of the same request plan it once — the second thread finds
+        # the first's answer in the LRU.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def _remember(self, request: PlanRequest,
@@ -140,7 +158,7 @@ class PlanService:
             self.stats.atlas_hits += 1
             self._remember(request, value)
             return value
-        if self.snap:
+        if self.snap and isinstance(request, PlanRequest):
             for point in self.atlas.snap_candidates(request):
                 value = self.atlas.get(point)
                 # An infeasible *smaller* budget proves nothing about
@@ -175,28 +193,52 @@ class PlanService:
         would (at the earliest infeasible request).
         """
         requests = list(requests)
-        resolved: dict[PlanRequest, Plan | Infeasible] = {}
-        misses: list[PlanRequest] = []
-        for request in requests:
-            if request in resolved:
-                continue
-            value = self._lookup(request)
-            if value is not None:
-                resolved[request] = value
-            else:
-                resolved[request] = None  # placeholder keeps dedup
-                misses.append(request)
-        if misses:
-            plans = plan_batch(misses, machine_params=self.machine_params,
-                               strict=False)
-            for request, plan in zip(misses, plans):
-                self.stats.live_plans += 1
-                value = plan if plan is not None else Infeasible(
-                    str(_no_feasible_error(request.op, request.n,
-                                           request.p, request.budget)))
-                self._remember(request, value)
-                resolved[request] = value
+        with self._lock:
+            resolved: dict[PlanRequest, Plan | Infeasible] = {}
+            misses: list[PlanRequest] = []
+            for request in requests:
+                if request in resolved:
+                    continue
+                value = self._lookup(request)
+                if value is not None:
+                    resolved[request] = value
+                else:
+                    resolved[request] = None  # placeholder keeps dedup
+                    misses.append(request)
+            if misses:
+                plans = plan_batch(misses,
+                                   machine_params=self.machine_params,
+                                   strict=False)
+                for request, plan in zip(misses, plans):
+                    self.stats.live_plans += 1
+                    value = plan if plan is not None else Infeasible(
+                        str(_no_feasible_error(request.op, request.n,
+                                               request.p, request.budget)))
+                    self._remember(request, value)
+                    resolved[request] = value
         return [self._unwrap(resolved[request]) for request in requests]
+
+    def plan_workload(self, request: WorkloadRequest) -> WorkloadPlan:
+        """The joint plan for one workload DAG, through the same cache
+        hierarchy as :meth:`plan` minus snapping (a workload has no
+        dominated-lattice-point structure to snap along): LRU -> atlas
+        exact -> live :func:`~repro.planner.workload.plan_workload`.
+        Infeasible workloads are cached and replayed like infeasible
+        requests.
+        """
+        with self._lock:
+            value = self._lookup(request)
+            if value is None:
+                self.stats.live_plans += 1
+                try:
+                    value = plan_workload(
+                        request, machine_params=self.machine_params)
+                except NoFeasiblePlanError as exc:
+                    value = Infeasible(str(exc))
+                self._remember(request, value)
+        if isinstance(value, Infeasible):
+            raise NoFeasiblePlanError(value.message)
+        return value
 
     # ------------------------------------------------------------------
     async def plan_async(self, request: PlanRequest) -> Plan:
@@ -212,10 +254,18 @@ class PlanService:
         return await loop.run_in_executor(None, self.plan_many,
                                           list(requests))
 
+    async def plan_workload_async(self, request: WorkloadRequest
+                                  ) -> WorkloadPlan:
+        """Asyncio-friendly :meth:`plan_workload`."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self.plan_workload,
+                                          request)
+
     # ------------------------------------------------------------------
     def cache_clear(self) -> None:
         """Drop the LRU (atlas and counters stay)."""
-        self._lru.clear()
+        with self._lock:
+            self._lru.clear()
 
     def __len__(self) -> int:
         return len(self._lru)

@@ -1,0 +1,466 @@
+"""Workload-DAG planning: choose schedules for a *program*, jointly.
+
+Real traffic against a ScaLAPACK-compatible library is pipelines —
+factor-then-solve, repeated factorizations sharing an operand, mixed
+GEMM+LU chains — not isolated calls.  Planned one call at a time, each
+pd* entry point picks its own native layout and the pipeline pays a
+COSTA reshuffle at every stage boundary even when two adjacent stages
+could have agreed on a layout for free.
+
+This module adds the workload IR and the joint planner:
+
+* :class:`WorkloadNode` — one pd* call: ``op`` (``"lu"`` /
+  ``"cholesky"`` / ``"gemm"``), problem size ``n``, and the names of
+  its operands.  An operand name that matches an *earlier* node is a
+  DAG edge (the node consumes that node's output); any other name is
+  an external input the caller will provide.
+* :class:`WorkloadRequest` — a short DAG of nodes in topological
+  order plus the machine shape ``(p, mem_words)``.  Canonical and
+  hashable like :class:`~repro.planner.core.PlanRequest`, with a
+  :meth:`~WorkloadRequest.token` the atlas/service caches key on.
+* :func:`plan_workload` — per-node candidates come from the same
+  ``_OPS`` enumerators as single-call planning and every survivor of
+  every node reduces in **one** :class:`TermBatch` pass (via
+  :func:`~repro.planner.core.plan_batch`, so each node's standalone
+  ranking is bit-identical to :func:`~repro.planner.core.plan_request`
+  — the parity tests pin this).  DAG assignments — one candidate per
+  node — are then scored by total counted words *including* the
+  closed-form COSTA conversion words
+  (:func:`~repro.layouts.conversion_words`) charged on every edge
+  whose producer/consumer native layouts differ, with repeated layouts
+  of a shared operand amortized: only the first consumer of each
+  distinct layout pays.
+
+The conversion charge is a *planning model* of the cross-stage
+reshuffles: per shared operand, each distinct native layout among its
+consumers is charged once (``conversion_words(anchor, layout) / p``,
+per-rank, where the anchor is the producer's native layout for node
+outputs and the first consumer's layout for external inputs — the
+external's caller layout is unknown at planning time, so its
+unavoidable first reshuffle is a constant outside the objective).
+Execution (:func:`repro.api.run_workload`) realizes the amortization
+by keeping native copies resident and adopting them when a later node
+asks for the same layout; the model and the run agree that repeated
+layouts are free and distinct layouts are not, which is what the joint
+ranking needs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import math
+from typing import Any
+
+from ..layouts import BlockCyclicLayout, conversion_words
+from ..machine.perf_model import PIZ_DAINT_XC40, MachineParams
+from .core import (
+    _DEFAULT_IMPLS,
+    _OPS,
+    NoFeasiblePlanError,
+    Plan,
+    PlannedConfig,
+    PlanRequest,
+    _rank_key,
+    plan_batch,
+)
+
+__all__ = ["WorkloadNode", "WorkloadRequest", "WorkloadAssignment",
+           "WorkloadPlan", "EdgeConversion", "plan_workload",
+           "config_schedule", "native_layout"]
+
+#: Operand arity per op (lu/cholesky factor one matrix, gemm takes two).
+_ARITY = {"lu": 1, "cholesky": 1, "gemm": 2}
+
+#: Default per-node ``api_copies``: the pre-flight gate's layout copies
+#: plus the resident operand(s) — the same arithmetic ``impl="auto"``
+#: charges in :mod:`repro.api` (kept in sync by the api tests).
+_WORKLOAD_API_COPIES = {"lu": 4, "cholesky": 4, "gemm": 6}
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadNode:
+    """One pd* call inside a workload DAG.
+
+    ``inputs`` name the operands in call order; a name matching an
+    earlier node in the request consumes that node's output, anything
+    else is an external input.  ``impls`` optionally restricts this
+    node's candidate implementations (None = the op's full search
+    space, canonicalized exactly like :class:`PlanRequest.impls`).
+    """
+
+    name: str
+    op: str
+    n: int
+    inputs: tuple[str, ...]
+    impls: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("workload node needs a non-empty name")
+        if self.op not in _ARITY:
+            raise ValueError(f"unknown op {self.op!r}; have "
+                             f"{', '.join(sorted(_ARITY))}")
+        object.__setattr__(self, "n", int(self.n))
+        object.__setattr__(self, "inputs", tuple(self.inputs))
+        if len(self.inputs) != _ARITY[self.op]:
+            raise ValueError(
+                f"node {self.name!r}: {self.op} takes "
+                f"{_ARITY[self.op]} operand(s), got {len(self.inputs)}")
+        if self.impls is not None:
+            impls = tuple(self.impls)
+            if impls == _DEFAULT_IMPLS[self.op]:
+                impls = None
+            object.__setattr__(self, "impls", impls)
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadRequest:
+    """A workload-planning question, in canonical form.
+
+    ``nodes`` is the DAG in topological order (a node may only consume
+    outputs of nodes listed before it); ``p`` the rank count,
+    ``mem_words`` the per-rank budget (None = unbounded, ``inf``
+    normalizes to None) and ``api_copies`` the per-node layout-copy
+    charge (None = the op-specific ``impl="auto"`` defaults).
+
+    Instances are hashable and canonical, so the service LRU can key
+    on them directly and the atlas can derive a content-addressed
+    token from :meth:`token` — exactly the :class:`PlanRequest`
+    contract.
+    """
+
+    nodes: tuple[WorkloadNode, ...]
+    p: int
+    mem_words: float | None = None
+    api_copies: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "nodes", tuple(self.nodes))
+        object.__setattr__(self, "p", int(self.p))
+        if self.mem_words is not None:
+            mem = float(self.mem_words)
+            object.__setattr__(self, "mem_words",
+                               None if math.isinf(mem) else mem)
+        if self.api_copies is not None:
+            object.__setattr__(self, "api_copies", int(self.api_copies))
+        if not self.nodes:
+            raise ValueError("workload needs at least one node")
+        seen: dict[str, WorkloadNode] = {}
+        external_n: dict[str, int] = {}
+        for node in self.nodes:
+            if node.name in seen:
+                raise ValueError(f"duplicate node name {node.name!r}")
+            if node.name in external_n:
+                raise ValueError(
+                    f"node name {node.name!r} already used as an "
+                    f"external operand by an earlier node")
+            for ref in node.inputs:
+                if ref == node.name:
+                    raise ValueError(f"node {node.name!r} consumes itself")
+                producer = seen.get(ref)
+                ref_n = (producer.n if producer is not None
+                         else external_n.setdefault(ref, node.n))
+                if ref_n != node.n:
+                    raise ValueError(
+                        f"node {node.name!r} (n={node.n}) consumes "
+                        f"{ref!r} of size n={ref_n}; workload chains "
+                        f"are square")
+            seen[node.name] = node
+
+    @property
+    def budget(self) -> float:
+        """The budget as a float (``inf`` when unbounded)."""
+        return math.inf if self.mem_words is None else self.mem_words
+
+    def externals(self) -> tuple[str, ...]:
+        """External operand names, in first-use order."""
+        names = {node.name for node in self.nodes}
+        out: dict[str, None] = {}
+        for node in self.nodes:
+            for ref in node.inputs:
+                if ref not in names:
+                    out.setdefault(ref)
+        return tuple(out)
+
+    def producers(self) -> dict[str, int]:
+        """Node-output operand name -> producing node index."""
+        return {node.name: idx for idx, node in enumerate(self.nodes)}
+
+    def node_requests(self) -> list[PlanRequest]:
+        """The per-node :class:`PlanRequest` list (what the joint
+        planner feeds :func:`plan_batch`)."""
+        return [PlanRequest(
+            op=node.op, n=node.n, p=self.p, mem_words=self.mem_words,
+            api_copies=(self.api_copies if self.api_copies is not None
+                        else _WORKLOAD_API_COPIES[node.op]),
+            impls=node.impls) for node in self.nodes]
+
+    def token(self) -> str:
+        """A stable string spelling out the whole DAG — the atlas's
+        cache-key payload, like :meth:`PlanRequest.token`."""
+        mem = "inf" if self.mem_words is None else repr(self.mem_words)
+        copies = ("auto" if self.api_copies is None
+                  else str(self.api_copies))
+        nodes = ";".join(
+            f"{node.name}={node.op}:{node.n}"
+            f"<-{','.join(node.inputs)}"
+            + ("" if node.impls is None else f"!{','.join(node.impls)}")
+            for node in self.nodes)
+        return (f"workload|p={self.p}|mem={mem}|copies={copies}"
+                f"|nodes={nodes}")
+
+
+# ----------------------------------------------------------------------
+# Config -> schedule -> native layout (shared with repro.api).
+
+def config_schedule(op: str, n: int, p: int,
+                    config: PlannedConfig) -> tuple[Any, int]:
+    """Instantiate the engine schedule a :class:`PlannedConfig` names;
+    returns ``(schedule, v_run)`` where ``v_run`` is the scalar tile /
+    panel / strip width the pd* layer reports."""
+    from ..factorizations import (
+        ConfchoxSchedule,
+        ConfluxSchedule,
+        Matmul25DSchedule,
+    )
+    from ..factorizations.baselines.scalapack_chol import (
+        ScalapackCholeskySchedule,
+    )
+    from ..factorizations.baselines.scalapack_lu import ScalapackLUSchedule
+
+    params = config.params
+    if config.impl == "conflux":
+        sched = ConfluxSchedule(n, p, v=params["v"], c=params["c"])
+        return sched, sched.v
+    if config.impl == "confchox":
+        sched = ConfchoxSchedule(n, p, v=params["v"], c=params["c"])
+        return sched, sched.v
+    if config.impl == "scalapack":
+        if op == "lu":
+            sched = ScalapackLUSchedule(n, p, nb=params["nb"],
+                                        panel_rebroadcast=False)
+        else:
+            sched = ScalapackCholeskySchedule(n, p, nb=params["nb"])
+        return sched, sched.nb
+    if config.impl == "25d":
+        sched = Matmul25DSchedule(n, p, s=params["s"], c=params["c"])
+        return sched, sched.s
+    raise ValueError(f"unknown planned impl {config.impl!r}")
+
+
+def native_layout(op: str, schedule) -> BlockCyclicLayout:
+    """The native block-cyclic layout the pd* layer reshuffles into for
+    ``schedule`` — the layout whose agreement across stages makes a
+    conversion free.  Raises ``ValueError`` for a configuration the
+    api layer could not execute (a SUMMA grid not dividing ``n``)."""
+    layer_grid = schedule.grid.layer_grid()
+    n = schedule.n
+    if op == "gemm":
+        pr, pc = schedule.grid.rows, schedule.grid.cols
+        if n % pr or n % pc:
+            raise ValueError(
+                f"distributed SUMMA needs the grid {pr}x{pc} to divide "
+                f"N={n}")
+        return BlockCyclicLayout(n, n, n // pr, n // pc, layer_grid)
+    v = schedule.v if hasattr(schedule, "v") else schedule.nb
+    return BlockCyclicLayout(n, n, v, v, layer_grid)
+
+
+def _layout_sig(layout: BlockCyclicLayout) -> tuple:
+    return (layout.m, layout.n, layout.mb, layout.nb,
+            layout.grid.rows, layout.grid.cols)
+
+
+# ----------------------------------------------------------------------
+# The joint plan.
+
+@dataclasses.dataclass(frozen=True)
+class EdgeConversion:
+    """One charged cross-stage conversion: ``consumer`` node's operand
+    ``operand`` arrives in a layout not yet resident, costing ``words``
+    counted words per rank."""
+
+    consumer: str
+    operand: str
+    words: float
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadAssignment:
+    """One candidate per node, scored jointly.
+
+    ``node_words`` sums the per-node counted factorization words (per
+    rank), ``conversion_words`` the charged cross-stage conversions
+    (per rank, amortized across consumers sharing a layout), and
+    ``edges`` itemizes the charges.
+    """
+
+    configs: tuple[PlannedConfig, ...]
+    node_words: float
+    conversion_words: float
+    edges: tuple[EdgeConversion, ...]
+
+    @property
+    def total_words(self) -> float:
+        return self.node_words + self.conversion_words
+
+    def describe(self) -> str:
+        impls = ", ".join(cfg.impl for cfg in self.configs)
+        return (f"[{impls}]: {self.node_words:.4g} node words + "
+                f"{self.conversion_words:.4g} conversion = "
+                f"{self.total_words:.4g}")
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadPlan:
+    """The joint planner's answer for one workload.
+
+    ``node_plans`` holds each node's standalone :class:`Plan` (bit-
+    identical to :func:`plan_request` on the node's own request —
+    single-node workloads pin this), ``ranked`` the scored DAG
+    assignments best first, and ``independent`` the assignment made of
+    each node's standalone winner — the baseline the joint ``chosen``
+    can never exceed, since every standalone winner is in the joint
+    search space.
+    """
+
+    request: WorkloadRequest
+    node_plans: tuple[Plan, ...]
+    ranked: tuple[WorkloadAssignment, ...]
+    independent: WorkloadAssignment
+
+    @property
+    def chosen(self) -> WorkloadAssignment:
+        return self.ranked[0]
+
+    def plan_for(self, name: str) -> Plan:
+        """The standalone :class:`Plan` of node ``name``."""
+        for node, plan in zip(self.request.nodes, self.node_plans):
+            if node.name == name:
+                return plan
+        raise KeyError(f"no node named {name!r}")
+
+    def config_for(self, name: str) -> PlannedConfig:
+        """The jointly chosen configuration of node ``name``."""
+        for node, cfg in zip(self.request.nodes, self.chosen.configs):
+            if node.name == name:
+                return cfg
+        raise KeyError(f"no node named {name!r}")
+
+    def summary(self) -> str:
+        budget = ("unbounded" if math.isinf(self.request.budget)
+                  else f"{self.request.budget:.4g} words")
+        lines = [f"workload[{len(self.request.nodes)} nodes] "
+                 f"P={self.request.p} M={budget}: "
+                 f"{self.chosen.describe()}"]
+        for node, cfg in zip(self.request.nodes, self.chosen.configs):
+            lines.append(f"  {node.name}: {cfg.describe()}")
+        for edge in self.chosen.edges:
+            lines.append(f"  convert {edge.operand} -> {edge.consumer}: "
+                         f"{edge.words:.4g} words")
+        saved = self.independent.total_words - self.chosen.total_words
+        if saved > 0:
+            lines.append(f"  saves {saved:.4g} words vs independent "
+                         f"per-call planning")
+        return "\n".join(lines)
+
+
+def _score(request: WorkloadRequest, producers: dict[str, int],
+           combo: tuple[tuple[PlannedConfig, BlockCyclicLayout], ...],
+           conv_cache: dict) -> WorkloadAssignment:
+    """Score one DAG assignment: node words plus amortized per-rank
+    conversion charges (see the module docstring for the model)."""
+    p = request.p
+    node_words = sum(cfg.predicted_words for cfg, _ in combo)
+    conv_total = 0.0
+    edges: list[EdgeConversion] = []
+    # Per operand: the anchor layout conversions are charged from, and
+    # the layout signatures already paid for (resident at run time).
+    anchors: dict[str, BlockCyclicLayout] = {}
+    paid: dict[str, set] = {}
+    for node, (cfg, layout) in zip(request.nodes, combo):
+        sig = _layout_sig(layout)
+        for ref in node.inputs:
+            if ref not in anchors:
+                # First touch: a node output anchors at its producer's
+                # native layout; an external anchors at this (first)
+                # consumer's layout — its caller-layout reshuffle is
+                # assignment-independent, hence not in the objective.
+                idx = producers.get(ref)
+                anchors[ref] = combo[idx][1] if idx is not None else layout
+                paid[ref] = {_layout_sig(anchors[ref])}
+            if sig in paid[ref]:
+                continue
+            paid[ref].add(sig)
+            key = (_layout_sig(anchors[ref]), sig)
+            if key not in conv_cache:
+                conv_cache[key] = conversion_words(anchors[ref], layout)
+            words = conv_cache[key] / p
+            conv_total += words
+            edges.append(EdgeConversion(consumer=node.name, operand=ref,
+                                        words=words))
+    return WorkloadAssignment(
+        configs=tuple(cfg for cfg, _ in combo), node_words=node_words,
+        conversion_words=conv_total, edges=tuple(edges))
+
+
+def _assignment_key(assignment: WorkloadAssignment) -> tuple:
+    return (assignment.total_words, assignment.conversion_words,
+            tuple(_rank_key(cfg) for cfg in assignment.configs))
+
+
+def plan_workload(request: WorkloadRequest,
+                  machine_params: MachineParams = PIZ_DAINT_XC40,
+                  top_k: int = 6, max_assignments: int = 100_000,
+                  keep: int = 8) -> WorkloadPlan:
+    """Jointly plan a workload DAG.
+
+    Per-node candidates are planned in one batched
+    :func:`plan_batch` pass; each node's ``top_k`` best *executable*
+    configurations (those whose native layout the api layer can
+    actually build) enter the joint search, whose product is capped at
+    ``max_assignments`` by trimming the widest candidate lists first
+    (every node always keeps its standalone winner, so the joint
+    choice can never score worse than independent planning).  The best
+    ``keep`` assignments are returned ranked.
+
+    Raises :class:`NoFeasiblePlanError` when any node has no feasible
+    (or no executable) configuration.
+    """
+    node_plans = tuple(plan_batch(request.node_requests(),
+                                  machine_params=machine_params,
+                                  strict=True))
+    cand_lists: list[list[tuple[PlannedConfig, BlockCyclicLayout]]] = []
+    for node, plan in zip(request.nodes, node_plans):
+        cands: list[tuple[PlannedConfig, BlockCyclicLayout]] = []
+        for cfg in plan.ranked:
+            try:
+                sched, _ = config_schedule(node.op, node.n, request.p, cfg)
+                layout = native_layout(node.op, sched)
+            except ValueError:
+                continue
+            cands.append((cfg, layout))
+            if len(cands) >= top_k:
+                break
+        if not cands:
+            raise NoFeasiblePlanError(
+                f"no executable configuration for workload node "
+                f"{node.name!r} ({node.op}, N={node.n}, P={request.p})")
+        cand_lists.append(cands)
+    while math.prod(len(c) for c in cand_lists) > max_assignments:
+        widest = max(cand_lists, key=len)
+        if len(widest) == 1:
+            break
+        widest.pop()
+    producers = request.producers()
+    conv_cache: dict = {}
+    scored = [_score(request, producers, combo, conv_cache)
+              for combo in itertools.product(*cand_lists)]
+    scored.sort(key=_assignment_key)
+    independent = _score(
+        request, producers,
+        tuple(cands[0] for cands in cand_lists), conv_cache)
+    return WorkloadPlan(request=request, node_plans=node_plans,
+                        ranked=tuple(scored[:keep]),
+                        independent=independent)

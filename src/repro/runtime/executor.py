@@ -44,9 +44,11 @@ class SweepTask:
     ``kind`` selects the computation (``"lu"`` / ``"cholesky"`` trace a
     harness implementation; ``"case"`` batch-traces one (N, P) point's
     whole flavour set; ``"feasibility"`` evaluates the memory-budget
-    rows of one (N, P) point); ``impl`` names the implementation within
-    the kind (``"all"`` for the per-point kinds); ``extra`` carries any
-    further keyword parameters as a sorted tuple of pairs.
+    rows of one (N, P) point; ``"workload"`` jointly plans — and with
+    ``execute=True`` runs — the DFT workload chain at one (N, P)
+    point); ``impl`` names the implementation within the kind
+    (``"all"`` for the per-point kinds); ``extra`` carries any further
+    keyword parameters as a sorted tuple of pairs.
     """
 
     kind: str
@@ -73,6 +75,8 @@ def run_task(task: SweepTask) -> Any:
         return harness.trace_case(task.n, task.p, **kw)
     if task.kind == "feasibility":
         return harness.memory_feasibility([(task.n, task.p)], **kw)
+    if task.kind == "workload":
+        return harness.workload_case(task.n, task.p, **kw)
     raise ValueError(f"unknown sweep task kind {task.kind!r}")
 
 

@@ -4,7 +4,8 @@ import numpy as np
 import pytest
 
 from repro.api import pdgemm, pdgetrf, pdgetrs, pdpotrf, pdpotrs
-from repro.engine import TraceBackend
+from repro.engine import TraceBackend, machine_for
+from repro.factorizations import ConfluxSchedule
 from repro.factorizations.baselines.scalapack_lu import ScalapackLUSchedule
 from repro.layouts import BlockCyclicLayout, ScaLAPACKDescriptor
 from repro.machine import Machine, ProcessorGrid2D
@@ -337,6 +338,50 @@ class TestNbKwarg:
         machine, desc, _, a = setup_machine(rng, spd=True)
         with pytest.warns(DeprecationWarning, match="use nb="):
             pdpotrf(machine, "A", desc, v=8, impl="scalapack")
+
+
+class TestNativeCopyLifecycle:
+    """The transient native-layout copies every pd* call preps and
+    writes back must be freed before the call returns — chained calls
+    on an enforcing machine must not accumulate dead copies."""
+
+    def _scatter(self, rng, machine, desc, n):
+        layout = BlockCyclicLayout(n, n, desc.mb, desc.mb,
+                                   ProcessorGrid2D(desc.prows, desc.pcols))
+        a = rng.standard_normal((n, n)) + n * np.eye(n)
+        layout.scatter_from(machine, "A", a)
+        return a
+
+    def test_no_native_keys_survive_call(self, rng):
+        machine, desc, _, _ = setup_machine(rng)
+        pdgetrf(machine, "A", desc, v=16)
+        leftovers = [key for rank in range(machine.nranks)
+                     for key in machine.store(rank).keys()
+                     if isinstance(key, tuple) and ":native" in key[0]]
+        assert leftovers == []
+
+    def test_chained_pdgetrf_fits_enforced_budget(self, rng):
+        """Regression: the written-back native factors used to stay
+        resident, so a second factorization on a machine sized for one
+        blew the budget.  Steady state per rank is the operand, the
+        previous packed factors and the pivot map (3 N^2/P on 4
+        ranks); the budget below is exactly the second call's
+        pre-flight reserve on top of that steady state — any leaked
+        copy, input or output, overflows it."""
+        n = 64
+        schedule = ConfluxSchedule(n, 4, v=16, c=1)
+        per_rank = n * n / 4
+        required = schedule.required_words()
+        machine = machine_for(schedule,
+                              slack=(required + 6 * per_rank) / required)
+        desc = ScaLAPACKDescriptor(m=n, n=n, mb=16, nb=16,
+                                   prows=2, pcols=2)
+        a = self._scatter(rng, machine, desc, n)
+        first = pdgetrf(machine, "A", desc, v=16, out_name="F1")
+        second = pdgetrf(machine, "A", desc, v=16, out_name="F2")
+        for res in (first, second):
+            err = np.linalg.norm(a[res.perm] - res.lower @ res.upper)
+            assert err / np.linalg.norm(a) < 1e-12
 
 
 class TestParamsRecorded:

@@ -331,6 +331,76 @@ class TestAsync:
         assert plans == [plan_request(r) for r in requests]
 
 
+class TestConcurrency:
+    """The service's state sits behind one lock: overlapping awaits of
+    the same request must live-plan it exactly once and keep the
+    counters consistent — no torn LRU, no double planning."""
+
+    def test_concurrent_same_request_plans_once(self, monkeypatch):
+        import time
+
+        from repro.planner import service as service_mod
+
+        calls = []
+        real_plan_batch = service_mod.plan_batch
+
+        def slow_plan_batch(requests, **kwargs):
+            calls.append(tuple(requests))
+            # Widen the race window: without the lock, every waiter
+            # reaches live planning before the first answer lands.
+            time.sleep(0.02)
+            return real_plan_batch(requests, **kwargs)
+
+        monkeypatch.setattr(service_mod, "plan_batch", slow_plan_batch)
+        service = PlanService()
+        req = PlanRequest("lu", 4096, 64, NODE_M, api_copies=3)
+
+        async def fan_out():
+            return await asyncio.gather(
+                *(service.plan_async(req) for _ in range(8)))
+
+        plans = asyncio.run(fan_out())
+        assert len(calls) == 1
+        assert all(p == plans[0] for p in plans)
+        assert plans[0] == plan_request(req)
+        assert service.stats.live_plans == 1
+        assert service.stats.lru_hits == 7
+        assert service.stats.served == 8
+
+    def test_concurrent_overlapping_batches_consistent(self):
+        service = PlanService()
+        requests = [PlanRequest(op, 4096, 64, NODE_M, api_copies=3)
+                    for op in OPS]
+
+        async def fan_out():
+            return await asyncio.gather(
+                *(service.plan_many_async(requests) for _ in range(6)))
+
+        batches = asyncio.run(fan_out())
+        expected = [plan_request(r) for r in requests]
+        assert all(batch == expected for batch in batches)
+        # Each unique request was live-planned exactly once, whatever
+        # the interleaving; every other resolution hit the LRU.
+        assert service.stats.live_plans == len(requests)
+        assert service.stats.served == 6 * len(requests)
+
+
+class TestAtlasBuildDedupe:
+    def test_duplicate_lattice_points_planned_once(self, tmp_path):
+        """Regression: a lattice spelled with repeats (easy to produce
+        from nested sweep loops) used to inflate the build stats and
+        re-plan the duplicates."""
+        atlas = PlanAtlas(tmp_path / "atlas")
+        req = PlanRequest("lu", 4096, 64, NODE_M, api_copies=3)
+        other = PlanRequest("cholesky", 4096, 64, NODE_M, api_copies=3)
+        stats = atlas.build([req, other, req, req, other])
+        assert stats.points == 2
+        assert stats.built == 2
+        assert stats.reused == 0
+        assert len(atlas.manifest()) == 2
+        assert atlas.get(req) == plan_request(req)
+
+
 class TestDefaultService:
     def test_created_on_first_use_and_replaceable(self):
         previous = set_default_service(None)
