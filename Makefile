@@ -8,7 +8,7 @@ PY ?= python
 # ratchet it up when coverage improves, never lower it silently.
 COV_FLOOR ?= 85
 
-.PHONY: test lint coverage bench-smoke bench-check plan atlas
+.PHONY: test lint coverage bench-smoke bench-check plan atlas trace
 
 # Worker count for the process-pool sweep path; empty = script default
 # (min(4, cores)).  Usage: make bench-smoke PARALLEL=4
@@ -75,3 +75,12 @@ plan:
 ATLAS_DIR ?= .atlas-smoke
 atlas:
 	$(PY) scripts/plan_grid.py --atlas $(ATLAS_DIR) --budget-s $(PLAN_BUDGET_S)
+
+## Run every instrumented layer under repro.obs and export the span
+## tree + superstep comm/memory timeline as Chrome-trace JSON (load
+## TRACE_DIR/trace.json in chrome://tracing or ui.perfetto.dev) plus a
+## flat metrics snapshot; fails if any span layer is missing.  CI
+## archives the trace as a workflow artifact.
+TRACE_DIR ?= .trace-smoke
+trace:
+	$(PY) scripts/trace_report.py --out $(TRACE_DIR)

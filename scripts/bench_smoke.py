@@ -53,6 +53,15 @@ contract.  Every lattice point must also serve **bit-identical** to
 live planning (``served_matches_live``), which
 ``check_bench_regression.py`` gates.
 
+The ``obs`` block measures the telemetry layer itself: the trace sweep
+re-runs with spans enabled (``repro.obs``), and the enabled best must
+cost at most 2% over the disabled best (or the absolute noise floor)
+with a **bit-identical** volume checksum — the zero-overhead-when-
+disabled contract, plus proof that recording spans never perturbs the
+accounting.  The planner/atlas/workload blocks also read their wall
+times from the telemetry metrics registry rather than keeping their
+own ``perf_counter`` bookkeeping.
+
 The ``workload_dag`` block exercises the joint workload planner: the
 DFT chain (GEMM + two Cholesky factorizations sharing an operand + LU)
 is planned jointly at two paper-scale points and executed end-to-end
@@ -75,6 +84,7 @@ import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
+from repro import obs  # noqa: E402
 from repro.analysis.harness import sweep_traces  # noqa: E402
 from repro.engine import accounting  # noqa: E402
 from repro.runtime import (  # noqa: E402
@@ -122,6 +132,13 @@ WORKLOAD_EXEC = (64, 4)
 #: Minimum cached-lookup speedup over live planning of one request.
 MIN_ATLAS_SPEEDUP = 100.0
 
+#: Telemetry overhead gate: spans enabled may cost at most 2% over
+#: disabled — or this absolute floor, whichever is larger (2% of a
+#: tens-of-milliseconds sweep is below timer noise; same pattern as
+#: the checker's NOISE_FLOOR_S).
+OBS_MAX_OVERHEAD = 1.02
+OBS_NOISE_FLOOR_S = 0.05
+
 
 def calibrate() -> float:
     """Machine-speed probe: a fixed NumPy workload shaped like the
@@ -157,14 +174,19 @@ def _plan_grid(batched: bool) -> tuple[float, int, float]:
     from repro.analysis.harness import NODE_MEM_WORDS
     from repro.planner import plan_cholesky, plan_gemm, plan_lu
 
-    t0 = time.perf_counter()
+    # Wall time comes from the planner's own telemetry — the
+    # `planner.plan_batch.wall_s` histogram covers both the batched
+    # pass and the per-config reference loop (plan_batch is the single
+    # pipeline), so this measures exactly the planning work.
+    hist = obs.metrics().histogram("planner.plan_batch.wall_s")
+    before = hist.total
     plans = []
     for n, p in PLANNER_GRID:
         for planner in (plan_lu, plan_cholesky, plan_gemm):
             plans.append(planner(n, p, NODE_MEM_WORDS,
                                  api_copies=PLANNER_API_COPIES,
                                  batched=batched))
-    wall = time.perf_counter() - t0
+    wall = hist.total - before
     cands = sum(len(plan.ranked) for plan in plans)
     checksum = sum(plan.chosen.predicted_words for plan in plans)
     return wall, cands, checksum
@@ -197,9 +219,10 @@ def _atlas_block() -> dict:
 
     with tempfile.TemporaryDirectory() as tmp:
         atlas = PlanAtlas(tmp)
-        t0 = time.perf_counter()
         build = atlas.build(lattice)
-        build_s = time.perf_counter() - t0
+        # The build's own telemetry gauge — set by PlanAtlas.build —
+        # is the measurement of record (it equals build.wall_s).
+        build_s = obs.metrics().gauge("atlas.build.wall_s").value
 
         # The correctness contract: every lattice point served from the
         # atlas is bit-identical to the live planner's output.
@@ -260,12 +283,13 @@ def _workload_block(workers: int) -> dict:
              for n, p in WORKLOAD_POINTS]
     tasks.append(SweepTask("workload", "dft", *WORKLOAD_EXEC,
                            extra=(("execute", True),)))
-    t0 = time.perf_counter()
+    # Executor walls come from the runtime's own telemetry gauge,
+    # which every SerialExecutor.run (pool included) sets.
+    run_gauge = obs.metrics().gauge("runtime.executor.last_run_s")
     serial = SerialExecutor().run(tasks)
-    serial_s = time.perf_counter() - t0
-    t0 = time.perf_counter()
+    serial_s = run_gauge.value
     pooled = ProcessPoolSweepExecutor(max_workers=workers).run(tasks)
-    pool_s = time.perf_counter() - t0
+    pool_s = run_gauge.value
 
     def _sum(rows) -> float:
         return sum(row["joint_words"] + row["independent_words"]
@@ -288,6 +312,42 @@ def _workload_block(workers: int) -> dict:
         "checksum": _sum(serial),
         "pool_checksum": _sum(pooled),
         "checksum_matches_pool": pooled == serial,
+    }
+
+
+def _obs_block(disabled_s: float, checksum: float) -> dict:
+    """Measure the telemetry layer's own cost: the same sweep with
+    spans enabled, best-of-REPS against the disabled best.
+
+    Gated invariants: the enabled sweep costs <= 2% over disabled (or
+    the absolute noise floor — 2% of a tens-of-milliseconds sweep is
+    below timer resolution) and the volume checksum is bit-identical
+    (recording spans must not perturb the accounting)."""
+    times = []
+    enabled_checksum = 0.0
+    obs.enable()
+    try:
+        for _ in range(REPS):
+            t0 = time.perf_counter()
+            results = sweep_traces(CASES)
+            times.append(time.perf_counter() - t0)
+            enabled_checksum = _checksum(results)
+        span_cats = sorted({s.cat for s in obs.spans()})
+        span_count = len(obs.spans())
+    finally:
+        obs.disable()
+    enabled_s = min(times)
+    overhead_s = enabled_s - disabled_s
+    return {
+        "disabled_s": round(disabled_s, 3),
+        "enabled_s": round(enabled_s, 3),
+        "overhead_s": round(overhead_s, 3),
+        "spans": span_count,
+        "span_cats": span_cats,
+        "checksum": enabled_checksum,
+        "checksum_matches_disabled": enabled_checksum == checksum,
+        "overhead_ok": (enabled_s <= disabled_s * OBS_MAX_OVERHEAD
+                        or overhead_s <= OBS_NOISE_FLOOR_S),
     }
 
 
@@ -383,6 +443,7 @@ def run(parallel: int | None = None) -> dict:
             "chosen_matches": (bat_checksum == loop_checksum
                                and bat_cands == loop_cands),
         },
+        "obs": _obs_block(best, checksum),
         "atlas": _atlas_block(),
         "workload_dag": _workload_block(workers),
         "seed": SEED_BASELINE,
@@ -456,6 +517,18 @@ def main(argv: list[str] | None = None) -> int:
             f"cached plan lookup only {atlas['speedup_vs_live']}x faster "
             f"than live planning (< {MIN_ATLAS_SPEEDUP:g}x) — the LRU "
             "serving path regressed")
+    ob = snapshot["obs"]
+    if not ob["overhead_ok"]:
+        failures.append(
+            f"telemetry-enabled sweep {ob['enabled_s']}s vs disabled "
+            f"{ob['disabled_s']}s — overhead {ob['overhead_s']}s exceeds "
+            f"both the 2% budget and the {OBS_NOISE_FLOOR_S}s noise "
+            "floor")
+    if not ob["checksum_matches_disabled"]:
+        failures.append(
+            f"telemetry-enabled checksum {ob['checksum']} != disabled "
+            f"{snapshot['engine']['checksum']} — recording spans "
+            "perturbed the accounting")
     wdag = snapshot["workload_dag"]
     if not wdag["joint_le_independent"]:
         failures.append(

@@ -27,6 +27,10 @@ committed ``BENCH_engine.json``:
 * **atlas serving parity** — every plan the atlas/service layer serves
   for a lattice point must be bit-identical to the live planner's
   output for the same request (``served_matches_live``);
+* **telemetry cost** — re-running the sweep with ``repro.obs`` spans
+  enabled may cost at most 2% over the disabled run (or an absolute
+  noise floor) and must produce a bit-identical volume checksum
+  (``overhead_ok`` / ``checksum_matches_disabled``);
 * **workload-DAG invariants** — the joint workload plan may never
   charge more counted words than independent per-call planning
   (``joint_le_independent``), the serial and process-pool workload
@@ -156,6 +160,22 @@ def main(argv: list[str] | None = None) -> int:
         failures.append(
             "atlas-served plans differ from live planning on lattice "
             "points — the bit-identical serving contract broke")
+    # Telemetry must be free when disabled and inert when enabled:
+    # <= 2% sweep overhead (or the noise floor) and a bit-identical
+    # volume checksum with spans on.
+    ob = fresh.get("obs")
+    if ob:
+        if not ob["overhead_ok"]:
+            failures.append(
+                f"telemetry-enabled sweep {ob['enabled_s']}s vs disabled "
+                f"{ob['disabled_s']}s — span overhead "
+                f"{ob['overhead_s']}s exceeds the 2% budget and the "
+                "noise floor")
+        if not ob["checksum_matches_disabled"]:
+            failures.append(
+                f"telemetry-enabled checksum {ob['checksum']} != "
+                f"disabled {fresh_sum} — recording spans perturbed the "
+                "accounting")
     # The joint workload planner must never charge more than
     # independent per-call planning, the pool must reproduce the
     # serial workload sweep (plans *and* execution checksum) exactly,

@@ -62,6 +62,7 @@ from typing import Any
 
 import numpy as np
 
+from . import obs
 from .engine.backends import DistributedBackend
 from .factorizations import ConfchoxSchedule, ConfluxSchedule, Matmul25DSchedule
 from .factorizations.baselines.scalapack_chol import ScalapackCholeskySchedule
@@ -162,12 +163,14 @@ def _check_memory_feasible(machine: Machine, schedule,
     needed = (schedule.required_words()
               + api_copies * float(n) * n / machine.nranks)
     key = f"{type(schedule).__name__}(n={n}, p={schedule.nranks})"
-    for store in machine.stores:
-        store.begin_step("<feasibility>")
-        try:
-            store.reserve(needed, key=key)
-        finally:
-            store.end_step()
+    with obs.span("pd.gate", cat="pd-phase", schedule=key,
+                  needed_words=needed):
+        for store in machine.stores:
+            store.begin_step("<feasibility>")
+            try:
+                store.reserve(needed, key=key)
+            finally:
+                store.end_step()
 
 
 def _prepare(machine: Machine, name: str, desc: ScaLAPACKDescriptor,
@@ -318,28 +321,37 @@ def _run_pd(machine: Machine, op: str, schedule, desc: ScaLAPACKDescriptor,
     adopt) and ``preflight=False`` (it gates before prepping, so the
     gate does not double-count the already-resident native copies).
     """
-    if preflight:
-        _check_memory_feasible(machine, schedule,
-                               api_copies=_GATE_API_COPIES[op])
-    resh_in = 0.0
-    names: dict[str, str] = {}
-    created: list[str] = []
-    for name, in_desc in inputs:
-        if native_names is not None and name in native_names:
-            names[name] = native_names[name]
-        else:
-            resh_in += _prepare(machine, name, in_desc, native)
-            names[name] = name + ":native"
-            created.append(name + ":native")
-    in_name = (names[inputs[0][0]] if len(inputs) == 1
-               else tuple(names[name] for name, _ in inputs))
-    res = DistributedBackend(machine).run(schedule, in_name=in_name)
-    packed = _PD_PACKED[op](res)
-    resh_out = _writeback(machine, out_name, desc, packed, native)
-    for name in created:
-        _discard_native(machine, name, native)
-    if not keep_native:
-        _discard_native(machine, out_name + ":native", native)
+    tel = obs.default_telemetry()
+    tel.metrics.counter(f"api.pd.{op}").inc()
+    with tel.span(f"pd.{op}", cat="pd", n=schedule.n, impl=impl) as sp:
+        if preflight:
+            _check_memory_feasible(machine, schedule,
+                                   api_copies=_GATE_API_COPIES[op])
+        resh_in = 0.0
+        names: dict[str, str] = {}
+        created: list[str] = []
+        with tel.span("pd.prep", cat="pd-phase", inputs=len(inputs)):
+            for name, in_desc in inputs:
+                if native_names is not None and name in native_names:
+                    names[name] = native_names[name]
+                else:
+                    resh_in += _prepare(machine, name, in_desc, native)
+                    names[name] = name + ":native"
+                    created.append(name + ":native")
+        in_name = (names[inputs[0][0]] if len(inputs) == 1
+                   else tuple(names[name] for name, _ in inputs))
+        with tel.span("pd.backend", cat="pd-phase",
+                      schedule=type(schedule).__name__):
+            res = DistributedBackend(machine).run(schedule, in_name=in_name)
+        with tel.span("pd.writeback", cat="pd-phase"):
+            packed = _PD_PACKED[op](res)
+            resh_out = _writeback(machine, out_name, desc, packed, native)
+            for name in created:
+                _discard_native(machine, name, native)
+            if not keep_native:
+                _discard_native(machine, out_name + ":native", native)
+        sp.set(reshuffle_words=resh_in + resh_out,
+               factorization_words=res.comm.total_recv_words)
     is_lu = op == "lu"
     return PDResult(out_name=out_name, desc=desc, machine=machine,
                     v=v_run, comm=res.comm,
@@ -608,54 +620,64 @@ def run_workload(machine: Machine,
         return (layout.m, layout.n, layout.mb, layout.nb,
                 layout.grid.rows, layout.grid.cols)
 
-    for idx, (node, cfg) in enumerate(zip(request.nodes,
-                                          plan.chosen.configs)):
-        schedule, v_run = config_schedule(node.op, node.n,
-                                          machine.nranks, cfg)
-        native = native_layout(node.op, schedule)
-        sig = _sig(native)
-        desc = descs[node.inputs[0]]
-        _check_memory_feasible(machine, schedule,
-                               api_copies=_GATE_API_COPIES[node.op])
-        native_names: dict[str, str] = {}
-        for ref in node.inputs:
-            if (ref, sig) in live:
-                native_names[ref] = live[(ref, sig)][0]
-                reused.append((node.name, ref))
-                continue
-            src_name = store_names.get(ref, ref)
-            src = _layout_from_desc(descs[ref])
-            key = (f"{ref}:native"
-                   if not any(r == ref for r, _ in live)
-                   else f"{ref}:native:{node.name}")
-            before = machine.stats.total_recv_words
-            redistribute(machine, src_name, src, native, dst_name=key)
-            resh_total += machine.stats.total_recv_words - before
-            live[(ref, sig)] = (key, native)
-            native_names[ref] = key
-        out_store = out_names.get(node.name, node.name)
-        res = _run_pd(machine, node.op, schedule, desc,
-                      [(ref, descs[ref]) for ref in node.inputs],
-                      out_store, native, v_run=v_run, impl=cfg.impl,
-                      params=dict(cfg.params), plan=cfg,
-                      native_names=native_names, keep_native=True,
-                      preflight=False)
-        resh_total += res.reshuffle_words
-        results[node.name] = res
-        descs[node.name] = desc
-        store_names[node.name] = out_store
-        live[(node.name, sig)] = (out_store + ":native", native)
-        # Retire everything whose last consumer just ran.
-        for ref, last in last_use.items():
-            if last != idx:
-                continue
-            for ref_sig in [k for k in live if k[0] == ref]:
-                key, layout = live.pop(ref_sig)
-                _discard_native(machine, key, layout)
-            consumed = ref in producers and producers[ref] != last
-            if consumed and ref not in out_names:
-                _discard_native(machine, store_names[ref],
-                                _layout_from_desc(descs[ref]))
+    tel = obs.default_telemetry()
+    reg = tel.metrics
+    with tel.span("workload.run", cat="workload",
+                  nodes=len(request.nodes)) as wsp:
+        for idx, (node, cfg) in enumerate(zip(request.nodes,
+                                              plan.chosen.configs)):
+            schedule, v_run = config_schedule(node.op, node.n,
+                                              machine.nranks, cfg)
+            native = native_layout(node.op, schedule)
+            sig = _sig(native)
+            desc = descs[node.inputs[0]]
+            _check_memory_feasible(machine, schedule,
+                                   api_copies=_GATE_API_COPIES[node.op])
+            native_names: dict[str, str] = {}
+            with tel.span("workload.node", cat="workload",
+                          node=node.name, op=node.op):
+                for ref in node.inputs:
+                    if (ref, sig) in live:
+                        native_names[ref] = live[(ref, sig)][0]
+                        reused.append((node.name, ref))
+                        reg.counter("workload.operands_adopted").inc()
+                        continue
+                    reg.counter("workload.operands_reshuffled").inc()
+                    src_name = store_names.get(ref, ref)
+                    src = _layout_from_desc(descs[ref])
+                    key = (f"{ref}:native"
+                           if not any(r == ref for r, _ in live)
+                           else f"{ref}:native:{node.name}")
+                    before = machine.stats.total_recv_words
+                    redistribute(machine, src_name, src, native,
+                                 dst_name=key)
+                    resh_total += machine.stats.total_recv_words - before
+                    live[(ref, sig)] = (key, native)
+                    native_names[ref] = key
+                out_store = out_names.get(node.name, node.name)
+                res = _run_pd(machine, node.op, schedule, desc,
+                              [(ref, descs[ref]) for ref in node.inputs],
+                              out_store, native, v_run=v_run,
+                              impl=cfg.impl, params=dict(cfg.params),
+                              plan=cfg, native_names=native_names,
+                              keep_native=True, preflight=False)
+            resh_total += res.reshuffle_words
+            results[node.name] = res
+            descs[node.name] = desc
+            store_names[node.name] = out_store
+            live[(node.name, sig)] = (out_store + ":native", native)
+            # Retire everything whose last consumer just ran.
+            for ref, last in last_use.items():
+                if last != idx:
+                    continue
+                for ref_sig in [k for k in live if k[0] == ref]:
+                    key, layout = live.pop(ref_sig)
+                    _discard_native(machine, key, layout)
+                consumed = ref in producers and producers[ref] != last
+                if consumed and ref not in out_names:
+                    _discard_native(machine, store_names[ref],
+                                    _layout_from_desc(descs[ref]))
+        wsp.set(adopted=len(reused), reshuffle_words=resh_total)
     return WorkloadResult(plan=plan, results=results,
                           reshuffle_words=resh_total,
                           conversion_words=plan.chosen.conversion_words,

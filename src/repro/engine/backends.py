@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from .. import obs
 from ..machine.comm import Machine
 from ..machine.stats import CommStats
 from .schedule import Schedule
@@ -212,17 +213,21 @@ class DistributedBackend:
         self._step_peaks = []
         run_stats = CommStats(schedule.nranks)
         before = _snapshot(machine.stats)
+        tel = obs.default_telemetry()
         state = schedule.dist_init(machine, a, rng, in_name=in_name)
         for t in range(schedule.steps()):
             label = schedule.step_label(t)
             machine.begin_step(label)
-            try:
-                schedule.dist_step(machine, state, t)
-            finally:
-                self._step_peaks.append(
-                    (label, float(max(s.step_peak_words
-                                      for s in machine.stores))))
-                run_stats.steps.append(machine.end_step())
+            # Superstep spans reuse the schedule's own step labels, so
+            # the trace's engine lane lines up with the step log.
+            with tel.span(f"step:{label}", cat="engine", step=t):
+                try:
+                    schedule.dist_step(machine, state, t)
+                finally:
+                    self._step_peaks.append(
+                        (label, float(max(s.step_peak_words
+                                          for s in machine.stores))))
+                    run_stats.steps.append(machine.end_step())
         outputs = schedule.dist_finalize(machine, state)
         _apply_delta(run_stats, machine.stats, before)
         return _result_cls()(

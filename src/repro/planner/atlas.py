@@ -36,8 +36,8 @@ infeasible says nothing about a larger one.
 from __future__ import annotations
 
 import dataclasses
-import time
 
+from .. import obs
 from ..machine.perf_model import PIZ_DAINT_XC40, MachineParams
 from ..runtime.cache import ResultCache
 from .core import (
@@ -162,39 +162,51 @@ class PlanAtlas:
         written through atomically.  The manifest is merged, not
         replaced, so incremental builds extend the lattice.
         """
-        t0 = time.perf_counter()
-        points = [req if isinstance(req, (PlanRequest, WorkloadRequest))
-                  else PlanRequest(*req)
-                  for req in lattice]
-        points = list(dict.fromkeys(points))
-        misses = [req for req in points if self.get(req) is None]
-        single = [req for req in misses if isinstance(req, PlanRequest)]
-        plans = plan_batch(single, machine_params=self.machine_params,
-                           strict=False)
-        infeasible = 0
-        for req, plan in zip(single, plans):
-            if plan is None:
-                infeasible += 1
-                value: Plan | WorkloadPlan | Infeasible = Infeasible(
-                    str(_no_feasible_error(req.op, req.n, req.p,
-                                           req.budget)))
-            else:
-                value = plan
-            self.cache.put(self._token(req), value)
-        for req in misses:
-            if isinstance(req, PlanRequest):
-                continue
-            try:
-                value = plan_workload(req,
-                                      machine_params=self.machine_params)
-            except NoFeasiblePlanError as exc:
-                infeasible += 1
-                value = Infeasible(str(exc))
-            self.cache.put(self._token(req), value)
-        merged = dict.fromkeys(list(self.manifest()) + points)
-        self._manifest = tuple(merged)
-        self.cache.put(self._manifest_token(), list(self._manifest))
+        tel = obs.default_telemetry()
+        t0 = tel.clock()
+        with tel.span("atlas.build", cat="planner",
+                      lattice=len(lattice)) as sp:
+            points = [req if isinstance(req, (PlanRequest, WorkloadRequest))
+                      else PlanRequest(*req)
+                      for req in lattice]
+            points = list(dict.fromkeys(points))
+            misses = [req for req in points if self.get(req) is None]
+            single = [req for req in misses
+                      if isinstance(req, PlanRequest)]
+            plans = plan_batch(single, machine_params=self.machine_params,
+                               strict=False)
+            infeasible = 0
+            for req, plan in zip(single, plans):
+                if plan is None:
+                    infeasible += 1
+                    value: Plan | WorkloadPlan | Infeasible = Infeasible(
+                        str(_no_feasible_error(req.op, req.n, req.p,
+                                               req.budget)))
+                else:
+                    value = plan
+                self.cache.put(self._token(req), value)
+            for req in misses:
+                if isinstance(req, PlanRequest):
+                    continue
+                try:
+                    value = plan_workload(
+                        req, machine_params=self.machine_params)
+                except NoFeasiblePlanError as exc:
+                    infeasible += 1
+                    value = Infeasible(str(exc))
+                self.cache.put(self._token(req), value)
+            merged = dict.fromkeys(list(self.manifest()) + points)
+            self._manifest = tuple(merged)
+            self.cache.put(self._manifest_token(), list(self._manifest))
+            sp.set(points=len(points), built=len(misses),
+                   infeasible=infeasible)
+        wall_s = tel.clock() - t0
+        reg = tel.metrics
+        reg.gauge("atlas.build.wall_s").set(wall_s)
+        reg.counter("atlas.build.points").inc(len(points))
+        reg.counter("atlas.build.built").inc(len(misses))
+        reg.counter("atlas.build.reused").inc(len(points) - len(misses))
         return AtlasBuildStats(points=len(points), built=len(misses),
                                reused=len(points) - len(misses),
                                infeasible=infeasible,
-                               wall_s=time.perf_counter() - t0)
+                               wall_s=wall_s)

@@ -43,6 +43,7 @@ import dataclasses
 import math
 from typing import Any
 
+from .. import obs
 from ..engine.accounting import TermBatch
 from ..machine.perf_model import PIZ_DAINT_XC40, MachineParams, PerfModel
 from .candidates import (
@@ -356,38 +357,54 @@ def plan_batch(requests: list[PlanRequest],
     a caller batching unrelated questions (the atlas builder, the
     service's ``plan_many``) keeps the feasible answers.
     """
-    staged = []
-    batch = TermBatch()
-    for req in requests:
-        flops, cands = _OPS[req.op](req)
-        survivors = _gate(cands, req.budget, req.api_copies)
-        if batched:
-            for _, sched, *_ in survivors:
-                batch.add(sched)
-        staged.append((req, flops, survivors))
-    if batched:
-        all_stats = batch.evaluate()
-    plans: list[Plan | None] = []
-    offset = 0
-    for req, flops, survivors in staged:
-        if batched:
-            words_list = [st.mean_recv_words for st in
-                          all_stats[offset:offset + len(survivors)]]
-            offset += len(survivors)
-        else:
-            words_list = [sched.trace_stats(steps="none").mean_recv_words
-                          for _, sched, *_ in survivors]
-        configs = _configs_from(survivors, words_list, flops,
-                                machine_params)
-        if not configs:
-            if strict:
-                raise _no_feasible_error(req.op, req.n, req.p, req.budget)
-            plans.append(None)
-            continue
-        configs.sort(key=_rank_key)
-        plans.append(Plan(problem=req.op, n=req.n, nranks=req.p,
-                          mem_words=req.budget, ranked=tuple(configs)))
-    return plans
+    tel = obs.default_telemetry()
+    t0 = tel.clock()
+    candidates = 0
+    try:
+        with tel.span("plan.batch", cat="planner",
+                      requests=len(requests), batched=batched):
+            staged = []
+            batch = TermBatch()
+            for req in requests:
+                flops, cands = _OPS[req.op](req)
+                survivors = _gate(cands, req.budget, req.api_copies)
+                candidates += len(survivors)
+                if batched:
+                    for _, sched, *_ in survivors:
+                        batch.add(sched)
+                staged.append((req, flops, survivors))
+            if batched:
+                all_stats = batch.evaluate()
+            plans: list[Plan | None] = []
+            offset = 0
+            for req, flops, survivors in staged:
+                if batched:
+                    words_list = [st.mean_recv_words for st in
+                                  all_stats[offset:offset + len(survivors)]]
+                    offset += len(survivors)
+                else:
+                    words_list = [
+                        sched.trace_stats(steps="none").mean_recv_words
+                        for _, sched, *_ in survivors]
+                configs = _configs_from(survivors, words_list, flops,
+                                        machine_params)
+                if not configs:
+                    if strict:
+                        raise _no_feasible_error(req.op, req.n, req.p,
+                                                 req.budget)
+                    plans.append(None)
+                    continue
+                configs.sort(key=_rank_key)
+                plans.append(Plan(problem=req.op, n=req.n, nranks=req.p,
+                                  mem_words=req.budget,
+                                  ranked=tuple(configs)))
+            return plans
+    finally:
+        reg = tel.metrics
+        reg.histogram("planner.plan_batch.wall_s").observe(
+            tel.clock() - t0)
+        reg.counter("planner.requests").inc(len(requests))
+        reg.counter("planner.candidates").inc(candidates)
 
 
 def plan_request(request: PlanRequest,

@@ -49,10 +49,10 @@ machines hit the LRU instead of re-planning.
 from __future__ import annotations
 
 import asyncio
-import dataclasses
 import threading
 from collections import OrderedDict
 
+from .. import obs
 from ..machine.perf_model import PIZ_DAINT_XC40, MachineParams
 from .atlas import Infeasible, PlanAtlas
 from .core import (
@@ -68,16 +68,64 @@ __all__ = ["PlanService", "ServiceStats", "default_service",
            "set_default_service"]
 
 
-@dataclasses.dataclass
 class ServiceStats:
     """Resolution counters, by path (one increment per :meth:`plan`
-    call or unique :meth:`plan_many` member)."""
+    call or unique :meth:`plan_many` member).
 
-    lru_hits: int = 0
-    lru_misses: int = 0
-    atlas_hits: int = 0
-    atlas_snaps: int = 0
-    live_plans: int = 0
+    Since the telemetry layer landed this is a *view* over a
+    :class:`~repro.obs.metrics.MetricsRegistry` — each field reads and
+    writes the counter ``plan.service.{field}``, so the same numbers
+    appear in the service's metrics snapshot and in every place that
+    predates the registry (``service.stats.lru_hits`` still works,
+    including ``+=``).  A standalone ``ServiceStats()`` creates its own
+    private registry; :class:`PlanService` passes its service-level one
+    so each service stays independently countable (the parity tests
+    assert exact per-service values on fresh instances).
+    """
+
+    _FIELDS = ("lru_hits", "lru_misses", "atlas_hits", "atlas_snaps",
+               "live_plans")
+    _PREFIX = "plan.service"
+
+    def __init__(self, registry: "obs.MetricsRegistry | None" = None,
+                 **values: int) -> None:
+        object.__setattr__(self, "_registry",
+                           registry if registry is not None
+                           else obs.MetricsRegistry())
+        unknown = set(values) - set(self._FIELDS)
+        if unknown:
+            raise TypeError(f"unknown ServiceStats fields: {sorted(unknown)}")
+        for name in self._FIELDS:
+            self._counter(name).set(values.get(name, 0))
+
+    def _counter(self, name: str):
+        return self._registry.counter(f"{self._PREFIX}.{name}")
+
+    def __getattr__(self, name: str) -> int:
+        if name in type(self)._FIELDS:
+            return int(self._counter(name).value)
+        raise AttributeError(name)
+
+    def __setattr__(self, name: str, value) -> None:
+        if name in type(self)._FIELDS:
+            self._counter(name).set(value)
+        else:
+            object.__setattr__(self, name, value)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ServiceStats):
+            return NotImplemented
+        return all(getattr(self, f) == getattr(other, f)
+                   for f in self._FIELDS)
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{f}={getattr(self, f)}" for f in self._FIELDS)
+        return f"ServiceStats({fields})"
+
+    def reset(self) -> None:
+        """Zero every resolution counter (the registrations survive)."""
+        for name in self._FIELDS:
+            self._counter(name).set(0)
 
     @property
     def served(self) -> int:
@@ -85,7 +133,8 @@ class ServiceStats:
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of resolutions answered without live planning."""
+        """Fraction of resolutions answered without live planning
+        (0.0 when nothing has been served yet — no division)."""
         if not self.served:
             return 0.0
         return 1.0 - self.live_plans / self.served
@@ -122,7 +171,11 @@ class PlanService:
         self.lru_size = int(lru_size)
         self.machine_params = machine_params
         self.snap = snap
-        self.stats = ServiceStats()
+        # Per-service registry: the resolution counters must stay
+        # independently countable per instance (the global registry
+        # would pool every service's numbers together).
+        self.metrics = obs.MetricsRegistry()
+        self.stats = ServiceStats(registry=self.metrics)
         self._lru: OrderedDict[PlanRequest | WorkloadRequest,
                                Plan | WorkloadPlan | Infeasible] = \
             OrderedDict()
@@ -193,7 +246,9 @@ class PlanService:
         would (at the earliest infeasible request).
         """
         requests = list(requests)
-        with self._lock:
+        tel = obs.default_telemetry()
+        with tel.span("plan.service.many", cat="planner",
+                      requests=len(requests)) as sp, self._lock:
             resolved: dict[PlanRequest, Plan | Infeasible] = {}
             misses: list[PlanRequest] = []
             for request in requests:
@@ -205,10 +260,13 @@ class PlanService:
                 else:
                     resolved[request] = None  # placeholder keeps dedup
                     misses.append(request)
+            sp.set(live=len(misses))
             if misses:
-                plans = plan_batch(misses,
-                                   machine_params=self.machine_params,
-                                   strict=False)
+                with tel.span("plan.live", cat="planner",
+                              requests=len(misses)):
+                    plans = plan_batch(misses,
+                                       machine_params=self.machine_params,
+                                       strict=False)
                 for request, plan in zip(misses, plans):
                     self.stats.live_plans += 1
                     value = plan if plan is not None else Infeasible(
@@ -226,16 +284,22 @@ class PlanService:
         Infeasible workloads are cached and replayed like infeasible
         requests.
         """
-        with self._lock:
+        tel = obs.default_telemetry()
+        with tel.span("plan.service.workload", cat="planner",
+                      nodes=len(request.nodes)) as sp, self._lock:
             value = self._lookup(request)
             if value is None:
                 self.stats.live_plans += 1
-                try:
-                    value = plan_workload(
-                        request, machine_params=self.machine_params)
-                except NoFeasiblePlanError as exc:
-                    value = Infeasible(str(exc))
+                sp.set(resolved="live")
+                with tel.span("plan.live", cat="planner", workload=True):
+                    try:
+                        value = plan_workload(
+                            request, machine_params=self.machine_params)
+                    except NoFeasiblePlanError as exc:
+                        value = Infeasible(str(exc))
                 self._remember(request, value)
+            else:
+                sp.set(resolved="cached")
         if isinstance(value, Infeasible):
             raise NoFeasiblePlanError(value.message)
         return value

@@ -10,21 +10,40 @@ re-running after an interruption recomputes only what is missing
 
 Values are pickled :class:`~repro.factorizations.common.FactorizationResult`
 objects (or any picklable sweep row).  Writes are atomic
-(temp-file + rename), so a killed sweep never leaves a truncated entry;
-unreadable entries are treated as misses and overwritten.
+(temp-file + rename), so a killed sweep never leaves a truncated entry.
+
+Every lookup is accounted through :mod:`repro.obs`: the entry path
+carries the token digest and the fingerprint *separately*
+(``{token-digest}.{fingerprint-prefix}.pkl``), so a miss whose token
+digest exists under another fingerprint is counted as **stale**
+(invalidated by a code edit) rather than cold.  A readable file that
+fails to unpickle is **corrupt**: it is counted, deleted (so the next
+write is not fighting a poisoned entry), and logged as a one-line
+warning with the offending path — previously these were swallowed
+silently as misses.
 """
 
 from __future__ import annotations
 
 import functools
 import hashlib
+import logging
 import os
 import pathlib
 import pickle
 import tempfile
 from typing import Any
 
+from .. import obs
+
 __all__ = ["ResultCache", "code_fingerprint"]
+
+_log = logging.getLogger(__name__)
+
+#: Filename chars taken from the fingerprint (hex; 16 chars = 64 bits,
+#: far beyond collision risk for the handful of code versions sharing
+#: one cache directory).
+_FP_CHARS = 16
 
 
 @functools.lru_cache(maxsize=1)
@@ -58,6 +77,11 @@ class ResultCache:
         Code fingerprint folded into every key; defaults to
         :func:`code_fingerprint` of the live ``repro`` tree.  Tests pin
         it to exercise stale-fingerprint behaviour.
+
+    ``hits``/``misses`` count every lookup (``misses`` includes stale
+    and corrupt reads — anything that must recompute); ``stale`` and
+    ``corrupt`` break the misses down.  The same counts feed the
+    process-wide metrics registry under ``cache.*``.
     """
 
     def __init__(self, root: str | os.PathLike,
@@ -66,40 +90,88 @@ class ResultCache:
         self.fingerprint = fingerprint or code_fingerprint()
         self.hits = 0
         self.misses = 0
+        self.stale = 0
+        self.corrupt = 0
+
+    def _digest(self, token: str) -> str:
+        return hashlib.sha256(token.encode()).hexdigest()
 
     def _path(self, token: str) -> pathlib.Path:
-        digest = hashlib.sha256(
-            f"{token}|{self.fingerprint}".encode()).hexdigest()
-        return self.root / f"{digest}.pkl"
+        return self.root / (f"{self._digest(token)}"
+                            f".{self.fingerprint[:_FP_CHARS]}.pkl")
+
+    def _has_stale_sibling(self, token: str) -> bool:
+        """True when this token's digest exists under *another*
+        fingerprint — the entry was invalidated by a code edit, not
+        never computed."""
+        own = self._path(token).name
+        return any(p.name != own
+                   for p in self.root.glob(f"{self._digest(token)}.*.pkl"))
 
     def get(self, token: str) -> Any | None:
-        """The cached value for ``token``, or None (miss/corrupt)."""
+        """The cached value for ``token``, or None (miss).
+
+        Misses are classified: *cold* (never computed), *stale* (same
+        token under a different code fingerprint) or *corrupt* (the
+        entry exists but does not unpickle — counted, deleted, and
+        warned about, never served).
+        """
+        tel = obs.default_telemetry()
+        counters = tel.metrics
         path = self._path(token)
-        try:
-            with open(path, "rb") as fh:
-                value = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError,
-                AttributeError, ImportError):
-            self.misses += 1
-            return None
-        self.hits += 1
-        return value
+        with tel.span("cache.get", cat="cache", token=token) as sp:
+            try:
+                with open(path, "rb") as fh:
+                    value = pickle.load(fh)
+            except FileNotFoundError:
+                self.misses += 1
+                if self._has_stale_sibling(token):
+                    self.stale += 1
+                    counters.counter("cache.stale").inc()
+                    sp.set(outcome="stale")
+                else:
+                    counters.counter("cache.misses").inc()
+                    sp.set(outcome="miss")
+                return None
+            except (OSError, pickle.UnpicklingError, EOFError,
+                    AttributeError, ImportError) as exc:
+                self.misses += 1
+                self.corrupt += 1
+                counters.counter("cache.corrupt").inc()
+                sp.set(outcome="corrupt")
+                _log.warning(
+                    "corrupt cache entry %s (%s: %s) — deleting and "
+                    "recomputing", path, type(exc).__name__, exc)
+                try:
+                    os.unlink(path)
+                    counters.counter("cache.corrupt_deleted").inc()
+                except OSError:
+                    pass
+                return None
+            self.hits += 1
+            counters.counter("cache.hits").inc()
+            sp.set(outcome="hit")
+            return value
 
     def put(self, token: str, value: Any) -> None:
         """Store ``value`` under ``token`` (atomic rename)."""
+        tel = obs.default_telemetry()
         path = self._path(token)
-        self.root.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        except BaseException:
+        with tel.span("cache.put", cat="cache", token=token):
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(value, fh,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            tel.metrics.counter("cache.puts").inc()
 
     def __len__(self) -> int:
         if not self.root.is_dir():

@@ -21,6 +21,18 @@ pickle cheaply and carry a stable ``cache_token``.  The worker function
 resolves the actual computation by name at execution time, importing
 inside the worker to keep module import cycles out of the package
 graph.
+
+Telemetry: every run records wall time and task counts in the
+always-on metrics registry (``runtime.executor.*`` — this is where
+``bench_smoke`` reads sweep walls from).  With spans enabled, each
+task gets a ``sweep.task`` span; pool workers run under a *fresh*
+telemetry (the fork start method would otherwise hand children the
+parent's span buffer) and ship their spans home inside the result,
+where :meth:`~repro.obs.core.Telemetry.adopt` re-bases them onto the
+parent timeline.  The pool also reports chunk queue latency and worker
+utilization.  When spans are *disabled* the pool dispatches the plain
+``run_task`` — identical pickling and execution to the untraced path,
+preserving the bit-identical-checksum contract.
 """
 
 from __future__ import annotations
@@ -28,9 +40,11 @@ from __future__ import annotations
 import dataclasses
 import math
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Sequence
 
+from .. import obs
 from .cache import ResultCache
 
 __all__ = ["SweepTask", "SerialExecutor", "ProcessPoolSweepExecutor",
@@ -80,6 +94,44 @@ def run_task(task: SweepTask) -> Any:
     raise ValueError(f"unknown sweep task kind {task.kind!r}")
 
 
+@dataclasses.dataclass
+class _TracedResult:
+    """A pool result plus the worker spans that produced it.
+
+    ``epoch_wall``/``epoch_clock`` are the worker telemetry's paired
+    epochs; ``start_wall``/``end_wall`` bracket the task on the wall
+    clock (shared across processes), which is what queue-latency and
+    utilization are computed from in the parent.
+    """
+
+    value: Any
+    spans: tuple
+    epoch_wall: float
+    epoch_clock: float
+    start_wall: float
+    end_wall: float
+
+
+def _run_task_traced(item: tuple[SweepTask, float]) -> _TracedResult:
+    """Pool worker entry for traced runs: execute under a fresh,
+    enabled telemetry and ship the spans home with the result."""
+    task, _submit_wall = item
+    tel = obs.Telemetry()
+    previous = obs.set_default_telemetry(tel)
+    tel.enable()
+    start_wall = time.time()
+    try:
+        with tel.span("sweep.task", cat="executor", kind=task.kind,
+                      impl=task.impl, n=task.n, p=task.p):
+            value = run_task(task)
+    finally:
+        obs.set_default_telemetry(previous)
+    return _TracedResult(value=value, spans=tel.spans(),
+                         epoch_wall=tel.epoch_wall,
+                         epoch_clock=tel.epoch_clock,
+                         start_wall=start_wall, end_wall=time.time())
+
+
 def default_workers() -> int:
     """Worker count for the pool: the cores this process may use."""
     try:
@@ -95,7 +147,11 @@ class SerialExecutor:
         self.cache = cache
 
     def _compute(self, tasks: Sequence[SweepTask]):
-        return (run_task(t) for t in tasks)
+        tel = obs.default_telemetry()
+        for t in tasks:
+            with tel.span("sweep.task", cat="executor", kind=t.kind,
+                          impl=t.impl, n=t.n, p=t.p):
+                yield run_task(t)
 
     def run(self, tasks: Sequence[SweepTask]) -> list[Any]:
         """All task results, in task order.
@@ -104,23 +160,34 @@ class SerialExecutor:
         (serially or on the pool) and written through one by one, so an
         interrupted sweep keeps every finished result.
         """
+        tel = obs.default_telemetry()
+        reg = tel.metrics
+        t0 = tel.clock()
         tasks = list(tasks)
-        results: list[Any] = [None] * len(tasks)
-        miss_idx = []
-        if self.cache is None:
-            miss_idx = list(range(len(tasks)))
-        else:
-            for i, t in enumerate(tasks):
-                hit = self.cache.get(t.cache_token())
-                if hit is None:
-                    miss_idx.append(i)
-                else:
-                    results[i] = hit
-        missing = [tasks[i] for i in miss_idx]
-        for i, value in zip(miss_idx, self._compute(missing)):
-            results[i] = value
-            if self.cache is not None:
-                self.cache.put(tasks[i].cache_token(), value)
+        with tel.span("sweep.run", cat="executor",
+                      executor=type(self).__name__, tasks=len(tasks)):
+            results: list[Any] = [None] * len(tasks)
+            miss_idx = []
+            if self.cache is None:
+                miss_idx = list(range(len(tasks)))
+            else:
+                for i, t in enumerate(tasks):
+                    hit = self.cache.get(t.cache_token())
+                    if hit is None:
+                        miss_idx.append(i)
+                    else:
+                        results[i] = hit
+            missing = [tasks[i] for i in miss_idx]
+            for i, value in zip(miss_idx, self._compute(missing)):
+                results[i] = value
+                if self.cache is not None:
+                    self.cache.put(tasks[i].cache_token(), value)
+        wall = tel.clock() - t0
+        reg.gauge("runtime.executor.last_run_s").set(wall)
+        reg.histogram("runtime.executor.run.wall_s").observe(wall)
+        reg.counter("runtime.executor.tasks").inc(len(tasks))
+        reg.counter("runtime.executor.cache_served").inc(
+            len(tasks) - len(miss_idx))
         return results
 
 
@@ -150,12 +217,33 @@ class ProcessPoolSweepExecutor(SerialExecutor):
 
     def _compute(self, tasks: Sequence[SweepTask]):
         if not tasks:
-            return iter(())
+            return
+        tel = obs.default_telemetry()
         workers = min(self.max_workers, len(tasks))
         chunk = self.chunksize or max(
             1, math.ceil(len(tasks) / (workers * 4)))
         pool = ProcessPoolExecutor(max_workers=workers)
         try:
-            yield from pool.map(run_task, tasks, chunksize=chunk)
+            if not tel.enabled:
+                # Untraced path: dispatch run_task directly — identical
+                # pickling and execution order to the pre-telemetry
+                # executor, so the sweep checksum stays bit-identical.
+                yield from pool.map(run_task, tasks, chunksize=chunk)
+                return
+            submit_wall = time.time()
+            busy_s = 0.0
+            items = [(t, submit_wall) for t in tasks]
+            for res in pool.map(_run_task_traced, items, chunksize=chunk):
+                tel.adopt(res.spans, res.epoch_wall, res.epoch_clock)
+                tel.metrics.histogram(
+                    "runtime.executor.pool.queue_latency_s").observe(
+                        max(0.0, res.start_wall - submit_wall))
+                busy_s += res.end_wall - res.start_wall
+                yield res.value
+            pool_wall = time.time() - submit_wall
+            if pool_wall > 0.0:
+                tel.metrics.gauge(
+                    "runtime.executor.pool.utilization").set(
+                        min(1.0, busy_s / (workers * pool_wall)))
         finally:
             pool.shutdown(wait=False, cancel_futures=True)

@@ -187,6 +187,40 @@ class TestUpdateMode:
         assert cbr.main([]) == 0
 
 
+class TestObsGate:
+    """The telemetry-cost gate: spans enabled must stay within the 2%
+    budget (or the noise floor) and never perturb the checksum."""
+
+    def _obs(self, **overrides) -> dict:
+        block = {"disabled_s": 1.0, "enabled_s": 1.01,
+                 "overhead_s": 0.01, "checksum": 1000.0,
+                 "checksum_matches_disabled": True, "overhead_ok": True}
+        block.update(overrides)
+        return block
+
+    def test_within_budget_passes(self, gate):
+        fresh = snapshot(1.0)
+        fresh["obs"] = self._obs()
+        assert gate(snapshot(1.0), fresh) == 0
+
+    def test_overhead_past_budget_fails(self, gate, capsys):
+        fresh = snapshot(1.0)
+        fresh["obs"] = self._obs(enabled_s=1.5, overhead_s=0.5,
+                                 overhead_ok=False)
+        assert gate(snapshot(1.0), fresh) == 1
+        assert "span overhead" in capsys.readouterr().err
+
+    def test_checksum_perturbation_fails(self, gate, capsys):
+        fresh = snapshot(1.0)
+        fresh["obs"] = self._obs(checksum=999.0,
+                                 checksum_matches_disabled=False)
+        assert gate(snapshot(1.0), fresh) == 1
+        assert "perturbed the accounting" in capsys.readouterr().err
+
+    def test_old_snapshot_without_obs_block_passes(self, gate):
+        assert gate(snapshot(1.0), snapshot(1.0)) == 0
+
+
 class TestAtlasGate:
     """The atlas serving-parity gate: served plans must be bit-identical
     to live planning on lattice points."""
