@@ -8,7 +8,8 @@ PY ?= python
 # ratchet it up when coverage improves, never lower it silently.
 COV_FLOOR ?= 85
 
-.PHONY: test lint coverage bench-smoke bench-check plan atlas trace
+.PHONY: test lint coverage bench-smoke bench-check plan atlas trace \
+	fabric-check cache-gc
 
 # Worker count for the process-pool sweep path; empty = script default
 # (min(4, cores)).  Usage: make bench-smoke PARALLEL=4
@@ -84,3 +85,21 @@ atlas:
 TRACE_DIR ?= .trace-smoke
 trace:
 	$(PY) scripts/trace_report.py --out $(TRACE_DIR)
+
+## Two-worker fabric gate: shard the bench sweep matrix across
+## FABRIC_WORKERS concurrent worker processes leasing batches out of
+## one shared cache directory, reconcile on the coordinator, and fail
+## unless the checksum is bit-identical to the committed
+## BENCH_engine.json and every task is accounted for exactly once.
+FABRIC_WORKERS ?= 2
+fabric-check:
+	$(PY) scripts/fabric_check.py --workers $(FABRIC_WORKERS)
+
+## Prune stale cache entries (fingerprints from edited code, orphaned
+## .tmp files; CACHE_GC_MAX_AGE_S additionally prunes current entries
+## older than that).  Usage: make cache-gc CACHE_DIR=.atlas-smoke
+CACHE_DIR ?= .atlas-smoke
+CACHE_GC_MAX_AGE_S ?=
+cache-gc:
+	$(PY) scripts/cache_gc.py --cache $(CACHE_DIR) \
+		$(if $(CACHE_GC_MAX_AGE_S),--max-age-s $(CACHE_GC_MAX_AGE_S))

@@ -62,6 +62,18 @@ accounting.  The planner/atlas/workload blocks also read their wall
 times from the telemetry metrics registry rather than keeping their
 own ``perf_counter`` bookkeeping.
 
+The ``fabric`` block exercises the multi-host work-stealing executor
+(:mod:`repro.runtime.fabric`): the same sweep runs through a
+:class:`DistributedSweepExecutor` with two concurrent worker processes
+leasing task batches out of a shared cache directory, then *resumes* —
+a second run over the same cache must serve every task from the cache
+and recompute nothing.  Gated invariants: the fabric checksum equals
+the serial one bit-for-bit (distributed == pool == serial) and the
+resume pass recomputes zero tasks.  The block records workers, batch
+and steal counts, and both walls (the first run's wall includes two
+worker-process spawns — a fixed cost that amortizes over paper-scale
+grids and vanishes for long-lived external workers).
+
 The ``workload_dag`` block exercises the joint workload planner: the
 DFT chain (GEMM + two Cholesky factorizations sharing an operand + LU)
 is planned jointly at two paper-scale points and executed end-to-end
@@ -315,6 +327,53 @@ def _workload_block(workers: int) -> dict:
     }
 
 
+def _fabric_block(serial_checksum: float) -> dict:
+    """The work-stealing fabric over the bench matrix: two worker
+    subprocesses sharing one cache directory, coordinator reconcile,
+    then a resume pass that must recompute nothing."""
+    import tempfile
+
+    from repro.runtime import ResultCache
+    from repro.runtime.fabric import DistributedSweepExecutor
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(tmp)
+        ex = DistributedSweepExecutor(cache, workers=2,
+                                      participate=False,
+                                      batch_size=1, ttl_s=20.0,
+                                      timeout_s=300.0)
+        t0 = time.perf_counter()
+        results = sweep_traces(CASES, executor=ex)
+        wall = time.perf_counter() - t0
+        checksum = _checksum(results)
+        report = ex.last_report
+
+        resume = DistributedSweepExecutor(cache, workers=0,
+                                          batch_size=1, ttl_s=20.0,
+                                          timeout_s=300.0)
+        hits_before = cache.hits
+        retried = obs.metrics().counter("fabric.tasks.retried")
+        retried_before = retried.value
+        t0 = time.perf_counter()
+        resumed = sweep_traces(CASES, executor=resume)
+        resume_wall = time.perf_counter() - t0
+        resume_recomputed = retried.value - retried_before
+    return {
+        "workers": report.workers,
+        "batches": report.batches,
+        "stolen": report.stolen,
+        "by_worker": report.by_worker,
+        "sweep_s": round(wall, 3),
+        "tasks_computed": report.tasks_computed,
+        "checksum": checksum,
+        "checksum_matches_serial": checksum == serial_checksum,
+        "resume_s": round(resume_wall, 3),
+        "resume_cache_hits": cache.hits - hits_before,
+        "resume_recomputed": resume_recomputed,
+        "resume_checksum_matches": _checksum(resumed) == serial_checksum,
+    }
+
+
 def _obs_block(disabled_s: float, checksum: float) -> dict:
     """Measure the telemetry layer's own cost: the same sweep with
     spans enabled, best-of-REPS against the disabled best.
@@ -377,16 +436,31 @@ def run(parallel: int | None = None) -> dict:
     workers = (parallel if parallel is not None
                else min(MIN_CORES_FOR_SPEEDUP, cpus))
     # Symmetric with the serial measurement: best of REPS pool runs, so
-    # one noisy spawn cannot fail the speedup gate.
+    # one noisy spawn cannot fail the speedup gate.  Each rep closes
+    # its executor, so every cold run pays the full pool spawn.
     par_times = []
     par_checksum = 0.0
     for _ in range(REPS):
-        t0 = time.perf_counter()
-        par_results = sweep_traces(
-            CASES, executor=ProcessPoolSweepExecutor(max_workers=workers))
-        par_times.append(time.perf_counter() - t0)
-        par_checksum = _checksum(par_results)
+        with ProcessPoolSweepExecutor(max_workers=workers) as cold:
+            t0 = time.perf_counter()
+            par_results = sweep_traces(CASES, executor=cold)
+            par_times.append(time.perf_counter() - t0)
+            par_checksum = _checksum(par_results)
     par_s = min(par_times)
+
+    # The persistent-pool path: one executor, its (lazily created) pool
+    # reused across runs — repeated small sweeps stop paying the spawn
+    # overhead after the first call.
+    warm_times = []
+    warm_checksum = 0.0
+    with ProcessPoolSweepExecutor(max_workers=workers) as warm_ex:
+        sweep_traces(CASES, executor=warm_ex)          # spawn + warm
+        for _ in range(REPS):
+            t0 = time.perf_counter()
+            warm_results = sweep_traces(CASES, executor=warm_ex)
+            warm_times.append(time.perf_counter() - t0)
+            warm_checksum = _checksum(warm_results)
+    warm_s = min(warm_times)
 
     # The planner grid: batched TermBatch scoring vs the per-config
     # reference loop (best of 2 each; the chosen-plan checksums must
@@ -428,6 +502,11 @@ def run(parallel: int | None = None) -> dict:
             "speedup": (round(best / par_s, 2) if workers >= 2
                         else None),
             "pool_overhead_s": round(max(0.0, par_s - best), 3),
+            # The persistent pool: the same sweep on an already-warm
+            # executor, and what reuse saves vs a cold spawn per call.
+            "warm_sweep_s": round(warm_s, 3),
+            "pool_reuse_saving_s": round(max(0.0, par_s - warm_s), 3),
+            "warm_checksum_matches_serial": warm_checksum == checksum,
             "checksum": par_checksum,
             "checksum_matches_serial": par_checksum == checksum,
         },
@@ -445,6 +524,7 @@ def run(parallel: int | None = None) -> dict:
         },
         "obs": _obs_block(best, checksum),
         "atlas": _atlas_block(),
+        "fabric": _fabric_block(checksum),
         "workload_dag": _workload_block(workers),
         "seed": SEED_BASELINE,
         "speedup_vs_seed": round(SEED_BASELINE["sweep_s"] / best, 2),
@@ -529,6 +609,20 @@ def main(argv: list[str] | None = None) -> int:
             f"telemetry-enabled checksum {ob['checksum']} != disabled "
             f"{snapshot['engine']['checksum']} — recording spans "
             "perturbed the accounting")
+    fab = snapshot["fabric"]
+    if not fab["checksum_matches_serial"]:
+        failures.append(
+            f"fabric checksum {fab['checksum']} != serial "
+            f"{snapshot['engine']['checksum']} — the distributed "
+            "executor changed the sweep semantics")
+    if fab["resume_recomputed"]:
+        failures.append(
+            f"fabric resume recomputed {fab['resume_recomputed']} tasks "
+            "— already-cached results were not served")
+    if not fab["resume_checksum_matches"]:
+        failures.append(
+            "fabric resume checksum diverged from serial — resumed "
+            "results differ from computed ones")
     wdag = snapshot["workload_dag"]
     if not wdag["joint_le_independent"]:
         failures.append(

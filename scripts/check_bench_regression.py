@@ -31,6 +31,13 @@ committed ``BENCH_engine.json``:
   enabled may cost at most 2% over the disabled run (or an absolute
   noise floor) and must produce a bit-identical volume checksum
   (``overhead_ok`` / ``checksum_matches_disabled``);
+* **fabric parity** — the work-stealing distributed executor
+  (``repro.runtime.fabric``, >= 2 worker processes leasing batches out
+  of a shared cache directory) must reproduce the serial checksum
+  bit-for-bit (``checksum_matches_serial``) and a resumed run over the
+  same cache must recompute nothing (``resume_recomputed == 0``) while
+  still matching the checksum — distributed == pool == serial, the
+  PR-4 contract extended across hosts;
 * **workload-DAG invariants** — the joint workload plan may never
   charge more counted words than independent per-call planning
   (``joint_le_independent``), the serial and process-pool workload
@@ -176,6 +183,23 @@ def main(argv: list[str] | None = None) -> int:
                 f"telemetry-enabled checksum {ob['checksum']} != "
                 f"disabled {fresh_sum} — recording spans perturbed the "
                 "accounting")
+    # The work-stealing fabric must reproduce the serial checksum
+    # bit-for-bit and resume from the shared cache without recomputing.
+    fab = fresh.get("fabric")
+    if fab:
+        if not fab["checksum_matches_serial"]:
+            failures.append(
+                f"fabric checksum {fab['checksum']} != serial "
+                f"{fresh_sum} — the distributed executor changed the "
+                "sweep semantics")
+        if fab.get("resume_recomputed"):
+            failures.append(
+                f"fabric resume recomputed {fab['resume_recomputed']} "
+                "tasks — already-cached results were not served")
+        if not fab.get("resume_checksum_matches", True):
+            failures.append(
+                "fabric resume checksum diverged from serial — resumed "
+                "results differ from computed ones")
     # The joint workload planner must never charge more than
     # independent per-call planning, the pool must reproduce the
     # serial workload sweep (plans *and* execution checksum) exactly,

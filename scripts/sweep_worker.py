@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""Join a fabric sweep as a worker (thin wrapper over
+``python -m repro.runtime.fabric``).
+
+Point any number of these — on one host or many sharing a filesystem —
+at the coordinator's cache directory and they work-steal leased task
+batches until the sweep completes::
+
+    # host A (or terminal 1)
+    python scripts/sweep_worker.py --cache /shared/sweep-cache
+
+    # host B (or terminal 2)
+    python scripts/sweep_worker.py --cache /shared/sweep-cache
+
+Workers write results through the content-addressed
+:class:`~repro.runtime.cache.ResultCache`, heartbeat their leases, and
+steal batches whose owner's heartbeat expired, so a crashed worker
+costs at most one batch's unfinished tail.  See
+``src/repro/runtime/fabric.py`` and the ARCHITECTURE.md "Sweep fabric"
+section for the protocol.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.runtime.fabric import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

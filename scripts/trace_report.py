@@ -16,7 +16,7 @@ real superstep execution), and the DFT workload chain — then writes:
   the default plan service's resolution counters).
 
 Exits non-zero if the trace comes out empty or any expected span layer
-(planner / cache / executor / pd phases / engine / workload) is
+(planner / cache / executor / fabric / pd phases / engine / workload) is
 missing — CI runs this and archives ``trace.json`` as a workflow
 artifact, so every main build leaves an inspectable timeline behind.
 """
@@ -38,7 +38,7 @@ from repro.obs.export import metrics_json, write_chrome_trace  # noqa: E402
 
 #: Span categories the trace must cover — one per instrumented layer.
 REQUIRED_CATS = {"planner", "cache", "executor", "pd", "pd-phase",
-                 "engine", "workload"}
+                 "engine", "workload", "fabric"}
 
 #: Sweep slice: two paper-plane points, 2.5D LU + Cholesky.
 SWEEP_POINTS = [(4096, 64), (8192, 256)]
@@ -88,7 +88,22 @@ def _drive_executors(workers: int) -> None:
         cache = ResultCache(tmp)
         SerialExecutor(cache=cache).run(tasks)     # all misses
         SerialExecutor(cache=cache).run(tasks)     # all hits
-    ProcessPoolSweepExecutor(max_workers=workers).run(tasks[:4])
+    with ProcessPoolSweepExecutor(max_workers=workers) as pool:
+        pool.run(tasks[:4])
+
+
+def _drive_fabric() -> None:
+    """A small work-stealing fabric run (coordinator participating
+    in-process, so its run/worker/batch/reconcile spans land in this
+    telemetry) over a shared cache directory."""
+    from repro.runtime import ResultCache
+    from repro.runtime.fabric import DistributedSweepExecutor
+
+    tasks = _sweep_tasks()[:2]
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(tmp)
+        DistributedSweepExecutor(cache, workers=0).run(tasks)
+        cache.gc()
 
 
 def _drive_engine():
@@ -127,6 +142,7 @@ def main(argv: list[str] | None = None) -> int:
     obs.enable()
     _drive_planner()
     _drive_executors(args.workers)
+    _drive_fabric()
     step_log, memory_report = _drive_engine()
     obs.disable()
 

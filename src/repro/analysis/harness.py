@@ -26,6 +26,7 @@ __all__ = [
     "NODE_MEM_WORDS", "RANKS_PER_NODE",
     "max_replication", "feasible", "best_conflux_config",
     "trace_lu", "trace_cholesky", "trace_case", "sweep_traces",
+    "sweep_tasks",
     "MemoryFeasibility", "memory_feasibility",
     "dft_workload_request", "workload_case",
     "estimate_time", "TimedRun", "format_table",
@@ -308,15 +309,30 @@ def sweep_traces(cases: list[tuple[int, int]],
     or process-pool, optionally cache-backed); the result order — and
     therefore the bench checksum — is identical to the in-process loop.
     """
-    from ..runtime.executor import SerialExecutor, SweepTask
+    from ..runtime.executor import SerialExecutor
+
+    tasks = sweep_tasks(cases, lu_impls=lu_impls, chol_impls=chol_impls,
+                        steps=steps, evaluator=evaluator)
+    results = (executor or SerialExecutor()).run(tasks)
+    return [res for case in results for res in case]
+
+
+def sweep_tasks(cases: list[tuple[int, int]],
+                lu_impls: tuple[str, ...] = ("conflux", "mkl"),
+                chol_impls: tuple[str, ...] = ("confchox", "mkl-chol"),
+                steps: str = "none", evaluator: str | None = None):
+    """The declarative task list :func:`sweep_traces` executes — one
+    ``"case"`` task per ``(N, P)`` point.  Exposed so out-of-process
+    coordinators (the fabric CI check, external publishers) can build
+    the *identical* task list — same extras, same order, same cache
+    tokens — without going through ``sweep_traces`` itself."""
+    from ..runtime.executor import SweepTask
 
     extra = (("lu_impls", tuple(lu_impls)),
              ("chol_impls", tuple(chol_impls)),
              ("evaluator", evaluator), ("steps", steps))
-    tasks = [SweepTask("case", "all", n, p, extra=extra)
-             for n, p in cases]
-    results = (executor or SerialExecutor()).run(tasks)
-    return [res for case in results for res in case]
+    return [SweepTask("case", "all", n, p, extra=extra)
+            for n, p in cases]
 
 
 @dataclasses.dataclass(frozen=True)

@@ -148,8 +148,8 @@ class PlanAtlas:
         return out
 
     # ------------------------------------------------------------------
-    def build(self, lattice: list[PlanRequest | WorkloadRequest]
-              ) -> AtlasBuildStats:
+    def build(self, lattice: list[PlanRequest | WorkloadRequest],
+              executor=None) -> AtlasBuildStats:
         """Precompute (or resume precomputing) every lattice point.
 
         The lattice may mix :class:`PlanRequest` points (planned in
@@ -161,6 +161,14 @@ class PlanAtlas:
         under the current fingerprint are reused and everything is
         written through atomically.  The manifest is merged, not
         replaced, so incremental builds extend the lattice.
+
+        ``executor`` accepts any :mod:`repro.runtime` sweep executor
+        (pool or :class:`~repro.runtime.fabric.DistributedSweepExecutor`):
+        each missing point becomes one ``kind="plan"`` sweep task, so
+        large atlas builds shard across processes or hosts.  Planning a
+        request alone is bit-identical to the batched pass
+        (``plan_batch``'s contract), so the stored plans do not depend
+        on the execution strategy.
         """
         tel = obs.default_telemetry()
         t0 = tel.clock()
@@ -171,30 +179,34 @@ class PlanAtlas:
                       for req in lattice]
             points = list(dict.fromkeys(points))
             misses = [req for req in points if self.get(req) is None]
-            single = [req for req in misses
-                      if isinstance(req, PlanRequest)]
-            plans = plan_batch(single, machine_params=self.machine_params,
-                               strict=False)
             infeasible = 0
-            for req, plan in zip(single, plans):
-                if plan is None:
-                    infeasible += 1
-                    value: Plan | WorkloadPlan | Infeasible = Infeasible(
-                        str(_no_feasible_error(req.op, req.n, req.p,
-                                               req.budget)))
-                else:
-                    value = plan
-                self.cache.put(self._token(req), value)
-            for req in misses:
-                if isinstance(req, PlanRequest):
-                    continue
-                try:
-                    value = plan_workload(
-                        req, machine_params=self.machine_params)
-                except NoFeasiblePlanError as exc:
-                    infeasible += 1
-                    value = Infeasible(str(exc))
-                self.cache.put(self._token(req), value)
+            if executor is not None:
+                infeasible = self._build_sharded(misses, executor)
+            else:
+                single = [req for req in misses
+                          if isinstance(req, PlanRequest)]
+                plans = plan_batch(single,
+                                   machine_params=self.machine_params,
+                                   strict=False)
+                for req, plan in zip(single, plans):
+                    if plan is None:
+                        infeasible += 1
+                        value: Plan | WorkloadPlan | Infeasible = \
+                            Infeasible(str(_no_feasible_error(
+                                req.op, req.n, req.p, req.budget)))
+                    else:
+                        value = plan
+                    self.cache.put(self._token(req), value)
+                for req in misses:
+                    if isinstance(req, PlanRequest):
+                        continue
+                    try:
+                        value = plan_workload(
+                            req, machine_params=self.machine_params)
+                    except NoFeasiblePlanError as exc:
+                        infeasible += 1
+                        value = Infeasible(str(exc))
+                    self.cache.put(self._token(req), value)
             merged = dict.fromkeys(list(self.manifest()) + points)
             self._manifest = tuple(merged)
             self.cache.put(self._manifest_token(), list(self._manifest))
@@ -210,3 +222,22 @@ class PlanAtlas:
                                reused=len(points) - len(misses),
                                infeasible=infeasible,
                                wall_s=wall_s)
+
+    def _build_sharded(self, misses, executor) -> int:
+        """Plan the missing points through a sweep executor — one
+        ``kind="plan"`` task per point — and store the returned plans
+        (or :class:`Infeasible` markers).  Returns the infeasible
+        count."""
+        from ..runtime.executor import SweepTask
+
+        tasks = [SweepTask("plan", getattr(req, "op", "workload"),
+                           getattr(req, "n", 0), getattr(req, "p", 0),
+                           extra=(("machine_params", self.machine_params),
+                                  ("request", req)))
+                 for req in misses]
+        infeasible = 0
+        for req, value in zip(misses, executor.run(tasks)):
+            if isinstance(value, Infeasible):
+                infeasible += 1
+            self.cache.put(self._token(req), value)
+        return infeasible

@@ -32,6 +32,7 @@ import os
 import pathlib
 import pickle
 import tempfile
+import time
 from typing import Any
 
 from .. import obs
@@ -172,6 +173,61 @@ class ResultCache:
                     pass
                 raise
             tel.metrics.counter("cache.puts").inc()
+
+    def gc(self, max_age_s: float | None = None) -> int:
+        """Prune unservable entries; returns how many were removed.
+
+        Two classes of garbage accumulate in a long-lived cache
+        directory:
+
+        * entries whose filename fingerprint no longer matches this
+          cache's — stale *forever* under the ``{digest}.{fp16}.pkl``
+          scheme (the code that wrote them is gone, so no lookup can
+          ever serve them again);
+        * orphaned ``*.tmp`` files from writers killed between
+          ``mkstemp`` and the atomic rename.
+
+        With ``max_age_s``, entries of the *current* fingerprint older
+        than that (by mtime) are pruned too — an explicit retention
+        policy on top of the always-safe stale sweep.  Live lookups are
+        unaffected: a pruned entry reads as a cold miss and recomputes.
+
+        The count feeds the obs registry (``cache.gc_pruned`` /
+        ``cache.gc_runs``).
+        """
+        tel = obs.default_telemetry()
+        pruned = 0
+        now = time.time()
+        with tel.span("cache.gc", cat="cache",
+                      max_age_s=max_age_s) as sp:
+            if self.root.is_dir():
+                own_fp = self.fingerprint[:_FP_CHARS]
+                for path in self.root.glob("*.pkl"):
+                    parts = path.name.split(".")
+                    stale = len(parts) != 3 or parts[1] != own_fp
+                    old = False
+                    if not stale and max_age_s is not None:
+                        try:
+                            old = now - path.stat().st_mtime > max_age_s
+                        except FileNotFoundError:
+                            continue
+                    if stale or old:
+                        try:
+                            path.unlink()
+                            pruned += 1
+                        except FileNotFoundError:
+                            pass
+                for tmp in self.root.glob("*.tmp"):
+                    try:
+                        if now - tmp.stat().st_mtime > 3600.0:
+                            tmp.unlink()
+                            pruned += 1
+                    except FileNotFoundError:
+                        pass
+            sp.set(pruned=pruned)
+        tel.metrics.counter("cache.gc_pruned").inc(pruned)
+        tel.metrics.counter("cache.gc_runs").inc()
+        return pruned
 
     def __len__(self) -> int:
         if not self.root.is_dir():

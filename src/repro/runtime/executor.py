@@ -91,7 +91,36 @@ def run_task(task: SweepTask) -> Any:
         return harness.memory_feasibility([(task.n, task.p)], **kw)
     if task.kind == "workload":
         return harness.workload_case(task.n, task.p, **kw)
+    if task.kind == "plan":
+        return _run_plan_task(kw)
     raise ValueError(f"unknown sweep task kind {task.kind!r}")
+
+
+def _run_plan_task(kw: dict) -> Any:
+    """One atlas lattice point: plan the carried request, returning the
+    :class:`~repro.planner.core.Plan` /
+    :class:`~repro.planner.workload.WorkloadPlan` or an
+    :class:`~repro.planner.atlas.Infeasible` marker.  Planning one
+    request alone is bit-identical to the batched pass
+    (``plan_batch``'s contract), so a sharded atlas build stores the
+    same plans a local one would."""
+    from ..planner.atlas import Infeasible
+    from ..planner.core import PlanRequest, _no_feasible_error, plan_batch
+    from ..planner.workload import NoFeasiblePlanError, plan_workload
+
+    request = kw["request"]
+    params = kw["machine_params"]
+    if isinstance(request, PlanRequest):
+        [plan] = plan_batch([request], machine_params=params,
+                            strict=False)
+        if plan is None:
+            return Infeasible(str(_no_feasible_error(
+                request.op, request.n, request.p, request.budget)))
+        return plan
+    try:
+        return plan_workload(request, machine_params=params)
+    except NoFeasiblePlanError as exc:
+        return Infeasible(str(exc))
 
 
 @dataclasses.dataclass
@@ -133,7 +162,27 @@ def _run_task_traced(item: tuple[SweepTask, float]) -> _TracedResult:
 
 
 def default_workers() -> int:
-    """Worker count for the pool: the cores this process may use."""
+    """Worker count for the pool: the cores this process may use.
+
+    A ``REPRO_WORKERS`` environment override wins outright — CI shards
+    and fabric workers pin it so their worker counts are deterministic
+    regardless of runner width.  Otherwise the CPU affinity mask, then
+    ``os.cpu_count()``, which may legitimately return None (rare
+    platforms, restricted containers) — that degrades to 1, not a
+    crash.
+    """
+    env = os.environ.get("REPRO_WORKERS", "").strip()
+    if env:
+        try:
+            pinned = int(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_WORKERS must be a positive integer, got {env!r}"
+            ) from None
+        if pinned <= 0:
+            raise ValueError(
+                f"REPRO_WORKERS must be a positive integer, got {env!r}")
+        return pinned
     try:
         return max(1, len(os.sched_getaffinity(0)))
     except AttributeError:  # pragma: no cover - non-Linux
@@ -194,6 +243,14 @@ class SerialExecutor:
 class ProcessPoolSweepExecutor(SerialExecutor):
     """Multiprocessing fan-out over the sweep's independent tasks.
 
+    The pool is **persistent**: lazily created on the first
+    :meth:`run` and reused by every subsequent one, so repeated small
+    sweeps pay the worker spawn/import cost once instead of per call
+    (the bench ``parallel`` block records the warm-vs-cold win).
+    Release it with :meth:`close` or use the executor as a context
+    manager; an unclosed pool is reaped at interpreter exit like any
+    ``ProcessPoolExecutor``.
+
     Parameters
     ----------
     max_workers:
@@ -214,6 +271,27 @@ class ProcessPoolSweepExecutor(SerialExecutor):
             raise ValueError("max_workers must be positive")
         self.max_workers = max_workers or default_workers()
         self.chunksize = chunksize
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+            obs.default_telemetry().metrics.counter(
+                "runtime.executor.pool.created").inc()
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the persistent pool down (idempotent); the next
+        :meth:`run` would lazily create a fresh one."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "ProcessPoolSweepExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def _compute(self, tasks: Sequence[SweepTask]):
         if not tasks:
@@ -222,28 +300,25 @@ class ProcessPoolSweepExecutor(SerialExecutor):
         workers = min(self.max_workers, len(tasks))
         chunk = self.chunksize or max(
             1, math.ceil(len(tasks) / (workers * 4)))
-        pool = ProcessPoolExecutor(max_workers=workers)
-        try:
-            if not tel.enabled:
-                # Untraced path: dispatch run_task directly — identical
-                # pickling and execution order to the pre-telemetry
-                # executor, so the sweep checksum stays bit-identical.
-                yield from pool.map(run_task, tasks, chunksize=chunk)
-                return
-            submit_wall = time.time()
-            busy_s = 0.0
-            items = [(t, submit_wall) for t in tasks]
-            for res in pool.map(_run_task_traced, items, chunksize=chunk):
-                tel.adopt(res.spans, res.epoch_wall, res.epoch_clock)
-                tel.metrics.histogram(
-                    "runtime.executor.pool.queue_latency_s").observe(
-                        max(0.0, res.start_wall - submit_wall))
-                busy_s += res.end_wall - res.start_wall
-                yield res.value
-            pool_wall = time.time() - submit_wall
-            if pool_wall > 0.0:
-                tel.metrics.gauge(
-                    "runtime.executor.pool.utilization").set(
-                        min(1.0, busy_s / (workers * pool_wall)))
-        finally:
-            pool.shutdown(wait=False, cancel_futures=True)
+        pool = self._ensure_pool()
+        if not tel.enabled:
+            # Untraced path: dispatch run_task directly — identical
+            # pickling and execution order to the pre-telemetry
+            # executor, so the sweep checksum stays bit-identical.
+            yield from pool.map(run_task, tasks, chunksize=chunk)
+            return
+        submit_wall = time.time()
+        busy_s = 0.0
+        items = [(t, submit_wall) for t in tasks]
+        for res in pool.map(_run_task_traced, items, chunksize=chunk):
+            tel.adopt(res.spans, res.epoch_wall, res.epoch_clock)
+            tel.metrics.histogram(
+                "runtime.executor.pool.queue_latency_s").observe(
+                    max(0.0, res.start_wall - submit_wall))
+            busy_s += res.end_wall - res.start_wall
+            yield res.value
+        pool_wall = time.time() - submit_wall
+        if pool_wall > 0.0:
+            tel.metrics.gauge(
+                "runtime.executor.pool.utilization").set(
+                    min(1.0, busy_s / (workers * pool_wall)))

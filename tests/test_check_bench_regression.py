@@ -221,6 +221,44 @@ class TestObsGate:
         assert gate(snapshot(1.0), snapshot(1.0)) == 0
 
 
+class TestFabricGate:
+    """The distributed-executor gate: the fabric checksum must equal
+    serial bit-for-bit and a resumed run must recompute nothing."""
+
+    def _fab(self, **overrides) -> dict:
+        block = {"checksum": 1000.0, "checksum_matches_serial": True,
+                 "resume_recomputed": 0, "resume_checksum_matches": True}
+        block.update(overrides)
+        return block
+
+    def test_clean_fabric_block_passes(self, gate):
+        fresh = snapshot(1.0)
+        fresh["fabric"] = self._fab()
+        assert gate(snapshot(1.0), fresh) == 0
+
+    def test_checksum_divergence_fails(self, gate, capsys):
+        fresh = snapshot(1.0)
+        fresh["fabric"] = self._fab(checksum=999.0,
+                                    checksum_matches_serial=False)
+        assert gate(snapshot(1.0), fresh) == 1
+        assert "fabric checksum" in capsys.readouterr().err
+
+    def test_resume_recompute_fails(self, gate, capsys):
+        fresh = snapshot(1.0)
+        fresh["fabric"] = self._fab(resume_recomputed=2)
+        assert gate(snapshot(1.0), fresh) == 1
+        assert "resume recomputed" in capsys.readouterr().err
+
+    def test_resume_checksum_divergence_fails(self, gate, capsys):
+        fresh = snapshot(1.0)
+        fresh["fabric"] = self._fab(resume_checksum_matches=False)
+        assert gate(snapshot(1.0), fresh) == 1
+        assert "resume checksum diverged" in capsys.readouterr().err
+
+    def test_old_snapshot_without_fabric_block_passes(self, gate):
+        assert gate(snapshot(1.0), snapshot(1.0)) == 0
+
+
 class TestAtlasGate:
     """The atlas serving-parity gate: served plans must be bit-identical
     to live planning on lattice points."""

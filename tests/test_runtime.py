@@ -7,9 +7,13 @@ hits, recomputes misses, ignores stale-fingerprint entries, and makes
 interrupted sweeps resumable.
 """
 
+import os
+import time
+
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.analysis.harness import memory_feasibility, sweep_traces
 from repro.runtime import (
     ProcessPoolSweepExecutor,
@@ -19,6 +23,7 @@ from repro.runtime import (
     code_fingerprint,
     run_task,
 )
+from repro.runtime.executor import default_workers
 
 #: Small paper-shaped cases: fast to trace, non-trivial step counts.
 CASES = [(2048, 64), (4096, 256)]
@@ -84,6 +89,70 @@ class TestProcessPool:
             ProcessPoolSweepExecutor(max_workers=0)
 
 
+class TestPersistentPool:
+    """The pool survives across run() calls: one worker spawn, many
+    sweeps — released explicitly via close() or the context manager."""
+
+    def test_pool_reused_across_runs(self):
+        created = obs.metrics().counter("runtime.executor.pool.created")
+        before = created.value
+        tasks = [SweepTask("lu", "conflux", n, p) for n, p in CASES]
+        ex = ProcessPoolSweepExecutor(max_workers=1)
+        try:
+            first = ex.run(tasks)
+            pool = ex._pool
+            assert pool is not None
+            second = ex.run(tasks)
+            assert ex._pool is pool
+            assert created.value == before + 1
+            assert_results_equal(first, second)
+        finally:
+            ex.close()
+
+    def test_close_is_idempotent_and_context_manager_closes(self):
+        with ProcessPoolSweepExecutor(max_workers=1) as ex:
+            ex.run([SweepTask("lu", "conflux", 2048, 64)])
+            assert ex._pool is not None
+        assert ex._pool is None
+        ex.close()                       # second close: no-op
+        ex.close()
+
+    def test_run_after_close_recreates_pool(self):
+        task = [SweepTask("lu", "mkl", 2048, 64)]
+        ex = ProcessPoolSweepExecutor(max_workers=1)
+        try:
+            ex.run(task)
+            first_pool = ex._pool
+            ex.close()
+            ex.run(task)
+            assert ex._pool is not None
+            assert ex._pool is not first_pool
+        finally:
+            ex.close()
+
+
+class TestDefaultWorkers:
+    def test_env_override_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_workers() == 3
+
+    def test_env_override_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            default_workers()
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            default_workers()
+
+    def test_cpu_count_none_degrades_to_one(self, monkeypatch):
+        """os.cpu_count() may return None on restricted platforms —
+        that must mean 1 worker, not a TypeError."""
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert default_workers() == 1
+
+
 class TestResultCache:
     def test_miss_then_hit(self, tmp_path):
         # One sweep task (and so one cache entry) per (N, P) case — the
@@ -135,6 +204,63 @@ class TestResultCache:
     def test_code_fingerprint_stable_in_process(self):
         assert code_fingerprint() == code_fingerprint()
         assert len(code_fingerprint()) == 64
+
+
+class TestCacheGC:
+    """gc() prunes what no lookup can ever serve (other-fingerprint
+    entries, orphaned temp files) plus, on request, a retention window
+    over current entries — always safe, since a pruned entry just reads
+    as a cold miss."""
+
+    def test_prunes_stale_fingerprints_keeps_current(self, tmp_path):
+        old = ResultCache(tmp_path, fingerprint="code-v1")
+        old.put("a", 1)
+        old.put("b", 2)
+        cur = ResultCache(tmp_path, fingerprint="code-v2")
+        cur.put("a", 10)
+        assert len(cur) == 3
+        assert cur.gc() == 2
+        assert len(cur) == 1
+        assert cur.get("a") == 10
+
+    def test_max_age_prunes_old_current_entries(self, tmp_path):
+        cache = ResultCache(tmp_path, fingerprint="pin")
+        cache.put("old", 1)
+        cache.put("new", 2)
+        t = time.time() - 100.0
+        os.utime(cache._path("old"), (t, t))
+        assert cache.gc(max_age_s=50.0) == 1
+        assert cache.get("old") is None
+        assert cache.get("new") == 2
+
+    def test_prunes_orphaned_tmp_files(self, tmp_path):
+        cache = ResultCache(tmp_path, fingerprint="pin")
+        cache.put("a", 1)
+        dead = tmp_path / "deadwriter.tmp"
+        dead.write_bytes(b"partial")
+        t = time.time() - 7200.0
+        os.utime(dead, (t, t))
+        fresh = tmp_path / "livewriter.tmp"
+        fresh.write_bytes(b"in flight")
+        assert cache.gc() == 1
+        assert not dead.exists()
+        assert fresh.exists()
+        assert cache.get("a") == 1
+
+    def test_counts_into_registry(self, tmp_path):
+        pruned_ctr = obs.metrics().counter("cache.gc_pruned")
+        runs_ctr = obs.metrics().counter("cache.gc_runs")
+        pruned_before, runs_before = pruned_ctr.value, runs_ctr.value
+        stale = ResultCache(tmp_path, fingerprint="gone")
+        stale.put("x", 1)
+        cache = ResultCache(tmp_path, fingerprint="pin")
+        assert cache.gc() == 1
+        assert pruned_ctr.value == pruned_before + 1
+        assert runs_ctr.value == runs_before + 1
+
+    def test_gc_on_missing_directory_is_safe(self, tmp_path):
+        cache = ResultCache(tmp_path / "never-created")
+        assert cache.gc() == 0
 
 
 class TestFigureOptIn:
